@@ -1,0 +1,106 @@
+"""E6-E10 — the Section 5 applications.
+
+Sparsification (Thm 5.3), approximate SPT (Thm 5.4) vs Dijkstra on the
+spanner, approximate MST (Thm 5.5), online tree products (Thm 5.6) vs
+the naive walk, and online MST verification (Section 5.6.2).
+"""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    MstVerifier,
+    NaiveTreeProduct,
+    OnlineTreeProduct,
+    approximate_mst,
+    approximate_spt,
+    base_mst,
+    mst_weight,
+    sparsify,
+)
+from repro.graphs import dijkstra, path_tree, random_tree
+from repro.spanners import greedy_spanner
+
+
+@pytest.fixture(scope="module")
+def dense_light_spanner(doubling_navigator):
+    return greedy_spanner(doubling_navigator.metric, 1.2)
+
+
+def test_sparsify(benchmark, dense_light_spanner, doubling_navigator):
+    sparse = benchmark(sparsify, dense_light_spanner, doubling_navigator)
+    assert sparse.num_edges <= doubling_navigator.num_edges
+
+
+def test_approximate_spt(benchmark, doubling_navigator):
+    parent, dist = benchmark(approximate_spt, doubling_navigator, 0)
+    assert all(d < float("inf") for d in dist)
+
+
+def test_spt_baseline_dijkstra_on_spanner(benchmark, doubling_navigator):
+    """The explicit-access baseline Theorem 5.4 compares against."""
+    spanner = doubling_navigator.spanner()
+    dist = benchmark(dijkstra, spanner, 0)
+    assert max(dist) < float("inf")
+
+
+def test_approximate_mst(benchmark, doubling_navigator):
+    edges = benchmark(approximate_mst, doubling_navigator)
+    exact = mst_weight(base_mst(doubling_navigator.metric))
+    assert mst_weight(edges) <= 2.0 * exact
+
+
+def test_tree_product_queries(benchmark):
+    tree = random_tree(4096, seed=30)
+    product = OnlineTreeProduct(tree, 3, min, list(tree.weights))
+    rng = random.Random(0)
+    pairs = [tuple(rng.sample(range(4096), 2)) for _ in range(1000)]
+
+    def query_all():
+        total = 0.0
+        for u, v in pairs:
+            total += product.query(u, v)
+        return total
+
+    benchmark(query_all)
+
+
+def test_tree_product_naive_baseline(benchmark):
+    tree = path_tree(4096, seed=31)
+    naive = NaiveTreeProduct(tree, min, list(tree.weights))
+    rng = random.Random(1)
+    pairs = [tuple(rng.sample(range(4096), 2)) for _ in range(50)]
+
+    def query_all():
+        total = 0.0
+        for u, v in pairs:
+            total += naive.query(u, v)
+        return total
+
+    benchmark(query_all)
+
+
+def test_tree_product_preprocessing(benchmark):
+    tree = random_tree(4096, seed=32)
+    product = benchmark(OnlineTreeProduct, tree, 2, min, list(tree.weights))
+    assert product.query(0, 4095) <= max(tree.weights)
+
+
+def test_mst_verification_queries(benchmark):
+    tree = random_tree(4096, seed=33)
+    verifier = MstVerifier(tree, 2)
+    rng = random.Random(2)
+    queries = [
+        (*rng.sample(range(4096), 2), rng.uniform(0, 15)) for _ in range(1000)
+    ]
+
+    def verify_all():
+        count = 0
+        for u, v, w in queries:
+            ok, comparisons = verifier.verify_by_order(u, v, w)
+            assert comparisons == 1
+            count += ok
+        return count
+
+    benchmark(verify_all)

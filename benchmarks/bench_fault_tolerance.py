@@ -1,0 +1,71 @@
+"""E5/E12 — Theorems 4.1, 4.2, 5.2: robustness and fault tolerance.
+
+Times FT spanner construction, FT navigation under faults, and FT
+routing; the f-sweep tables are in ``run_experiments.py --exp E5``.
+"""
+
+import random
+
+import pytest
+
+from repro.metrics import random_points
+from repro.routing import FaultTolerantRoutingScheme
+from repro.spanners import FaultTolerantSpanner
+from repro.treecover import robust_tree_cover
+
+
+@pytest.fixture(scope="module")
+def ft_metric():
+    return random_points(80, dim=2, seed=20)
+
+
+@pytest.fixture(scope="module")
+def ft_cover(ft_metric):
+    return robust_tree_cover(ft_metric, eps=0.45)
+
+
+@pytest.fixture(scope="module")
+def ft_spanner(ft_metric, ft_cover):
+    return FaultTolerantSpanner(ft_metric, f=2, k=2, cover=ft_cover)
+
+
+def test_ft_spanner_construction(benchmark, ft_metric, ft_cover):
+    spanner = benchmark(FaultTolerantSpanner, ft_metric, 2, 2, 0.45, ft_cover)
+    assert spanner.edge_count() > 0
+
+
+def test_ft_navigation_under_faults(benchmark, ft_spanner):
+    rng = random.Random(0)
+    queries = []
+    for _ in range(200):
+        u, v = rng.sample(range(80), 2)
+        pool = [x for x in range(80) if x not in (u, v)]
+        queries.append((u, v, set(rng.sample(pool, 2))))
+
+    def navigate_all():
+        hops = 0
+        for u, v, faults in queries:
+            hops += len(ft_spanner.find_path(u, v, faults)) - 1
+        return hops
+
+    hops = benchmark(navigate_all)
+    assert hops <= 2 * len(queries)
+
+
+def test_ft_routing_under_faults(benchmark, ft_metric, ft_cover):
+    scheme = FaultTolerantRoutingScheme(ft_metric, f=2, cover=ft_cover, seed=21)
+    rng = random.Random(1)
+    queries = []
+    for _ in range(100):
+        u, v = rng.sample(range(80), 2)
+        pool = [x for x in range(80) if x not in (u, v)]
+        queries.append((u, v, set(rng.sample(pool, 2))))
+
+    def route_all():
+        hops = 0
+        for u, v, faults in queries:
+            hops += scheme.route(u, v, faults).hops
+        return hops
+
+    hops = benchmark(route_all)
+    assert hops <= 2 * len(queries)

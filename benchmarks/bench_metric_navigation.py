@@ -1,0 +1,50 @@
+"""E3 — Theorem 1.2: two-step navigation on metric spaces.
+
+Query latency across metric families and k; the spanner-size series is
+in ``run_experiments.py --exp E3``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MetricNavigator
+
+
+def _query_many(navigator, pairs):
+    hops = 0
+    for u, v in pairs:
+        hops += len(navigator.find_path(u, v)) - 1
+    return hops
+
+
+@pytest.fixture(scope="module")
+def doubling_nav_k3(euclidean_200, doubling_cover):
+    return MetricNavigator(euclidean_200, doubling_cover, 3)
+
+
+def test_doubling_query_k2(benchmark, doubling_navigator):
+    rng = random.Random(0)
+    pairs = [(rng.randrange(200), rng.randrange(200)) for _ in range(400)]
+    hops = benchmark(_query_many, doubling_navigator, pairs)
+    assert hops <= 2 * len(pairs)
+
+
+def test_doubling_query_k3(benchmark, doubling_nav_k3):
+    rng = random.Random(1)
+    pairs = [(rng.randrange(200), rng.randrange(200)) for _ in range(400)]
+    hops = benchmark(_query_many, doubling_nav_k3, pairs)
+    assert hops <= 3 * len(pairs)
+
+
+def test_ramsey_query_k2(benchmark, general_120, ramsey_cover):
+    navigator = MetricNavigator(general_120, ramsey_cover, 2)
+    rng = random.Random(2)
+    pairs = [(rng.randrange(120), rng.randrange(120)) for _ in range(1000)]
+    hops = benchmark(_query_many, navigator, pairs)
+    assert hops <= 2 * len(pairs)
+
+
+def test_doubling_spanner_construction(benchmark, euclidean_200, doubling_cover):
+    navigator = benchmark(MetricNavigator, euclidean_200, doubling_cover, 2)
+    assert navigator.num_edges > 0

@@ -1,0 +1,78 @@
+"""E4 — Theorems 5.1 and 1.3: 2-hop compact routing.
+
+Times full route delivery (source decision + forwarding) on trees and
+metric spaces; bit-size tables are in ``run_experiments.py --exp E4``.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs import random_tree
+from repro.routing import MetricRoutingScheme, build_tree_network, tree_protocol
+
+
+@pytest.fixture(scope="module")
+def tree_scheme():
+    tree = random_tree(4096, seed=10)
+    return build_tree_network(tree, seed=11)
+
+
+@pytest.fixture(scope="module")
+def metric_scheme(euclidean_200, doubling_cover):
+    return MetricRoutingScheme(euclidean_200, doubling_cover, seed=12)
+
+
+@pytest.fixture(scope="module")
+def ramsey_scheme(general_120, ramsey_cover):
+    return MetricRoutingScheme(general_120, ramsey_cover, seed=13)
+
+
+def test_tree_routing_throughput(benchmark, tree_scheme):
+    scheme, net = tree_scheme
+    rng = random.Random(0)
+    pairs = [(rng.randrange(4096), rng.randrange(4096)) for _ in range(500)]
+
+    def route_all():
+        hops = 0
+        for u, v in pairs:
+            hops += net.route(u, tree_protocol, scheme.labels[v], scheme.tables).hops
+        return hops
+
+    hops = benchmark(route_all)
+    assert hops <= 2 * len(pairs)
+
+
+def test_metric_routing_doubling(benchmark, metric_scheme):
+    rng = random.Random(1)
+    pairs = [(rng.randrange(200), rng.randrange(200)) for _ in range(200)]
+
+    def route_all():
+        hops = 0
+        for u, v in pairs:
+            hops += metric_scheme.route(u, v).hops
+        return hops
+
+    hops = benchmark(route_all)
+    assert hops <= 2 * len(pairs)
+
+
+def test_metric_routing_ramsey_constant_decision(benchmark, ramsey_scheme):
+    """Ramsey covers skip the O(ζ) distance scan entirely."""
+    rng = random.Random(2)
+    pairs = [(rng.randrange(120), rng.randrange(120)) for _ in range(500)]
+
+    def route_all():
+        hops = 0
+        for u, v in pairs:
+            hops += ramsey_scheme.route(u, v).hops
+        return hops
+
+    hops = benchmark(route_all)
+    assert hops <= 2 * len(pairs)
+
+
+def test_tree_scheme_preprocessing(benchmark):
+    tree = random_tree(2048, seed=14)
+    scheme, _ = benchmark(build_tree_network, tree, 15)
+    assert max(scheme.label_size_bits(p) for p in range(2048)) < 3000

@@ -1,0 +1,50 @@
+"""E2 — Table 1: tree cover constructions.
+
+Times each cover construction and asserts its headline guarantee
+(number of trees, measured stretch).
+"""
+
+from repro.metrics import delaunay_metric, random_points, sample_pairs
+from repro.treecover import (
+    few_trees_cover,
+    planar_tree_cover,
+    ramsey_tree_cover,
+    robust_tree_cover,
+)
+
+
+def test_robust_cover_doubling(benchmark, euclidean_200):
+    cover = benchmark(robust_tree_cover, euclidean_200, 0.45)
+    worst, _ = cover.measured_stretch(sample_pairs(200, 300))
+    assert worst <= 2.5
+
+
+def test_robust_cover_small_eps(benchmark):
+    metric = random_points(120, dim=2, seed=6)
+    cover = benchmark(robust_tree_cover, metric, 0.25)
+    worst, _ = cover.measured_stretch(sample_pairs(120, 300))
+    assert worst <= 1.8
+
+
+def test_ramsey_cover_general(benchmark, general_120):
+    cover = benchmark(ramsey_tree_cover, general_120, 2, 7)
+    assert cover.home is not None
+    worst = max(
+        cover.trees[cover.home[p]].tree_distance(p, q) / general_120.distance(p, q)
+        for p in range(0, 120, 7)
+        for q in range(0, 120, 5)
+        if p != q
+    )
+    assert worst <= 64 * 2 * 1.5
+
+
+def test_few_trees_cover(benchmark, general_120):
+    cover = benchmark(few_trees_cover, general_120, 3, 8)
+    assert cover.size == 3
+
+
+def test_planar_cover(benchmark):
+    metric = delaunay_metric(300, seed=9)
+    cover = benchmark(planar_tree_cover, metric)
+    worst, _ = cover.measured_stretch(sample_pairs(300, 400))
+    assert worst <= 3.0 + 1e-6

@@ -1,0 +1,68 @@
+"""E1/E11 — Theorem 1.1: navigable tree 1-spanners.
+
+Times construction and queries; asserts the structural claims (size
+~ n·αk(n), hops <= k, recursion depth ~ αk(n)) along the way.  The full
+paper-vs-measured series is produced by ``run_experiments.py --exp E1``.
+"""
+
+import random
+
+from repro.core import TreeNavigator, alpha_k
+
+
+def test_construct_k2(benchmark, big_tree):
+    nav = benchmark(TreeNavigator, big_tree, 2)
+    assert nav.num_edges <= 4 * big_tree.n * alpha_k(2, big_tree.n)
+
+
+def test_construct_k3(benchmark, big_tree):
+    nav = benchmark(TreeNavigator, big_tree, 3)
+    assert nav.num_edges <= 6 * big_tree.n * alpha_k(3, big_tree.n)
+
+
+def test_construct_k4(benchmark, big_tree):
+    nav = benchmark(TreeNavigator, big_tree, 4)
+    assert nav.num_edges <= 8 * big_tree.n * max(1, alpha_k(4, big_tree.n))
+
+
+def _query_many(navigator, pairs):
+    total_hops = 0
+    for u, v in pairs:
+        total_hops += len(navigator.find_path(u, v)) - 1
+    return total_hops
+
+
+def test_query_k2(benchmark, tree_navigators, big_tree):
+    rng = random.Random(0)
+    pairs = [(rng.randrange(big_tree.n), rng.randrange(big_tree.n)) for _ in range(2000)]
+    hops = benchmark(_query_many, tree_navigators[2], pairs)
+    assert hops <= 2 * len(pairs)
+
+
+def test_query_k4(benchmark, tree_navigators, big_tree):
+    rng = random.Random(1)
+    pairs = [(rng.randrange(big_tree.n), rng.randrange(big_tree.n)) for _ in range(2000)]
+    hops = benchmark(_query_many, tree_navigators[4], pairs)
+    assert hops <= 4 * len(pairs)
+
+
+def test_query_path_worst_case(benchmark, big_path):
+    navigator = TreeNavigator(big_path, 2)
+    rng = random.Random(2)
+    pairs = [(rng.randrange(big_path.n), rng.randrange(big_path.n)) for _ in range(2000)]
+    benchmark(_query_many, navigator, pairs)
+
+
+def test_naive_tree_walk_baseline(benchmark, big_path):
+    """The Ω(n)-hop baseline the paper's scheme replaces."""
+    rng = random.Random(3)
+    pairs = [(rng.randrange(big_path.n), rng.randrange(big_path.n)) for _ in range(50)]
+
+    def walk_all():
+        total = 0
+        for u, v in pairs:
+            total += len(big_path.path(u, v)) - 1
+        return total
+
+    hops = benchmark(walk_all)
+    assert hops > 2 * len(pairs)  # vastly more hops than the navigator

@@ -1,0 +1,74 @@
+"""Workload benches: the full stack on the paper's motivating inputs.
+
+Road networks, hierarchical deployments, and hub-dominated
+communication graphs — construction and query cost on inputs with
+realistic structure (high aspect ratio, fractal clustering, hubs).
+"""
+
+import random
+
+import pytest
+
+from repro.core import MetricNavigator
+from repro.metrics import (
+    hierarchical_points,
+    power_law_graph_metric,
+    road_network_points,
+)
+from repro.treecover import ramsey_tree_cover, robust_tree_cover
+
+
+@pytest.fixture(scope="module")
+def road():
+    metric = road_network_points(150, seed=0)
+    return metric, robust_tree_cover(metric, eps=0.45)
+
+
+@pytest.fixture(scope="module")
+def fractal():
+    metric = hierarchical_points(150, seed=1)
+    return metric, robust_tree_cover(metric, eps=0.45)
+
+
+def test_road_cover_construction(benchmark):
+    metric = road_network_points(150, seed=0)
+    cover = benchmark(robust_tree_cover, metric, 0.45)
+    assert cover.size > 0
+
+
+def test_road_navigation_queries(benchmark, road):
+    metric, cover = road
+    navigator = MetricNavigator(metric, cover, 3)
+    rng = random.Random(2)
+    pairs = [tuple(rng.sample(range(150), 2)) for _ in range(200)]
+
+    def run():
+        hops = 0
+        for u, v in pairs:
+            hops += len(navigator.find_path(u, v)) - 1
+        return hops
+
+    hops = benchmark(run)
+    assert hops <= 3 * len(pairs)
+
+
+def test_fractal_navigation_queries(benchmark, fractal):
+    metric, cover = fractal
+    navigator = MetricNavigator(metric, cover, 2)
+    rng = random.Random(3)
+    pairs = [tuple(rng.sample(range(150), 2)) for _ in range(200)]
+
+    def run():
+        hops = 0
+        for u, v in pairs:
+            hops += len(navigator.find_path(u, v)) - 1
+        return hops
+
+    hops = benchmark(run)
+    assert hops <= 2 * len(pairs)
+
+
+def test_power_law_ramsey_cover(benchmark):
+    metric = power_law_graph_metric(150, seed=4)
+    cover = benchmark(ramsey_tree_cover, metric, 2, 5)
+    assert cover.home is not None

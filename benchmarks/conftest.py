@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Expensive structures (tree covers, navigators, routing schemes) are
+built once per session; the pytest-benchmark targets then time the
+operations the paper's theorems bound (construction, queries, routing
+decisions, verification ops).
+"""
+
+import pytest
+
+from repro.core import MetricNavigator, TreeNavigator
+from repro.graphs import path_tree, random_tree
+from repro.metrics import random_points, random_graph_metric
+from repro.treecover import ramsey_tree_cover, robust_tree_cover
+
+
+@pytest.fixture(scope="session")
+def big_tree():
+    return random_tree(8192, seed=1)
+
+
+@pytest.fixture(scope="session")
+def big_path():
+    return path_tree(8192, seed=2)
+
+
+@pytest.fixture(scope="session")
+def tree_navigators(big_tree):
+    return {k: TreeNavigator(big_tree, k) for k in (2, 3, 4)}
+
+
+@pytest.fixture(scope="session")
+def euclidean_200():
+    return random_points(200, dim=2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def doubling_cover(euclidean_200):
+    return robust_tree_cover(euclidean_200, eps=0.45)
+
+
+@pytest.fixture(scope="session")
+def doubling_navigator(euclidean_200, doubling_cover):
+    return MetricNavigator(euclidean_200, doubling_cover, 2)
+
+
+@pytest.fixture(scope="session")
+def general_120():
+    return random_graph_metric(120, seed=4)
+
+
+@pytest.fixture(scope="session")
+def ramsey_cover(general_120):
+    return ramsey_tree_cover(general_120, ell=2, seed=5)

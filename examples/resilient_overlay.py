@@ -1,0 +1,65 @@
+"""Fault-tolerant navigation: an overlay that survives node failures.
+
+Theorem 4.2's f-FT spanner keeps k-hop, low-stretch paths between every
+pair of *surviving* nodes after up to f nodes fail — the construction
+replicates every tree vertex with f+1 descendant points and bicliques
+the spanner edges (powered by the Robust Tree Cover, Theorem 4.1).
+
+This example builds a 2-fault-tolerant 3-hop overlay for a clustered
+deployment, kills random (and adversarially chosen) nodes, and shows the
+overlay still answers every query within budget.
+
+Run::
+
+    python examples/resilient_overlay.py
+"""
+
+import random
+
+from repro.metrics import clustered_points
+from repro.spanners import FaultTolerantSpanner
+from repro.treecover import robust_tree_cover
+
+
+def main():
+    n, f, k = 120, 2, 3
+    metric = clustered_points(n, clusters=6, seed=3)
+    print(f"{n} nodes in 6 data centers; tolerating f={f} failures, "
+          f"hop budget k={k}.")
+
+    cover = robust_tree_cover(metric, eps=0.45)
+    spanner = FaultTolerantSpanner(metric, f=f, k=k, cover=cover)
+    plain = FaultTolerantSpanner(metric, f=0, k=k, cover=cover)
+    print(f"FT spanner: {spanner.edge_count()} edges "
+          f"(vs {plain.edge_count()} without fault tolerance — "
+          f"the ~(f+1)^2 biclique factor of Theorem 4.2).")
+
+    rng = random.Random(0)
+    worst = 0.0
+    for trial in range(300):
+        u, v = rng.sample(range(n), 2)
+        pool = [x for x in range(n) if x not in (u, v)]
+        faults = set(rng.sample(pool, f))
+        path = spanner.find_path(u, v, faults)
+        stretch = spanner.verify_path(u, v, faults, path)
+        worst = max(worst, stretch)
+    print(f"\n300 random queries under random double faults: all delivered in "
+          f"<= {k} hops, worst stretch {worst:.2f}.")
+
+    # Adversarial scenario: fail exactly the intermediates of the
+    # fault-free path.
+    u, v = 5, 111
+    clean = spanner.find_path(u, v)
+    intermediates = [x for x in clean[1:-1]][:f]
+    if intermediates:
+        rerouted = spanner.find_path(u, v, set(intermediates))
+        print(f"\nAdversarial test: fault-free path {clean}; after failing "
+              f"{intermediates} the overlay reroutes via {rerouted} "
+              f"({len(rerouted) - 1} hops, "
+              f"stretch {spanner.verify_path(u, v, set(intermediates), rerouted):.2f}).")
+    else:
+        print(f"\nPair ({u}, {v}) is directly connected; nothing to fail.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` uses pyproject.toml; this file exists so offline
+environments without the `wheel` package can still do an editable
+install via `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

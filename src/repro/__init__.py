@@ -1,0 +1,55 @@
+"""repro — Navigating metric spaces by bounded hop-diameter spanners.
+
+A from-scratch reproduction of Kahalon, Le, Milenković and Solomon,
+"Can't See the Forest for the Trees: Navigating Metric Spaces by Bounded
+Hop-Diameter Spanners" (PODC 2022).
+
+Quick tour
+----------
+>>> from repro import TreeNavigator
+>>> from repro.graphs import random_tree
+>>> tree = random_tree(1000, seed=0)
+>>> navigator = TreeNavigator(tree, k=2)       # Theorem 1.1
+>>> path = navigator.find_path(3, 777)         # <= 2 hops, stretch 1
+>>> len(path) - 1 <= 2
+True
+
+See :mod:`repro.core` for navigation, :mod:`repro.treecover` for the
+tree cover theorems of Table 1 (including the robust tree cover of
+Theorem 4.1), :mod:`repro.routing` for the 2-hop compact routing schemes
+(Theorems 5.1/1.3/5.2), :mod:`repro.spanners` for fault tolerance
+(Theorem 4.2) and baselines, and :mod:`repro.apps` for the Section 5
+applications.
+"""
+
+from .core.ackermann import alpha_k, alpha_k_prime, inverse_ackermann
+from .io import load_cover, save_cover
+from .core.metric_navigator import MetricNavigator
+from .core.navigation import TreeNavigator
+from .spanners.fault_tolerant import FaultTolerantSpanner
+from .treecover import (
+    TreeCover,
+    few_trees_cover,
+    planar_tree_cover,
+    ramsey_tree_cover,
+    robust_tree_cover,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "alpha_k",
+    "alpha_k_prime",
+    "inverse_ackermann",
+    "MetricNavigator",
+    "TreeNavigator",
+    "FaultTolerantSpanner",
+    "TreeCover",
+    "few_trees_cover",
+    "planar_tree_cover",
+    "ramsey_tree_cover",
+    "robust_tree_cover",
+    "load_cover",
+    "save_cover",
+    "__version__",
+]

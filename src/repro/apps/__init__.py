@@ -1,0 +1,28 @@
+"""Applications of the navigation scheme (Section 5)."""
+
+from .bottleneck import BottleneckOracle, maximum_spanning_tree
+from .mst import approximate_mst, base_mst, mst_weight
+from .mst_update import MstUpdater
+from .slt import shallow_light_tree
+from .mst_verification import MstVerifier
+from .sparsify import sparsify, sparsify_report
+from .spt import approximate_spt, spt_as_graph, verify_spt
+from .tree_product import NaiveTreeProduct, OnlineTreeProduct
+
+__all__ = [
+    "BottleneckOracle",
+    "maximum_spanning_tree",
+    "MstUpdater",
+    "shallow_light_tree",
+    "approximate_mst",
+    "base_mst",
+    "mst_weight",
+    "MstVerifier",
+    "sparsify",
+    "sparsify_report",
+    "approximate_spt",
+    "spt_as_graph",
+    "verify_spt",
+    "NaiveTreeProduct",
+    "OnlineTreeProduct",
+]

@@ -1,0 +1,90 @@
+"""Approximate minimum spanning trees on a spanner (Theorem 5.5).
+
+Pipeline: (1) compute an (approximate) MST of the metric — exact
+Delaunay-based for 2-D Euclidean inputs, exact Prim otherwise (our
+substitute for Chan's O(n) approximate Euclidean MST, see DESIGN.md);
+(2) replace every MST edge by its k-hop navigated path; (3) return a
+minimum spanning tree of the union.  The result is a (1+ε)·γ-approximate
+MST that is a *subgraph of the navigation spanner*, computed in O(n·τ)
+time plus the base MST.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.metric_navigator import MetricNavigator
+from ..graphs.graph import Graph, prim_mst
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+
+__all__ = ["base_mst", "approximate_mst", "mst_weight"]
+
+
+def base_mst(metric: Metric) -> List[Tuple[int, int, float]]:
+    """An exact MST of the metric.
+
+    2-D Euclidean inputs use the classic Delaunay reduction (the MST is
+    a subgraph of the Delaunay triangulation): O(n log n).  Everything
+    else falls back to O(n²) Prim.
+    """
+    if isinstance(metric, EuclideanMetric) and metric.dim == 2 and metric.n >= 4:
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import minimum_spanning_tree
+        from scipy.spatial import Delaunay
+
+        tri = Delaunay(metric.points)
+        rows, cols, data = [], [], []
+        seen = set()
+        for simplex in tri.simplices:
+            for a in range(3):
+                u, v = int(simplex[a]), int(simplex[(a + 1) % 3])
+                key = (min(u, v), max(u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                rows.append(key[0])
+                cols.append(key[1])
+                data.append(metric.distance(*key))
+        graph = coo_matrix((data, (rows, cols)), shape=(metric.n, metric.n))
+        mst = minimum_spanning_tree(graph).tocoo()
+        return [
+            (int(u), int(v), float(w)) for u, v, w in zip(mst.row, mst.col, mst.data)
+        ]
+    return prim_mst(metric.n, metric.distance)
+
+
+def approximate_mst(navigator: MetricNavigator) -> List[Tuple[int, int, float]]:
+    """Theorem 5.5's transformation: an approximate MST inside the spanner."""
+    metric = navigator.metric
+    union = Graph(metric.n)
+    for u, v, _ in base_mst(metric):
+        path = navigator.find_path(u, v)
+        for a, b in zip(path, path[1:]):
+            union.add_edge(a, b, metric.distance(a, b))
+    # An MST of the union is still a subgraph of the spanner and weighs
+    # no more than a BFS spanning tree would.
+    edges = sorted(union.edges(), key=lambda e: e[2])
+    parent = list(range(metric.n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    result: List[Tuple[int, int, float]] = []
+    for u, v, w in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            result.append((u, v, w))
+    if len(result) != metric.n - 1:
+        raise AssertionError("navigated MST union is not connected")
+    return result
+
+
+def mst_weight(edges: List[Tuple[int, int, float]]) -> float:
+    return sum(w for _, _, w in edges)

@@ -1,0 +1,72 @@
+"""MST maintenance after an edge-cost increase — AS87's third application.
+
+When the cost of an MST edge ``e = (a, b)`` increases, the tree stays
+optimal unless some non-tree edge crossing the cut induced by removing
+``e`` is now cheaper; the best replacement is the minimum-cost non-tree
+edge whose endpoints lie on opposite sides.  "Crossing" is decided in
+O(1) per candidate with the LCA index, and the verification that the
+updated tree is again an MST reuses the k-hop path-maximum oracle
+(Section 5.6.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graphs.lca import LcaIndex
+from ..graphs.tree import Tree
+
+__all__ = ["MstUpdater"]
+
+
+class MstUpdater:
+    """Replacement-edge queries for single MST edge-cost increases."""
+
+    def __init__(self, tree: Tree, non_tree_edges: List[Tuple[int, int, float]]):
+        self.tree = tree
+        self.candidates = sorted(non_tree_edges, key=lambda e: e[2])
+        self._lca = LcaIndex(tree)
+        self.depth = tree.depths()
+
+    def _on_path(self, edge_child: int, u: int, v: int) -> bool:
+        """Is the tree edge (parent(c), c) on the u-v tree path?
+
+        True iff c is an ancestor of exactly one endpoint (and the
+        other endpoint is not below c).
+        """
+        below_u = self._lca.is_ancestor(edge_child, u)
+        below_v = self._lca.is_ancestor(edge_child, v)
+        return below_u != below_v
+
+    def replacement(
+        self, edge_child: int, new_weight: float
+    ) -> Optional[Tuple[int, int, float]]:
+        """The cheapest crossing non-tree edge beating ``new_weight``.
+
+        ``edge_child`` identifies the MST edge (parent(c), c) whose cost
+        rose to ``new_weight``.  Returns ``None`` when the tree remains
+        optimal.  O(m) candidate scan with O(1) crossing tests.
+        """
+        if self.tree.parents[edge_child] == -1:
+            raise ValueError("the root has no parent edge")
+        for u, v, w in self.candidates:
+            if w >= new_weight:
+                return None
+            if self._on_path(edge_child, u, v):
+                return (u, v, w)
+        return None
+
+    def apply(self, edge_child: int, new_weight: float) -> Tuple[Tree, bool]:
+        """The updated MST after the increase; flag = whether it changed."""
+        swap = self.replacement(edge_child, new_weight)
+        edges = []
+        for p, c, w in self.tree.edges():
+            if c == edge_child:
+                if swap is None:
+                    edges.append((p, c, new_weight))
+            else:
+                edges.append((p, c, w))
+        if swap is None:
+            return Tree.from_edges(self.tree.n, edges, root=self.tree.root), False
+        edges.append(swap)
+        return Tree.from_edges(self.tree.n, edges, root=self.tree.root), True

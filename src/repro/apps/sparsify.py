@@ -1,0 +1,62 @@
+"""Spanner sparsification (Theorem 5.3, Table 4).
+
+Given any light (but possibly dense) spanner ``G`` of a metric and a
+navigation oracle ``D_X`` (Theorem 1.2), replace every edge of ``G`` by
+the k-hop path the oracle reports; the union is a spanner whose stretch
+and lightness grow by at most the cover stretch γ while the size drops
+to ``O(n·αk(n)·ζ)`` — it becomes a *subgraph of the navigation spanner*
+``H_X``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.metric_navigator import MetricNavigator
+from ..graphs.graph import Graph
+from ..metrics.base import sample_pairs
+from ..spanners.spanner import SpannerReport, lightness, measured_stretch, sparsity
+
+__all__ = ["sparsify", "sparsify_report"]
+
+
+def sparsify(graph: Graph, navigator: MetricNavigator) -> Graph:
+    """Replace each edge of ``graph`` by its k-hop navigated path."""
+    out = Graph(graph.n)
+    for u, v, _ in graph.edges():
+        path = navigator.find_path(u, v)
+        for a, b in zip(path, path[1:]):
+            out.add_edge(a, b, navigator.metric.distance(a, b))
+    return out
+
+
+def sparsify_report(
+    graph: Graph,
+    navigator: MetricNavigator,
+    t: float,
+    pairs: Optional[list] = None,
+) -> Tuple[SpannerReport, SpannerReport, Graph]:
+    """(before, after) quality reports plus the sparsified spanner.
+
+    ``t`` is the input spanner's stretch; hop-diameters are omitted here
+    (they are the subject of E1/E3) so the reports run fast.
+    """
+    metric = navigator.metric
+    if pairs is None:
+        pairs = sample_pairs(metric.n, 200)
+    sparse = sparsify(graph, navigator)
+    before = SpannerReport(
+        edges=graph.num_edges,
+        stretch=measured_stretch(graph, metric, pairs),
+        hops=-1,
+        light=lightness(graph, metric),
+        sparse=sparsity(graph),
+    )
+    after = SpannerReport(
+        edges=sparse.num_edges,
+        stretch=measured_stretch(sparse, metric, pairs),
+        hops=-1,
+        light=lightness(sparse, metric),
+        sparse=sparsity(sparse),
+    )
+    return before, after, sparse

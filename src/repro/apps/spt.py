@@ -1,0 +1,109 @@
+"""Approximate shortest-path trees on a spanner (Theorem 5.4, Algorithm 3).
+
+The metric's SPT is a star, which is (almost surely) not a subgraph of
+any sparse spanner.  Using only the navigation oracle — no explicit
+access to the spanner — Algorithm 3 queries the k-hop path from the root
+to every vertex and relaxes its edges in root-to-leaf order, producing a
+γ-approximate SPT that *is* a subgraph of the navigation spanner, in
+O(n·τ) time (τ = one navigation query).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..core.metric_navigator import MetricNavigator
+from ..graphs.graph import Graph
+
+__all__ = ["approximate_spt", "verify_spt"]
+
+
+def approximate_spt(
+    navigator: MetricNavigator, root: int
+) -> Tuple[List[int], List[float]]:
+    """Algorithm 3: returns (parent array, distance array) of the tree.
+
+    ``parent[root] == -1``; ``dist[v]`` is the tree distance from the
+    root, at most γ·δ(root, v).
+    """
+    metric = navigator.metric
+    n = metric.n
+    parent = [-1] * n
+    dist = [math.inf] * n
+    dist[root] = 0.0
+
+    def relax(u: int, v: int) -> None:
+        weight = metric.distance(u, v)
+        if dist[u] + weight < dist[v]:
+            dist[v] = dist[u] + weight
+            parent[v] = u
+
+    for v in range(n):
+        if v == root:
+            continue
+        path = navigator.find_path(root, v)
+        for a, b in zip(path, path[1:]):
+            relax(a, b)
+    return parent, dist
+
+
+def verify_spt(
+    navigator: MetricNavigator, root: int, parent: List[int], dist: List[float], gamma: float
+) -> None:
+    """Assert Claims 5.1-5.3: T is a tree, dist is consistent, stretch <= γ."""
+    metric = navigator.metric
+    n = metric.n
+    # Tree shape: exactly one root, everything reaches it.
+    assert parent[root] == -1
+    for v in range(n):
+        hops = 0
+        u = v
+        while u != root:
+            u = parent[u]
+            hops += 1
+            assert hops <= n, f"cycle through vertex {v}"
+    # Claim 5.2's invariant (an inequality: a parent's label may drop
+    # after its children were attached) and Claim 5.3's γ guarantee on
+    # the *tree* distances.
+    edges = navigator.spanner_edges()
+    tree_dist = [0.0] * n
+    for v in _root_first_order(parent, root):
+        if v == root:
+            continue
+        u = parent[v]
+        key = (u, v) if u < v else (v, u)
+        assert key in edges, f"SPT edge ({u}, {v}) not in the spanner"
+        weight = metric.distance(u, v)
+        tree_dist[v] = tree_dist[u] + weight
+        assert dist[u] + weight <= dist[v] + 1e-6 * max(1.0, dist[v]), (
+            f"label invariant violated at edge ({u}, {v})"
+        )
+        assert tree_dist[v] <= dist[v] + 1e-6 * max(1.0, dist[v])
+        base = metric.distance(root, v)
+        assert tree_dist[v] <= gamma * base + 1e-6, (
+            f"SPT distance {tree_dist[v]} to {v} exceeds {gamma} x {base}"
+        )
+
+
+def _root_first_order(parent: List[int], root: int) -> List[int]:
+    """Vertices ordered so every parent precedes its children."""
+    children: List[List[int]] = [[] for _ in parent]
+    for v, p in enumerate(parent):
+        if p != -1:
+            children[p].append(v)
+    order = [root]
+    index = 0
+    while index < len(order):
+        order.extend(children[order[index]])
+        index += 1
+    return order
+
+
+def spt_as_graph(parent: List[int], metric) -> Graph:
+    """The SPT as a graph (for lightness and other measurements)."""
+    g = Graph(len(parent))
+    for v, p in enumerate(parent):
+        if p != -1:
+            g.add_edge(p, v, metric.distance(p, v))
+    return g

@@ -1,0 +1,161 @@
+"""Online tree product queries (Theorem 5.6).
+
+A tree's edges carry elements of a semigroup ``(S, ∘)``; a query asks
+for the product of the elements along the path between two vertices.
+The navigation spanner answers with ``k - 1`` semigroup operations per
+query: every spanner edge stores the precomputed product of the tree
+path it shortcuts (in both directions — the semigroup need not be
+commutative), and a query folds the ``<= k`` per-edge products of its
+navigated path.
+
+Per-edge products are precomputed with binary-lifting jump products:
+``O(n log n)`` preprocessing operations — within a log factor of the
+paper's ``O(n·αk(n))`` bound (the query-operation count, which is the
+theorem's headline, is exact; see DESIGN.md).
+
+:class:`NaiveTreeProduct` is the baseline that walks the tree path edge
+by edge (``hop-distance - 1`` operations, up to Θ(n)); the AS87 bound of
+``2k - 1`` operations at equal size (Remark 5.4) is reported analytically
+in the E9 bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.navigation import TreeNavigator
+from ..graphs.tree import Tree
+from ..util.counting import CountingSemigroup
+
+__all__ = ["OnlineTreeProduct", "NaiveTreeProduct"]
+
+
+class _JumpProducts:
+    """Binary-lifting path products over a tree (both directions)."""
+
+    def __init__(self, tree: Tree, values: Sequence, op: Callable):
+        self.tree = tree
+        self.op = op
+        self.depth = tree.depths()
+        n = tree.n
+        levels = max(1, (max(self.depth) + 1).bit_length())
+        # up[j][v]  = product of edge values walking 2^j steps from v toward the root
+        # down[j][v] = the same walk's product read in the other direction
+        self._anc = [list(tree.parents)]
+        self._up = [list(values)]
+        self._down = [list(values)]
+        for j in range(1, levels):
+            anc_prev = self._anc[j - 1]
+            up_prev = self._up[j - 1]
+            down_prev = self._down[j - 1]
+            anc = [-1] * n
+            up = [None] * n
+            down = [None] * n
+            for v in range(n):
+                mid = anc_prev[v]
+                if mid == -1 or anc_prev[mid] == -1:
+                    continue
+                anc[v] = anc_prev[mid]
+                up[v] = op(up_prev[v], up_prev[mid])
+                down[v] = op(down_prev[mid], down_prev[v])
+            self._anc.append(anc)
+            self._up.append(up)
+            self._down.append(down)
+
+    def climb(self, v: int, steps: int) -> Tuple[Optional[object], Optional[object]]:
+        """(upward product, downward product) of the ``steps``-edge walk
+        from ``v`` toward the root; (None, None) for zero steps."""
+        up = down = None
+        j = 0
+        while steps:
+            if steps & 1:
+                seg_up = self._up[j][v]
+                seg_down = self._down[j][v]
+                up = seg_up if up is None else self.op(up, seg_up)
+                down = seg_down if down is None else self.op(seg_down, down)
+                v = self._anc[j][v]
+            steps >>= 1
+            j += 1
+        return up, down
+
+    def path_product(self, u: int, v: int, lca: int):
+        """Product along the path u -> v through their LCA; None if u == v."""
+        up, _ = self.climb(u, self.depth[u] - self.depth[lca])
+        _, down = self.climb(v, self.depth[v] - self.depth[lca])
+        if up is None:
+            return down
+        if down is None:
+            return up
+        return self.op(up, down)
+
+
+class OnlineTreeProduct:
+    """k-1 operation online tree products via the navigation spanner.
+
+    Parameters
+    ----------
+    tree:
+        The vertex tree; ``values[v]`` is the semigroup element on the
+        edge ``(parent(v), v)`` (the root's entry is ignored).
+    k:
+        The hop-diameter of the underlying navigable spanner.
+    op:
+        The associative operation.  Wrap it in a
+        :class:`~repro.util.counting.CountingSemigroup` to audit the
+        operation counts; preprocessing and queries share the wrapper.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        k: int,
+        op: Callable,
+        values: Sequence,
+        navigator: Optional[TreeNavigator] = None,
+    ):
+        self.tree = tree
+        self.op = op
+        self.navigator = navigator if navigator is not None else TreeNavigator(tree, k)
+        self.k = self.navigator.k
+        jumps = _JumpProducts(tree, values, op)
+        lca = self.navigator.metric
+        #: edge_products[(a, b)] = product along the tree path a -> b,
+        #: stored for both orientations of every spanner edge.
+        self.edge_products: Dict[Tuple[int, int], object] = {}
+        for (a, b) in self.navigator.edges:
+            w = lca.lca(a, b)
+            self.edge_products[(a, b)] = jumps.path_product(a, b, w)
+            self.edge_products[(b, a)] = jumps.path_product(b, a, w)
+
+    def query(self, u: int, v: int):
+        """Product along the u-v tree path, in at most k-1 operations."""
+        if u == v:
+            raise ValueError("tree product of an empty path is undefined")
+        path = self.navigator.find_path(u, v)
+        result = self.edge_products[(path[0], path[1])]
+        for a, b in zip(path[1:], path[2:]):
+            result = self.op(result, self.edge_products[(a, b)])
+        return result
+
+
+class NaiveTreeProduct:
+    """Baseline: walk the tree path, one operation per extra edge."""
+
+    def __init__(self, tree: Tree, op: Callable, values: Sequence):
+        self.tree = tree
+        self.op = op
+        self.values = list(values)
+        self.depth = tree.depths()
+
+    def query(self, u: int, v: int):
+        if u == v:
+            raise ValueError("tree product of an empty path is undefined")
+        path = self.tree.path(u, v)
+        pieces: List[object] = []
+        for a, b in zip(path, path[1:]):
+            child = b if self.depth[b] > self.depth[a] else a
+            pieces.append(self.values[child])
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = self.op(result, piece)
+        return result

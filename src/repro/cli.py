@@ -1,0 +1,150 @@
+"""Command-line interface: build, navigate and route on generated instances.
+
+Examples::
+
+    python -m repro navigate --family euclidean --n 300 --k 3 --queries 5
+    python -m repro route    --family general   --n 150 --queries 10
+    python -m repro tree     --n 2000 --k 2 --queries 5
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List
+
+from . import __version__
+from .core import MetricNavigator, TreeNavigator
+from .graphs import random_tree
+from .metrics import (
+    Metric,
+    delaunay_metric,
+    random_graph_metric,
+    random_points,
+)
+from .routing import MetricRoutingScheme
+from .treecover import planar_tree_cover, ramsey_tree_cover, robust_tree_cover
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_metric(family: str, n: int, seed: int) -> Metric:
+    if family == "euclidean":
+        return random_points(n, dim=2, seed=seed)
+    if family == "general":
+        return random_graph_metric(n, seed=seed)
+    if family == "planar":
+        return delaunay_metric(n, seed=seed)
+    raise ValueError(f"unknown metric family {family!r}")
+
+
+def _make_cover(family: str, metric: Metric, eps: float, ell: int, seed: int):
+    if family == "euclidean":
+        return robust_tree_cover(metric, eps=eps)
+    if family == "general":
+        return ramsey_tree_cover(metric, ell=ell, seed=seed)
+    return planar_tree_cover(metric)
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    tree = random_tree(args.n, seed=args.seed)
+    start = time.perf_counter()
+    navigator = TreeNavigator(tree, args.k)
+    print(f"built k={args.k} navigator for n={args.n}: "
+          f"{navigator.num_edges} edges in {time.perf_counter() - start:.2f}s")
+    rng = random.Random(args.seed)
+    for _ in range(args.queries):
+        u, v = rng.sample(range(args.n), 2)
+        path = navigator.find_path(u, v)
+        print(f"  {u} -> {v}: {len(path) - 1} hops via {path}")
+    return 0
+
+
+def cmd_navigate(args: argparse.Namespace) -> int:
+    metric = _make_metric(args.family, args.n, args.seed)
+    start = time.perf_counter()
+    cover = _make_cover(args.family, metric, args.eps, args.ell, args.seed)
+    navigator = MetricNavigator(metric, cover, args.k)
+    print(f"{args.family} n={args.n}: cover of {cover.size} trees, "
+          f"spanner H_X with {navigator.num_edges} edges "
+          f"({time.perf_counter() - start:.1f}s)")
+    rng = random.Random(args.seed)
+    for _ in range(args.queries):
+        u, v = rng.sample(range(args.n), 2)
+        hops, stretch = navigator.query_stretch(u, v)
+        print(f"  {u} -> {v}: {hops} hops, stretch {stretch:.3f}, "
+              f"path {navigator.find_path(u, v)}")
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    metric = _make_metric(args.family, args.n, args.seed)
+    cover = _make_cover(args.family, metric, args.eps, args.ell, args.seed)
+    scheme = MetricRoutingScheme(metric, cover, seed=args.seed)
+    label_bits = max(scheme.label_size_bits(p) for p in range(args.n))
+    table_bits = max(scheme.table_size_bits(p) for p in range(args.n))
+    print(f"{args.family} n={args.n}: ζ={cover.size}, labels <= {label_bits} bits, "
+          f"tables <= {table_bits} bits")
+    rng = random.Random(args.seed)
+    for _ in range(args.queries):
+        u, v = rng.sample(range(args.n), 2)
+        result = scheme.route(u, v)
+        base = metric.distance(u, v)
+        stretch = result.weight / base if base else 1.0
+        print(f"  {u} -> {v}: {result.hops} hops via {result.path}, "
+              f"stretch {stretch:.3f}")
+    return 0
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} — bounded hop-diameter spanner navigation "
+          "(PODC 2022 reproduction)")
+    print("subsystems: core (Thm 1.1/1.2), treecover (Table 1, Thm 4.1), "
+          "spanners (Thm 4.2 + baselines),")
+    print("            routing (Thm 5.1/1.3/5.2), apps (Section 5), "
+          "graphs/metrics substrates")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tree = sub.add_parser("tree", help="navigate a random tree metric")
+    tree.add_argument("--n", type=int, default=1000)
+    tree.add_argument("--k", type=int, default=2)
+    tree.add_argument("--queries", type=int, default=5)
+    tree.add_argument("--seed", type=int, default=0)
+    tree.set_defaults(func=cmd_tree)
+
+    for name, func, help_text in (
+        ("navigate", cmd_navigate, "k-hop navigation on a metric space"),
+        ("route", cmd_route, "2-hop compact routing on a metric space"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--family", choices=["euclidean", "general", "planar"],
+                         default="euclidean")
+        cmd.add_argument("--n", type=int, default=200)
+        cmd.add_argument("--k", type=int, default=2)
+        cmd.add_argument("--eps", type=float, default=0.45)
+        cmd.add_argument("--ell", type=int, default=2)
+        cmd.add_argument("--queries", type=int, default=5)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.set_defaults(func=func)
+
+    info = sub.add_parser("info", help="version and subsystem inventory")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

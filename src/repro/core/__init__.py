@@ -1,0 +1,30 @@
+"""The paper's core: Ackermann inverses, Solomon 1-spanners, navigation."""
+
+from .ackermann import (
+    ackermann_a,
+    ackermann_b,
+    alpha_k,
+    alpha_k_prime,
+    inverse_ackermann,
+    pettie_lambda,
+)
+from .decompose import WorkTree, decompose, decompose_centroid, prune, split_components
+from .metric_navigator import MetricNavigator
+from .navigation import TreeNavigator, dedup_path
+
+__all__ = [
+    "ackermann_a",
+    "ackermann_b",
+    "alpha_k",
+    "alpha_k_prime",
+    "inverse_ackermann",
+    "pettie_lambda",
+    "WorkTree",
+    "decompose",
+    "decompose_centroid",
+    "prune",
+    "split_components",
+    "MetricNavigator",
+    "TreeNavigator",
+    "dedup_path",
+]

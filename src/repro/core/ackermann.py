@@ -1,0 +1,156 @@
+"""Ackermann-style functions and their functional inverses.
+
+This module implements the rapidly-growing functions ``A(k, n)`` and
+``B(k, n)`` from Definition 2.1 of the paper, their functional inverses
+``alpha_k`` (Definition 2.2), the variant ``alpha_k'`` used by Solomon's
+1-spanner construction (Definition 2.3), the one-parameter inverse
+Ackermann function ``alpha(n)``, and Pettie's row inverse ``lambda_i``
+(Section 2.2).
+
+All inverses are computed without ever materializing astronomically large
+values of ``A``/``B``: the search for ``min{s : A(k, s) >= n}`` walks ``s``
+upward and evaluates ``A(k, s)`` with early cutoff at ``n``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "ackermann_a",
+    "ackermann_b",
+    "alpha_k",
+    "alpha_k_prime",
+    "inverse_ackermann",
+    "pettie_lambda",
+]
+
+
+def _a_capped(k: int, n: int, cap: int) -> int:
+    """Evaluate ``A(k, n)`` but return ``cap`` as soon as the value reaches it.
+
+    ``A(0, n) = 2n``; ``A(k, 0) = 1``; ``A(k, n) = A(k-1, A(k, n-1))``.
+    The cap keeps every intermediate value at most ``cap`` so the recursion
+    terminates quickly even though ``A`` is not primitive recursive.
+    """
+    if k == 0:
+        return min(2 * n, cap)
+    value = 1  # A(k, 0)
+    for _ in range(n):
+        value = _a_capped(k - 1, value, cap)
+        if value >= cap:
+            return cap
+    return value
+
+
+def _b_capped(k: int, n: int, cap: int) -> int:
+    """Evaluate ``B(k, n)`` with early cutoff at ``cap``.
+
+    ``B(0, n) = n^2``; ``B(k, 0) = 2``; ``B(k, n) = B(k-1, B(k, n-1))``.
+    """
+    if k == 0:
+        return min(n * n, cap)
+    value = 2  # B(k, 0)
+    for _ in range(n):
+        value = _b_capped(k - 1, value, cap)
+        if value >= cap:
+            return cap
+    return value
+
+
+def ackermann_a(k: int, n: int, cap: int = 10**30) -> int:
+    """The function ``A(k, n)`` of Definition 2.1, saturating at ``cap``."""
+    if k < 0 or n < 0:
+        raise ValueError("ackermann_a requires k >= 0 and n >= 0")
+    return _a_capped(k, n, cap)
+
+
+def ackermann_b(k: int, n: int, cap: int = 10**30) -> int:
+    """The function ``B(k, n)`` of Definition 2.1, saturating at ``cap``."""
+    if k < 0 or n < 0:
+        raise ValueError("ackermann_b requires k >= 0 and n >= 0")
+    return _b_capped(k, n, cap)
+
+
+@lru_cache(maxsize=None)
+def alpha_k(k: int, n: int) -> int:
+    """The inverse ``alpha_k(n)`` of Definition 2.2.
+
+    ``alpha_{2k}(n) = min{s >= 0 : A(k, s) >= n}`` and
+    ``alpha_{2k+1}(n) = min{s >= 0 : B(k, s) >= n}``.
+
+    Concretely: ``alpha_0(n) = ceil(n/2)``, ``alpha_1(n) = ceil(sqrt(n))``,
+    ``alpha_2(n) = ceil(log2 n)``, ``alpha_3(n) = ceil(log2 log2 n)``,
+    ``alpha_4(n) = log* n``, and so on.
+    """
+    if k < 0:
+        raise ValueError("alpha_k requires k >= 0")
+    if n < 0:
+        raise ValueError("alpha_k requires n >= 0")
+    half, odd = divmod(k, 2)
+    evaluate = _b_capped if odd else _a_capped
+    s = 0
+    while evaluate(half, s, n) < n:
+        s += 1
+    return s
+
+
+@lru_cache(maxsize=None)
+def alpha_k_prime(k: int, n: int) -> int:
+    """The variant ``alpha_k'(n)`` of Definition 2.3 used by the spanner.
+
+    ``alpha_k' = alpha_k`` for ``k <= 1`` and for ``n <= k + 1``;
+    otherwise ``alpha_k'(n) = 2 + alpha_k'(alpha_{k-2}'(n))``.
+    Satisfies ``alpha_k(n) <= alpha_k'(n) <= 2 alpha_k(n) + 4``.
+    """
+    if k < 0 or n < 0:
+        raise ValueError("alpha_k_prime requires k >= 0 and n >= 0")
+    if k <= 1 or n <= k + 1:
+        return alpha_k(k, n)
+    inner = alpha_k_prime(k - 2, n)
+    # The recursion strictly decreases n: alpha'_{k-2}(n) < n for n >= k + 2.
+    if inner >= n:
+        inner = n - 1
+    return 2 + alpha_k_prime(k, inner)
+
+
+def inverse_ackermann(n: int) -> int:
+    """The one-parameter inverse Ackermann ``alpha(n) = min{s : A(s, s) >= n}``."""
+    if n < 0:
+        raise ValueError("inverse_ackermann requires n >= 0")
+    s = 0
+    while _a_capped(s, s, n) < n:
+        s += 1
+    return s
+
+
+def pettie_lambda(i: int, n: int) -> int:
+    """Pettie's row inverse ``lambda_i(n) = min{j : P(i, j) >= n}`` (Section 2.2).
+
+    ``P(1, j) = 2^j``; ``P(i, 0) = P(i-1, 1)``;
+    ``P(i, j) = P(i-1, 2^(2^P(i, j-1)))``.
+    """
+    if i < 1:
+        raise ValueError("pettie_lambda requires i >= 1")
+    if n < 0:
+        raise ValueError("pettie_lambda requires n >= 0")
+
+    def p_capped(row: int, j: int, cap: int) -> int:
+        if row == 1:
+            if j >= cap.bit_length():
+                return cap
+            return min(2**j, cap)
+        value = p_capped(row - 1, 1, cap)  # P(row, 0)
+        for _ in range(j):
+            if value >= cap.bit_length().bit_length():
+                # 2^(2^value) already exceeds any sane cap.
+                return cap
+            value = p_capped(row - 1, 2 ** (2**value), cap)
+            if value >= cap:
+                return cap
+        return value
+
+    j = 0
+    while p_capped(i, j, n) < n:
+        j += 1
+    return j

@@ -1,0 +1,216 @@
+"""The ``Prune`` and ``Decompose`` procedures of Solomon's construction.
+
+Both operate on :class:`WorkTree`, a lightweight rooted-tree view whose
+vertices are *original* vertex ids — the recursion of Algorithm 1
+constantly forms subtrees and pruned copies, and keeping original ids
+everywhere means spanner edges and reported paths never need
+translation.
+
+* :func:`prune` (Section 3.2 of [Sol13], as used in line 2 of the
+  paper's Algorithm 1): keeps the required vertices plus the branching
+  vertices of their Steiner closure, at most ``|R| - 1`` Steiner
+  vertices, preserving ancestor order (hence T-monotonicity).
+* :func:`decompose` (line 4): returns cut vertices ``CV`` such that
+  every connected component of ``T \\ CV`` contains at most ``ell``
+  required vertices; a single (centroid) cut for ``ell >= ceil(n/2)``,
+  at most ``|V|/(ell+1)`` cuts in general (Lemma 3.1).
+* :func:`split_components`: the components ``T1..Tp`` of ``T \\ CV``
+  together with their border cut vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "WorkTree",
+    "prune",
+    "decompose",
+    "decompose_centroid",
+    "split_components",
+]
+
+
+class WorkTree:
+    """A rooted tree over original vertex ids (no weights).
+
+    ``parent[root] == -1``.  Children lists preserve insertion order so
+    traversals are deterministic.
+    """
+
+    __slots__ = ("parent", "children", "root")
+
+    def __init__(self, parent: Dict[int, int], root: int):
+        self.parent = parent
+        self.root = root
+        self.children: Dict[int, List[int]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if p != -1:
+                self.children[p].append(v)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def vertices(self) -> Iterable[int]:
+        return self.parent.keys()
+
+    def preorder(self) -> List[int]:
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(reversed(self.children[v]))
+        return order
+
+    def postorder(self) -> List[int]:
+        return list(reversed(self.preorder()))
+
+    @classmethod
+    def from_tree(cls, tree) -> "WorkTree":
+        """View a :class:`repro.graphs.tree.Tree` as a WorkTree."""
+        parent = {v: tree.parents[v] for v in range(tree.n)}
+        return cls(parent, tree.root)
+
+
+def prune(wt: WorkTree, required: Set[int]) -> WorkTree:
+    """The Steiner-closure pruning of [Sol13].
+
+    Returns a new WorkTree containing every required vertex plus every
+    vertex with at least two children subtrees that contain required
+    vertices (branching vertices).  The root of the result is the
+    highest kept vertex; parent pointers connect each kept vertex to its
+    nearest kept proper ancestor, so paths in the result are subpaths
+    (in vertex order) of paths in ``wt``.
+    """
+    if not required:
+        raise ValueError("prune needs at least one required vertex")
+    # has_req[v]: does the subtree of v contain a required vertex?
+    has_req: Dict[int, bool] = {}
+    for v in wt.postorder():
+        flag = v in required
+        for c in wt.children[v]:
+            flag = flag or has_req[c]
+        has_req[v] = flag
+
+    keep: Set[int] = set()
+    for v in wt.vertices():
+        if v in required:
+            keep.add(v)
+            continue
+        busy_children = sum(1 for c in wt.children[v] if has_req[c])
+        if busy_children >= 2:
+            keep.add(v)
+
+    # Preorder pass threading the nearest kept ancestor downward.
+    new_parent: Dict[int, int] = {}
+    nearest_kept: Dict[int, int] = {}
+    new_root = -1
+    for v in wt.preorder():
+        p = wt.parent[v]
+        anc = nearest_kept.get(p, -1) if p != -1 else -1
+        if v in keep:
+            new_parent[v] = anc
+            if anc == -1:
+                new_root = v
+            nearest_kept[v] = v
+        else:
+            nearest_kept[v] = anc
+    # Exactly one kept vertex has no kept ancestor: the closure root.
+    roots = [v for v, p in new_parent.items() if p == -1]
+    if len(roots) != 1:
+        raise AssertionError(f"prune produced {len(roots)} roots")
+    return WorkTree(new_parent, new_root)
+
+
+def decompose(wt: WorkTree, required: Set[int], ell: int) -> List[int]:
+    """Greedy postorder cut-vertex selection (the ``Decompose`` procedure).
+
+    Accumulates required counts bottom-up and cuts a vertex whenever its
+    pending count would exceed ``ell``; each component of ``wt`` minus
+    the cut set then holds at most ``ell`` required vertices.
+    """
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    cuts: List[int] = []
+    pending: Dict[int, int] = {}
+    for v in wt.postorder():
+        count = 1 if v in required else 0
+        for c in wt.children[v]:
+            count += pending[c]
+        if count > ell:
+            cuts.append(v)
+            count = 0
+        pending[v] = count
+    return cuts
+
+
+def decompose_centroid(wt: WorkTree, required: Set[int], ell: int) -> List[int]:
+    """Ablation variant of :func:`decompose`: recursive centroid cutting.
+
+    Repeatedly removes the required-weight centroid of every component
+    still holding more than ``ell`` required vertices.  Produces the
+    same component guarantee as the greedy cutter with (empirically)
+    similar cut counts; kept for the E1 ablation bench.
+    """
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    cuts: List[int] = []
+    pending = [wt]
+    while pending:
+        piece = pending.pop()
+        req_here = [v for v in piece.vertices() if v in required]
+        if len(req_here) <= ell:
+            continue
+        centroid = decompose(piece, set(req_here), max((len(req_here) + 1) // 2, 1))
+        # The greedy cutter with ell = ceil(n/2) yields exactly one cut:
+        # the required-weight centroid of the piece.
+        cut = centroid[0]
+        cuts.append(cut)
+        components, _, _ = split_components(piece, [cut])
+        pending.extend(components)
+    return cuts
+
+
+def split_components(
+    wt: WorkTree, cuts: Sequence[int]
+) -> Tuple[List[WorkTree], List[Set[int]], Dict[int, int]]:
+    """Components of ``wt`` minus the cut vertices, with border sets.
+
+    Returns ``(components, borders, comp_of)`` where ``borders[i]`` is
+    the set of cut vertices adjacent (in ``wt``) to component ``i`` and
+    ``comp_of`` maps every non-cut vertex to its component index.
+    """
+    cut_set = set(cuts)
+    comp_of: Dict[int, int] = {}
+    components: List[WorkTree] = []
+    borders: List[Set[int]] = []
+    for v in wt.preorder():
+        if v in cut_set:
+            continue
+        p = wt.parent[v]
+        if p == -1 or p in cut_set:
+            # v starts a new component; collect its subtree, stopping at cuts.
+            index = len(components)
+            parent: Dict[int, int] = {v: -1}
+            comp_of[v] = index
+            stack = [v]
+            while stack:
+                u = stack.pop()
+                for c in wt.children[u]:
+                    if c in cut_set:
+                        continue
+                    parent[c] = u
+                    comp_of[c] = index
+                    stack.append(c)
+            components.append(WorkTree(parent, v))
+            borders.append(set())
+
+    for c in cut_set:
+        p = wt.parent[c]
+        if p != -1 and p not in cut_set:
+            borders[comp_of[p]].add(c)
+        for child in wt.children[c]:
+            if child not in cut_set:
+                borders[comp_of[child]].add(c)
+    return components, borders, comp_of

@@ -1,0 +1,156 @@
+"""Two-step navigation on metric spaces (Theorem 1.2).
+
+Given any metric that admits a ``(γ, ζ)``-tree cover, build one
+navigable 1-spanner per tree (Theorem 1.1) and answer a query
+``(u, v)`` by (1) picking the tree that approximates the pair best —
+O(1) via the home tree for Ramsey covers, an O(ζ) scan of per-tree O(1)
+distance oracles otherwise — and (2) running the O(k) tree navigation
+inside it.  The union of all per-tree spanner edges, mapped back to
+metric points through the vertices' representative points, is a
+γ-spanner ``H_X`` with hop-diameter ``k`` and ``O(n·αk(n)·ζ)`` edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs.graph import Graph
+from ..metrics.base import Metric
+from ..treecover.base import TreeCover
+from .navigation import TreeNavigator, dedup_path
+
+__all__ = ["MetricNavigator"]
+
+
+class MetricNavigator:
+    """Navigable k-hop spanner over a metric space with a tree cover.
+
+    Parameters
+    ----------
+    metric:
+        The underlying metric space.
+    cover:
+        A (γ, ζ)-tree cover of it (any construction from
+        :mod:`repro.treecover`).
+    k:
+        Hop-diameter parameter (>= 2) passed to every per-tree
+        navigator.
+    """
+
+    def __init__(self, metric: Metric, cover: TreeCover, k: int):
+        self.metric = metric
+        self.cover = cover
+        self.k = k
+        self.navigators: List[TreeNavigator] = []
+        for cover_tree in cover.trees:
+            required = list(cover_tree.vertex_of_point)
+            self.navigators.append(
+                TreeNavigator(cover_tree.tree, k, required=required)
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def find_path(self, u: int, v: int) -> List[int]:
+        """A <= k hop path between metric points, as point ids.
+
+        The path's weight (sum of metric distances of consecutive
+        points) is at most the cover stretch γ times δ(u, v).
+        """
+        path, _ = self.find_path_with_tree(u, v)
+        return path
+
+    def find_path_with_tree(self, u: int, v: int) -> Tuple[List[int], int]:
+        """Like :meth:`find_path` but also reports the tree used."""
+        if u == v:
+            return [u], -1
+        index, _ = self.cover.best_tree(u, v)
+        cover_tree = self.cover.trees[index]
+        vertex_path = self.navigators[index].find_path(
+            cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
+        )
+        points = dedup_path([cover_tree.rep_point[x] for x in vertex_path])
+        return points, index
+
+    def approx_distance(self, u: int, v: int) -> float:
+        """A γ-approximate distance without reporting the path.
+
+        O(1) with a Ramsey cover, O(ζ) otherwise — the distance-oracle
+        view the paper contrasts with (Question 1.2): unlike [MN06]-style
+        oracles, the matching path is always available via
+        :meth:`find_path` and lives on the spanner.
+        """
+        if u == v:
+            return 0.0
+        return self.cover.best_tree(u, v)[1]
+
+    def path_weight(self, path: List[int]) -> float:
+        """Metric weight of a reported point path."""
+        return sum(self.metric.distance(a, b) for a, b in zip(path, path[1:]))
+
+    def query_stretch(self, u: int, v: int) -> Tuple[int, float]:
+        """(hops, stretch) of the reported path for one pair."""
+        path = self.find_path(u, v)
+        base = self.metric.distance(u, v)
+        stretch = self.path_weight(path) / base if base > 0 else 1.0
+        return len(path) - 1, stretch
+
+    # ------------------------------------------------------------------
+    # The spanner H_X
+
+    def spanner_edges(self) -> Dict[Tuple[int, int], float]:
+        """Edges of ``H_X`` as point pairs with metric weights."""
+        edges: Dict[Tuple[int, int], float] = {}
+        for index, navigator in enumerate(self.navigators):
+            rep = self.cover.trees[index].rep_point
+            for (a, b) in navigator.edges:
+                pa, pb = rep[a], rep[b]
+                if pa == pb:
+                    continue
+                key = (pa, pb) if pa < pb else (pb, pa)
+                if key not in edges:
+                    edges[key] = self.metric.distance(pa, pb)
+        return edges
+
+    def spanner(self) -> Graph:
+        """``H_X`` as a weighted graph on the metric's points."""
+        g = Graph(self.metric.n)
+        for (a, b), w in self.spanner_edges().items():
+            g.add_edge(a, b, w)
+        return g
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.spanner_edges())
+
+    # ------------------------------------------------------------------
+    # Verification
+
+    def verify_query(self, u: int, v: int, gamma: Optional[float] = None) -> None:
+        """Assert hop and stretch guarantees for one query.
+
+        The path must (a) start and end correctly, (b) respect the hop
+        budget, (c) consist of spanner edges, (d) weigh no more than the
+        best cover-tree distance for the pair (which in turn is at most
+        γ·δ(u, v) if ``gamma`` is the cover's stretch on this pair).
+        """
+        path = self.find_path(u, v)
+        assert path[0] == u and path[-1] == v, "endpoints mismatch"
+        assert len(path) - 1 <= self.k, (
+            f"path for ({u}, {v}) has {len(path) - 1} hops, budget {self.k}"
+        )
+        edges = self.spanner_edges()
+        for a, b in zip(path, path[1:]):
+            key = (a, b) if a < b else (b, a)
+            assert key in edges, f"hop ({a}, {b}) is not a spanner edge"
+        base = self.metric.distance(u, v)
+        if base > 0:
+            weight = self.path_weight(path)
+            _, best = self.cover.best_tree(u, v)
+            assert weight <= best + 1e-6 * max(1.0, best), (
+                f"path weight {weight} exceeds the tree distance {best}"
+            )
+            if gamma is not None:
+                assert weight <= gamma * base + 1e-6, (
+                    f"path weight {weight} exceeds {gamma} x {base}"
+                )

@@ -1,0 +1,29 @@
+"""Tree and graph substrates: trees, LCA, level ancestors, weighted graphs."""
+
+from .graph import Graph, bfs_hops, dijkstra, prim_mst
+from .lca import LcaIndex
+from .level_ancestor import LadderLevelAncestor, LiftingLevelAncestor
+from .tree import (
+    Tree,
+    balanced_tree,
+    caterpillar_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_hops",
+    "dijkstra",
+    "prim_mst",
+    "LcaIndex",
+    "LadderLevelAncestor",
+    "LiftingLevelAncestor",
+    "Tree",
+    "balanced_tree",
+    "caterpillar_tree",
+    "path_tree",
+    "random_tree",
+    "star_tree",
+]

@@ -1,0 +1,154 @@
+"""Weighted undirected graphs and classical algorithms on them.
+
+This is the substrate used to *evaluate* spanners: Dijkstra for stretch,
+BFS for hop counts, Prim for minimum spanning trees, plus the spanner
+quality measures (stretch, hop-diameter, lightness, sparsity) the paper
+cares about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Graph", "prim_mst", "dijkstra", "bfs_hops"]
+
+
+class Graph:
+    """An undirected weighted graph on vertices ``0 .. n-1``.
+
+    Parallel edges are collapsed to the minimum weight; self loops are
+    ignored.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("graph needs at least one vertex")
+        self.n = n
+        self.adj: List[Dict[int, float]] = [dict() for _ in range(n)]
+
+    def add_edge(self, u: int, v: int, w: float) -> None:
+        """Add (or relax) the undirected edge ``(u, v)`` of weight ``w``."""
+        if u == v:
+            return
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        if w < 0:
+            raise ValueError("edge weights must be non-negative")
+        current = self.adj[u].get(v)
+        if current is None or w < current:
+            self.adj[u][v] = w
+            self.adj[v][u] = w
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adj[u]
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``."""
+        for u in range(self.n):
+            for v, w in self.adj[u].items():
+                if u < v:
+                    yield u, v, w
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(a) for a in self.adj) // 2
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self.edges())
+
+    def degree(self, v: int) -> int:
+        return len(self.adj[v])
+
+    def max_degree(self) -> int:
+        return max(len(a) for a in self.adj)
+
+    def union(self, other: "Graph") -> "Graph":
+        """A new graph containing the edges of both operands."""
+        if other.n != self.n:
+            raise ValueError("graphs must share a vertex set")
+        out = Graph(self.n)
+        for u, v, w in self.edges():
+            out.add_edge(u, v, w)
+        for u, v, w in other.edges():
+            out.add_edge(u, v, w)
+        return out
+
+    # ------------------------------------------------------------------
+    # Quality measures used throughout the paper
+
+    def path_weight(self, path: Sequence[int]) -> float:
+        """Total weight of a vertex path; raises if a hop is not an edge."""
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            if v not in self.adj[u]:
+                raise ValueError(f"({u}, {v}) is not an edge of the graph")
+            total += self.adj[u][v]
+        return total
+
+
+def dijkstra(
+    graph: Graph, source: int, target: Optional[int] = None
+) -> "float | List[float]":
+    """Single-source shortest paths; returns one distance if ``target`` given."""
+    dist = [math.inf] * graph.n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if target is not None and u == target:
+            return d
+        for v, w in graph.adj[u].items():
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    if target is not None:
+        return dist[target]
+    return dist
+
+
+def bfs_hops(graph: Graph, source: int) -> List[int]:
+    """Hop distance (number of edges) from ``source`` to every vertex."""
+    hops = [-1] * graph.n
+    hops[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.adj[u]:
+                if hops[v] == -1:
+                    hops[v] = hops[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return hops
+
+
+def prim_mst(n: int, distance) -> List[Tuple[int, int, float]]:
+    """Prim's algorithm over an implicit complete graph.
+
+    ``distance(u, v)`` is an arbitrary metric callable.  O(n^2) time,
+    which is optimal for dense implicit metrics.
+    """
+    if n == 0:
+        return []
+    in_tree = [False] * n
+    best = [math.inf] * n
+    best_edge = [-1] * n
+    best[0] = 0.0
+    edges: List[Tuple[int, int, float]] = []
+    for _ in range(n):
+        u = min((v for v in range(n) if not in_tree[v]), key=lambda v: best[v])
+        in_tree[u] = True
+        if best_edge[u] != -1:
+            edges.append((best_edge[u], u, best[u]))
+        for v in range(n):
+            if not in_tree[v]:
+                d = distance(u, v)
+                if d < best[v]:
+                    best[v] = d
+                    best_edge[v] = u
+    return edges

@@ -1,0 +1,53 @@
+"""A bundled LCA + level-ancestor index with a naive small-tree mode.
+
+The navigation structure builds many trees (one recursion tree per
+navigator plus one contracted tree per internal recursion node).  Most
+contracted trees are tiny, where numpy sparse tables cost more than they
+save; :class:`TreeIndex` switches to direct pointer chasing below a size
+threshold while exposing the same O(1)-style interface.
+"""
+
+from __future__ import annotations
+
+from .lca import LcaIndex
+from .level_ancestor import LadderLevelAncestor
+from .tree import Tree
+
+__all__ = ["TreeIndex"]
+
+
+class TreeIndex:
+    """LCA and level-ancestor queries over one tree."""
+
+    SMALL = 48
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.depth = tree.depths()
+        self._naive = tree.n <= self.SMALL
+        if not self._naive:
+            self._lca = LcaIndex(tree)
+            self._la = LadderLevelAncestor(tree)
+
+    def lca(self, u: int, v: int) -> int:
+        if not self._naive:
+            return self._lca.lca(u, v)
+        parents, depth = self.tree.parents, self.depth
+        while depth[u] > depth[v]:
+            u = parents[u]
+        while depth[v] > depth[u]:
+            v = parents[v]
+        while u != v:
+            u = parents[u]
+            v = parents[v]
+        return u
+
+    def ancestor_at_depth(self, v: int, d: int) -> int:
+        if not self._naive:
+            return self._la.ancestor_at_depth(v, d)
+        parents, depth = self.tree.parents, self.depth
+        if d > depth[v]:
+            raise ValueError("requested depth is below the vertex")
+        while depth[v] > d:
+            v = parents[v]
+        return v

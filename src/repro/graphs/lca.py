@@ -1,0 +1,96 @@
+"""Constant-time lowest common ancestor queries.
+
+Implements the classic Euler tour + sparse-table RMQ reduction
+[BFC00/BFC04 as cited by the paper]: ``O(n log n)`` preprocessing and
+``O(1)`` per query.  The sparse table is stored in numpy arrays so the
+preprocessing is vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .tree import Tree
+
+__all__ = ["LcaIndex"]
+
+
+class LcaIndex:
+    """LCA structure over a :class:`~repro.graphs.tree.Tree`.
+
+    >>> from repro.graphs.tree import balanced_tree
+    >>> t = balanced_tree(2, 3)
+    >>> LcaIndex(t).lca(7, 8)
+    3
+    """
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        n = tree.n
+        # Euler tour: sequence of vertices as a DFS enters/returns to them.
+        tour: List[int] = []
+        first = [-1] * n
+        depth = tree.depths()
+        stack: List[tuple] = [(tree.root, 0)]
+        # Iterative DFS that appends the current vertex each time control
+        # returns to it (standard Euler tour of length 2n - 1).
+        while stack:
+            v, child_index = stack.pop()
+            if first[v] == -1:
+                first[v] = len(tour)
+            tour.append(v)
+            if child_index < len(tree.children[v]):
+                stack.append((v, child_index + 1))
+                stack.append((tree.children[v][child_index], 0))
+        self._first = first
+        self._tour = np.asarray(tour, dtype=np.int64)
+        tour_depth = np.asarray([depth[v] for v in tour], dtype=np.int64)
+
+        m = len(tour)
+        levels = max(1, m.bit_length())
+        # table[j] holds, for each i, the index (into the tour) of the
+        # minimum-depth entry in tour[i : i + 2^j].  Built vectorized,
+        # then converted to plain lists: per-query numpy scalar indexing
+        # would dominate the O(1) lookups.
+        table = np.empty((levels, m), dtype=np.int64)
+        table[0] = np.arange(m)
+        for j in range(1, levels):
+            half = 1 << (j - 1)
+            span = m - (1 << j) + 1
+            if span <= 0:
+                table[j] = table[j - 1]
+                continue
+            left = table[j - 1, :span]
+            right = table[j - 1, half : half + span]
+            choose_right = tour_depth[right] < tour_depth[left]
+            table[j, :span] = np.where(choose_right, right, left)
+            table[j, span:] = table[j - 1, span:]
+        self._table = table.tolist()
+        self._tour_depth = tour_depth.tolist()
+        self._tour_list = tour
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v`` in O(1)."""
+        lo, hi = self._first[u], self._first[v]
+        if lo > hi:
+            lo, hi = hi, lo
+        length = hi - lo + 1
+        j = length.bit_length() - 1
+        row = self._table[j]
+        a = row[lo]
+        b = row[hi - (1 << j) + 1]
+        depth = self._tour_depth
+        best = a if depth[a] <= depth[b] else b
+        return self._tour_list[best]
+
+    def distance(self, u: int, v: int) -> float:
+        """Weighted tree distance via LCA in O(1)."""
+        wdepth = self.tree.weighted_depths()
+        w = self.lca(u, v)
+        return wdepth[u] + wdepth[v] - 2.0 * wdepth[w]
+
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """True iff ``a`` is an ancestor of ``v``, in O(1)."""
+        return self.lca(a, v) == a

@@ -1,0 +1,143 @@
+"""Constant-time level-ancestor queries.
+
+Two implementations of ``LA(v, d)`` (the ancestor of ``v`` at depth
+``d``):
+
+* :class:`LadderLevelAncestor` — the classic ladder decomposition plus
+  jump pointers: ``O(n log n)`` preprocessing, ``O(1)`` per query.  This
+  is the structure the paper's navigation algorithm assumes
+  (Property 1 of Section 3.1.1).
+* :class:`LiftingLevelAncestor` — plain binary lifting: ``O(n log n)``
+  preprocessing, ``O(log n)`` per query; kept as a simple reference and
+  for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tree import Tree
+
+__all__ = ["LadderLevelAncestor", "LiftingLevelAncestor"]
+
+
+class LiftingLevelAncestor:
+    """Binary-lifting level ancestors: O(log n) query."""
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.depth = tree.depths()
+        n = tree.n
+        levels = max(1, (max(self.depth) + 1).bit_length())
+        up = [list(tree.parents)]
+        for j in range(1, levels):
+            prev = up[j - 1]
+            up.append([prev[prev[v]] if prev[v] != -1 else -1 for v in range(n)])
+        self._up = up
+
+    def ancestor_at_depth(self, v: int, d: int) -> int:
+        """The ancestor of ``v`` at depth ``d`` (requires ``d <= depth(v)``)."""
+        steps = self.depth[v] - d
+        if steps < 0:
+            raise ValueError("requested depth is below the vertex")
+        j = 0
+        while steps:
+            if steps & 1:
+                v = self._up[j][v]
+            steps >>= 1
+            j += 1
+        return v
+
+
+class LadderLevelAncestor:
+    """Ladder decomposition + jump pointers: O(1) query.
+
+    Long-path decomposition assigns every vertex to the path toward its
+    deepest descendant; each path is then extended upward ("ladder") to
+    twice its length.  A jump pointer moves ``v`` up by the largest power
+    of two not exceeding the remaining distance; the ladder containing
+    the landing vertex is then guaranteed to contain the answer.
+    """
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.depth = tree.depths()
+        n = tree.n
+
+        # Height of the subtree under each vertex (length of longest
+        # downward path), computed in postorder.
+        height = [0] * n
+        for v in tree.postorder():
+            for c in tree.children[v]:
+                height[v] = max(height[v], height[c] + 1)
+
+        # Long-path decomposition: each vertex picks the child with the
+        # greatest height as the continuation of its path.
+        path_id = [-1] * n
+        paths: List[List[int]] = []
+        for v in tree.preorder():
+            if path_id[v] == -1:
+                # v starts a new long path; follow tallest children down.
+                path: List[int] = []
+                cur = v
+                while True:
+                    path_id[cur] = len(paths)
+                    path.append(cur)
+                    if not tree.children[cur]:
+                        break
+                    cur = max(tree.children[cur], key=lambda c: height[c])
+                paths.append(path)
+
+        # Extend each path upward into a ladder of double length.  The
+        # ladder is stored top-first so indexing by depth is direct.
+        self._ladders: List[List[int]] = []
+        self._ladder_top_depth: List[int] = []
+        for path in paths:
+            top = path[0]
+            extension: List[int] = []
+            for _ in range(len(path)):
+                parent = tree.parents[top]
+                if parent == -1:
+                    break
+                extension.append(parent)
+                top = parent
+            ladder = list(reversed(extension)) + path
+            self._ladders.append(ladder)
+            self._ladder_top_depth.append(self.depth[ladder[0]])
+        self._path_id = path_id
+
+        # Jump pointers: _jump[j][v] = ancestor of v at 2^j steps up.
+        levels = max(1, (max(self.depth) + 1).bit_length())
+        jump = [list(tree.parents)]
+        for j in range(1, levels):
+            prev = jump[j - 1]
+            jump.append([prev[prev[v]] if prev[v] != -1 else -1 for v in range(n)])
+        self._jump = jump
+
+    def ancestor_at_depth(self, v: int, d: int) -> int:
+        """The ancestor of ``v`` at depth ``d`` in O(1)."""
+        steps = self.depth[v] - d
+        if steps < 0:
+            raise ValueError("requested depth is below the vertex")
+        if steps == 0:
+            return v
+        j = steps.bit_length() - 1
+        v = self._jump[j][v]  # jump 2^j <= steps, leaving < 2^j steps
+        # v lies on a long path of length >= 2^j below it is not needed;
+        # the ladder of v extends >= its path length above, covering the rest.
+        ladder = self._ladders[self._path_id[v]]
+        index = d - self._ladder_top_depth[self._path_id[v]]
+        if index < 0:
+            # The ladder does not reach high enough (can happen near the
+            # root for shallow ladders); fall back to pointer chasing of
+            # the remaining < 2^j steps via jumps — still O(log) worst
+            # case but exercised only in degenerate corners.
+            steps = self.depth[v] - d
+            jbit = 0
+            while steps:
+                if steps & 1:
+                    v = self._jump[jbit][v]
+                steps >>= 1
+                jbit += 1
+            return v
+        return ladder[index]

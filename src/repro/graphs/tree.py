@@ -1,0 +1,245 @@
+"""Rooted edge-weighted trees and common tree builders.
+
+The :class:`Tree` class is the substrate for everything in this library:
+Solomon's 1-spanner, the navigation data structure, tree covers and
+routing all operate on instances of it.  Vertices are integers
+``0 .. n-1``; the tree is stored as a parent array plus child lists and
+supports weighted depths, traversal orders, and path extraction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Tree",
+    "random_tree",
+    "path_tree",
+    "star_tree",
+    "caterpillar_tree",
+    "balanced_tree",
+]
+
+
+class Tree:
+    """A rooted tree with non-negative edge weights.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[v]`` is the parent of vertex ``v``; the root has parent
+        ``-1``.  Exactly one root must exist and the structure must be
+        acyclic and connected.
+    weights:
+        ``weights[v]`` is the weight of the edge ``(parents[v], v)``; the
+        root's entry is ignored.  Defaults to unit weights.
+    """
+
+    def __init__(self, parents: Sequence[int], weights: Optional[Sequence[float]] = None):
+        self.parents: List[int] = list(parents)
+        n = len(self.parents)
+        if n == 0:
+            raise ValueError("a tree needs at least one vertex")
+        roots = [v for v, p in enumerate(self.parents) if p == -1]
+        if len(roots) != 1:
+            raise ValueError(f"expected exactly one root, found {len(roots)}")
+        self.root: int = roots[0]
+        if weights is None:
+            weights = [1.0] * n
+        if len(weights) != n:
+            raise ValueError("weights must have one entry per vertex")
+        self.weights: List[float] = [float(w) for w in weights]
+        self.weights[self.root] = 0.0
+
+        self.children: List[List[int]] = [[] for _ in range(n)]
+        for v, p in enumerate(self.parents):
+            if p != -1:
+                if not 0 <= p < n:
+                    raise ValueError(f"parent {p} of vertex {v} out of range")
+                self.children[p].append(v)
+
+        self._order: Optional[List[int]] = None
+        self._depth: Optional[List[int]] = None
+        self._wdepth: Optional[List[float]] = None
+        self._validate_connected()
+
+    # ------------------------------------------------------------------
+    # Basic properties
+
+    def __len__(self) -> int:
+        return len(self.parents)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.parents)
+
+    def _validate_connected(self) -> None:
+        if len(self.preorder()) != self.n:
+            raise ValueError("parent array does not describe a connected tree")
+
+    def preorder(self) -> List[int]:
+        """Vertices in preorder (root first); cached."""
+        if self._order is None:
+            order: List[int] = []
+            stack = [self.root]
+            seen = [False] * self.n
+            while stack:
+                v = stack.pop()
+                if seen[v]:
+                    raise ValueError("cycle detected in parent array")
+                seen[v] = True
+                order.append(v)
+                stack.extend(reversed(self.children[v]))
+            self._order = order
+        return self._order
+
+    def postorder(self) -> List[int]:
+        """Vertices in postorder (root last)."""
+        return list(reversed(self.preorder()))
+
+    def depths(self) -> List[int]:
+        """Unweighted depth of every vertex (root = 0); cached."""
+        if self._depth is None:
+            depth = [0] * self.n
+            for v in self.preorder():
+                if v != self.root:
+                    depth[v] = depth[self.parents[v]] + 1
+            self._depth = depth
+        return self._depth
+
+    def weighted_depths(self) -> List[float]:
+        """Weighted distance from the root to every vertex; cached."""
+        if self._wdepth is None:
+            wdepth = [0.0] * self.n
+            for v in self.preorder():
+                if v != self.root:
+                    wdepth[v] = wdepth[self.parents[v]] + self.weights[v]
+            self._wdepth = wdepth
+        return self._wdepth
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        """Yield ``(parent, child, weight)`` for every tree edge."""
+        for v, p in enumerate(self.parents):
+            if p != -1:
+                yield p, v, self.weights[v]
+
+    # ------------------------------------------------------------------
+    # Paths and distances
+
+    def path(self, u: int, v: int) -> List[int]:
+        """The unique ``u``-``v`` path as a vertex list (both endpoints included)."""
+        depth = self.depths()
+        up_u: List[int] = []
+        up_v: List[int] = []
+        while depth[u] > depth[v]:
+            up_u.append(u)
+            u = self.parents[u]
+        while depth[v] > depth[u]:
+            up_v.append(v)
+            v = self.parents[v]
+        while u != v:
+            up_u.append(u)
+            up_v.append(v)
+            u = self.parents[u]
+            v = self.parents[v]
+        return up_u + [u] + list(reversed(up_v))
+
+    def distance(self, u: int, v: int) -> float:
+        """Weighted distance between ``u`` and ``v`` (O(path length))."""
+        path = self.path(u, v)
+        wdepth = self.weighted_depths()
+        top = min(path, key=lambda x: self.depths()[x])
+        return (wdepth[path[0]] - wdepth[top]) + (wdepth[path[-1]] - wdepth[top])
+
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """True iff ``a`` is an ancestor of ``v`` (every vertex is its own ancestor)."""
+        depth = self.depths()
+        while depth[v] > depth[a]:
+            v = self.parents[v]
+        return v == a
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[Tuple[int, int, float]], root: int = 0
+    ) -> "Tree":
+        """Build a rooted tree from an undirected edge list ``(u, v, w)``."""
+        adjacency: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        count = 0
+        for u, v, w in edges:
+            adjacency[u].append((v, w))
+            adjacency[v].append((u, w))
+            count += 1
+        if count != n - 1:
+            raise ValueError(f"a tree on {n} vertices needs {n - 1} edges, got {count}")
+        parents = [-2] * n
+        weights = [0.0] * n
+        parents[root] = -1
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v, w in adjacency[u]:
+                if parents[v] == -2:
+                    parents[v] = u
+                    weights[v] = w
+                    stack.append(v)
+        if any(p == -2 for p in parents):
+            raise ValueError("edge list is not connected")
+        return cls(parents, weights)
+
+
+def random_tree(n: int, seed: Optional[int] = None, max_weight: float = 10.0) -> Tree:
+    """A uniformly random labelled tree (via a random attachment process).
+
+    Each vertex ``v >= 1`` attaches to a uniformly random earlier vertex,
+    producing random recursive trees — heavy-tailed degrees and
+    logarithmic depth, a good generic test distribution.
+    """
+    rng = random.Random(seed)
+    parents = [-1] + [rng.randrange(v) for v in range(1, n)]
+    weights = [0.0] + [rng.uniform(1.0, max_weight) for _ in range(1, n)]
+    return Tree(parents, weights)
+
+
+def path_tree(n: int, seed: Optional[int] = None) -> Tree:
+    """A path ``0 - 1 - ... - n-1`` with random weights (worst case for naive navigation)."""
+    rng = random.Random(seed)
+    parents = [-1] + list(range(n - 1))
+    weights = [0.0] + [rng.uniform(1.0, 10.0) for _ in range(1, n)]
+    return Tree(parents, weights)
+
+
+def star_tree(n: int) -> Tree:
+    """A star with center 0 (best case: already hop-diameter 2)."""
+    return Tree([-1] + [0] * (n - 1), [0.0] + [1.0] * (n - 1))
+
+
+def caterpillar_tree(n: int, seed: Optional[int] = None) -> Tree:
+    """A caterpillar: a spine path with a leaf hanging off every spine vertex."""
+    rng = random.Random(seed)
+    parents = [-1]
+    for v in range(1, n):
+        if v % 2 == 1:
+            parents.append(max(0, v - 2))  # spine continues
+        else:
+            parents.append(v - 1)  # leaf off the previous spine vertex
+    weights = [0.0] + [rng.uniform(1.0, 10.0) for _ in range(1, n)]
+    return Tree(parents, weights)
+
+
+def balanced_tree(branching: int, depth: int) -> Tree:
+    """A complete ``branching``-ary tree of the given depth, unit weights."""
+    parents = [-1]
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier = []
+        for node in frontier:
+            for _ in range(branching):
+                parents.append(node)
+                new_frontier.append(len(parents) - 1)
+        frontier = new_frontier
+    return Tree(parents)

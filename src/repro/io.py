@@ -1,0 +1,88 @@
+"""Serialization: save and load trees and tree covers as JSON.
+
+Tree covers are the expensive artifact of this library (the robust
+cover of Theorem 4.1 can take seconds to minutes); persisting them lets
+navigators, routing schemes and FT spanners be rebuilt without redoing
+the net-hierarchy work.  Navigators themselves rebuild from a loaded
+cover in milliseconds, so only trees and covers are serialized.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from .graphs.tree import Tree
+from .metrics.base import Metric
+from .treecover.base import CoverTree, TreeCover
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "cover_to_dict",
+    "cover_from_dict",
+    "save_cover",
+    "load_cover",
+]
+
+
+def tree_to_dict(tree: Tree) -> dict:
+    return {"parents": list(tree.parents), "weights": list(tree.weights)}
+
+
+def tree_from_dict(data: dict) -> Tree:
+    return Tree(data["parents"], data["weights"])
+
+
+def cover_to_dict(cover: TreeCover) -> dict:
+    return {
+        "format": "repro.treecover/1",
+        "n": cover.metric.n,
+        "home": cover.home,
+        "trees": [
+            {
+                "tree": tree_to_dict(cover_tree.tree),
+                "vertex_of_point": cover_tree.vertex_of_point,
+                "rep_point": cover_tree.rep_point,
+            }
+            for cover_tree in cover.trees
+        ],
+    }
+
+
+def cover_from_dict(data: dict, metric: Metric) -> TreeCover:
+    if data.get("format") != "repro.treecover/1":
+        raise ValueError("not a serialized repro tree cover")
+    if data["n"] != metric.n:
+        raise ValueError(
+            f"cover was built for {data['n']} points, metric has {metric.n}"
+        )
+    trees = [
+        CoverTree(
+            tree_from_dict(item["tree"]),
+            item["vertex_of_point"],
+            item["rep_point"],
+        )
+        for item in data["trees"]
+    ]
+    return TreeCover(metric, trees, home=data["home"])
+
+
+def save_cover(cover: TreeCover, destination: Union[str, IO]) -> None:
+    """Write a cover as JSON to a path or open file object."""
+    payload = cover_to_dict(cover)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(payload, handle)
+    else:
+        json.dump(payload, destination)
+
+
+def load_cover(source: Union[str, IO], metric: Metric) -> TreeCover:
+    """Read a cover saved by :func:`save_cover`; the metric must match."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return cover_from_dict(payload, metric)

@@ -1,0 +1,44 @@
+"""Metric-space substrates: Euclidean, general, tree, planar, doubling nets."""
+
+from .base import Metric, aspect_ratio, check_metric_axioms, sample_pairs
+from .doubling import NetHierarchy, doubling_constant_estimate, greedy_net, scale_levels
+from .euclidean import EuclideanMetric, clustered_points, grid_points, random_points
+from .general import MatrixMetric, graph_metric, random_graph_metric, random_metric
+from .planar import PlanarGraphMetric, delaunay_metric, grid_graph_metric
+from .splittree import FairSplitTree, SplitTreeNode
+from .tree_metric import TreeMetric
+from .workloads import (
+    hierarchical_points,
+    power_law_graph_metric,
+    ring_of_cliques_metric,
+    road_network_points,
+)
+
+__all__ = [
+    "Metric",
+    "aspect_ratio",
+    "check_metric_axioms",
+    "sample_pairs",
+    "NetHierarchy",
+    "doubling_constant_estimate",
+    "greedy_net",
+    "scale_levels",
+    "EuclideanMetric",
+    "clustered_points",
+    "grid_points",
+    "random_points",
+    "MatrixMetric",
+    "graph_metric",
+    "random_graph_metric",
+    "random_metric",
+    "PlanarGraphMetric",
+    "delaunay_metric",
+    "grid_graph_metric",
+    "TreeMetric",
+    "FairSplitTree",
+    "SplitTreeNode",
+    "hierarchical_points",
+    "power_law_graph_metric",
+    "ring_of_cliques_metric",
+    "road_network_points",
+]

@@ -1,0 +1,105 @@
+"""The abstract metric-space interface.
+
+Every construction in this library (tree covers, spanners, navigation,
+routing) consumes a :class:`Metric`: ``n`` points identified by integers
+``0 .. n-1`` and a distance callable satisfying the metric axioms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["Metric", "check_metric_axioms", "sample_pairs", "aspect_ratio"]
+
+
+class Metric:
+    """Base class for finite metric spaces.
+
+    Subclasses implement :meth:`distance`.  ``metric(u, v)`` is sugar for
+    ``metric.distance(u, v)``.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("a metric space needs at least one point")
+        self.n = n
+
+    def distance(self, u: int, v: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, u: int, v: int) -> float:
+        return self.distance(u, v)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All unordered pairs of distinct points."""
+        return itertools.combinations(range(self.n), 2)
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        """Points within ``radius`` of ``center`` (inclusive). O(n)."""
+        return [v for v in range(self.n) if self.distance(center, v) <= radius]
+
+    def nearest(self, point: int, candidates: Iterable[int]) -> int:
+        """The candidate closest to ``point``."""
+        return min(candidates, key=lambda c: self.distance(point, c))
+
+
+def check_metric_axioms(metric: Metric, trials: int = 200, seed: int = 0) -> None:
+    """Spot-check symmetry, identity and the triangle inequality.
+
+    Raises ``AssertionError`` on the first violated axiom.  Used by tests
+    on randomly generated metrics.
+    """
+    rng = random.Random(seed)
+    n = metric.n
+    for _ in range(trials):
+        u, v, w = (rng.randrange(n) for _ in range(3))
+        duv = metric.distance(u, v)
+        assert duv >= 0, "distances must be non-negative"
+        assert abs(duv - metric.distance(v, u)) < 1e-9, "metric must be symmetric"
+        assert metric.distance(u, u) == 0, "self distance must be zero"
+        if u != v:
+            assert duv > 0, "distinct points must have positive distance"
+        slack = 1e-9 * max(1.0, duv)
+        assert duv <= metric.distance(u, w) + metric.distance(w, v) + slack, (
+            "triangle inequality violated"
+        )
+
+
+def sample_pairs(
+    n: int, count: int, seed: int = 0, include_extremes: bool = True
+) -> List[Tuple[int, int]]:
+    """A deterministic sample of distinct point pairs for evaluation.
+
+    With ``include_extremes`` the sample always contains (0, n-1) so that
+    benches hit at least one long-range pair.
+    """
+    rng = random.Random(seed)
+    pairs = set()
+    if include_extremes and n > 1:
+        pairs.add((0, n - 1))
+    limit = n * (n - 1) // 2
+    while len(pairs) < min(count, limit):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    return sorted(pairs)
+
+
+def aspect_ratio(metric: Metric, sample: Optional[int] = None, seed: int = 0) -> float:
+    """The ratio of the largest to smallest pairwise distance.
+
+    Exact for small metrics; sampled when ``sample`` is given.
+    """
+    if sample is None:
+        pairs = list(metric.pairs())
+    else:
+        pairs = sample_pairs(metric.n, sample, seed=seed)
+    distances = [metric.distance(u, v) for u, v in pairs]
+    smallest = min(d for d in distances if d > 0)
+    return max(distances) / smallest

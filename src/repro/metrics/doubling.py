@@ -1,0 +1,161 @@
+"""Net hierarchies and doubling-metric utilities.
+
+A ``2^i``-net of a metric (Section 4.2 of the paper) is a subset ``N``
+with pairwise distances ``> 2^i`` that covers every point within ``2^i``.
+:class:`NetHierarchy` maintains nested nets ``N_{i_min} ⊇ ... ⊇ N_{i_max}``
+— the backbone of the robust tree cover construction (Theorem 4.1).
+
+Levels may be negative; level ``i`` always corresponds to radius ``2^i``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .base import Metric
+from .euclidean import EuclideanMetric
+
+__all__ = ["NetHierarchy", "greedy_net", "doubling_constant_estimate", "scale_levels"]
+
+
+def greedy_net(metric: Metric, candidates: Sequence[int], radius: float) -> List[int]:
+    """A greedy ``radius``-net of ``candidates``.
+
+    Iterates candidates in order, keeping each point not yet covered and
+    marking its ``radius``-ball as covered.  The kept set has pairwise
+    distance ``> radius`` and covers every candidate within ``radius``.
+    """
+    candidate_set = set(candidates)
+    covered = set()
+    net: List[int] = []
+    for p in candidates:
+        if p in covered:
+            continue
+        net.append(p)
+        for q in metric.ball(p, radius):
+            if q in candidate_set:
+                covered.add(q)
+    return net
+
+
+def scale_levels(metric: Metric, sample_pairs_count: int = 2000) -> "tuple[int, int]":
+    """The (i_min, i_max) level range spanning min distance to diameter.
+
+    ``2^{i_min}`` is below the smallest positive pairwise distance and
+    ``2^{i_max}`` is at least the diameter.  For large inputs the minimum
+    is estimated via nearest neighbors (exact for Euclidean).
+    """
+    if isinstance(metric, EuclideanMetric):
+        dist, _ = metric.kdtree.query(metric.points, k=2)
+        d_min = float(np.min(dist[:, 1]))
+        lo = metric.points.min(axis=0)
+        hi = metric.points.max(axis=0)
+        d_max = float(np.linalg.norm(hi - lo))
+    else:
+        d_min = math.inf
+        d_max = 0.0
+        for u in range(metric.n):
+            for v in range(u + 1, metric.n):
+                d = metric.distance(u, v)
+                if d > 0:
+                    d_min = min(d_min, d)
+                d_max = max(d_max, d)
+    if d_min == 0 or math.isinf(d_min):
+        raise ValueError("metric has duplicate points or a single point")
+    i_min = math.floor(math.log2(d_min)) - 1
+    i_max = math.ceil(math.log2(max(d_max, d_min))) + 1
+    return i_min, i_max
+
+
+class NetHierarchy:
+    """Nested ``2^i``-nets ``N_i`` for ``i_min <= i <= i_max``.
+
+    ``N_{i_min}`` contains every point (``2^{i_min}`` is below the
+    minimum distance, so the whole point set is a valid net);
+    ``N_{i_max}`` is typically a single point.
+    """
+
+    def __init__(self, metric: Metric, i_min: Optional[int] = None, i_max: Optional[int] = None):
+        self.metric = metric
+        if i_min is None or i_max is None:
+            lo, hi = scale_levels(metric)
+            i_min = lo if i_min is None else i_min
+            i_max = hi if i_max is None else i_max
+        if i_max < i_min:
+            raise ValueError("i_max must be >= i_min")
+        self.i_min = i_min
+        self.i_max = i_max
+        self.nets: Dict[int, List[int]] = {}
+        self._kdtrees: Dict[int, cKDTree] = {}
+
+        current = list(range(metric.n))
+        self.nets[i_min] = current
+        for i in range(i_min + 1, i_max + 1):
+            current = greedy_net(metric, current, 2.0**i)
+            self.nets[i] = current
+
+    def net(self, i: int) -> List[int]:
+        """Net at level ``i`` (clamped to the built range)."""
+        return self.nets[min(max(i, self.i_min), self.i_max)]
+
+    def net_points_within(self, i: int, point: int, radius: float) -> List[int]:
+        """Points of ``N_i`` within ``radius`` of ``point``."""
+        level = min(max(i, self.i_min), self.i_max)
+        if isinstance(self.metric, EuclideanMetric):
+            tree = self._kdtrees.get(level)
+            if tree is None:
+                pts = self.metric.points[self.nets[level]]
+                tree = cKDTree(pts)
+                self._kdtrees[level] = tree
+            hits = tree.query_ball_point(self.metric.points[point], radius)
+            net = self.nets[level]
+            return [net[j] for j in hits]
+        return [
+            q for q in self.nets[level] if self.metric.distance(point, q) <= radius
+        ]
+
+    def verify(self) -> None:
+        """Assert the net properties (used by tests; O(n^2) per level)."""
+        for i in range(self.i_min + 1, self.i_max + 1):
+            radius = 2.0**i
+            net = self.nets[i]
+            prev = self.nets[i - 1]
+            net_set = set(net)
+            assert net_set <= set(prev), f"nets not nested at level {i}"
+            for a_idx, a in enumerate(net):
+                for b in net[a_idx + 1 :]:
+                    assert self.metric.distance(a, b) > radius, (
+                        f"net points too close at level {i}"
+                    )
+            for p in prev:
+                assert any(
+                    self.metric.distance(p, q) <= radius for q in net
+                ), f"point {p} uncovered at level {i}"
+
+
+def doubling_constant_estimate(metric: Metric, samples: int = 30, seed: int = 0) -> float:
+    """A crude empirical doubling-constant estimate.
+
+    For sampled (center, radius) pairs, greedily covers the ball with
+    half-radius balls and returns the largest cover size found.  Used in
+    tests to confirm Euclidean inputs look doubling and expander metrics
+    do not.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    worst = 1.0
+    for _ in range(samples):
+        center = rng.randrange(metric.n)
+        far = max(range(metric.n), key=lambda v: metric.distance(center, v))
+        radius = metric.distance(center, far) * rng.uniform(0.3, 1.0)
+        if radius <= 0:
+            continue
+        ball = metric.ball(center, radius)
+        cover = greedy_net(metric, ball, radius / 2.0)
+        worst = max(worst, float(len(cover)))
+    return worst

@@ -1,0 +1,84 @@
+"""Euclidean point-set metrics, with KD-tree accelerated neighbor queries.
+
+Low-dimensional Euclidean spaces are the paper's motivating setting; the
+doubling-metric constructions (net hierarchies, robust tree covers) use
+:meth:`EuclideanMetric.neighbors_within` to avoid quadratic scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .base import Metric
+
+__all__ = [
+    "EuclideanMetric",
+    "random_points",
+    "clustered_points",
+    "grid_points",
+]
+
+
+class EuclideanMetric(Metric):
+    """The metric induced by an ``(n, d)`` array of points."""
+
+    def __init__(self, points: Sequence[Sequence[float]]):
+        self.points = np.asarray(points, dtype=float)
+        if self.points.ndim != 2:
+            raise ValueError("points must be a 2-D array (n, d)")
+        super().__init__(len(self.points))
+        self.dim = self.points.shape[1]
+        self._kdtree: Optional[cKDTree] = None
+
+    @property
+    def kdtree(self) -> cKDTree:
+        if self._kdtree is None:
+            self._kdtree = cKDTree(self.points)
+        return self._kdtree
+
+    def distance(self, u: int, v: int) -> float:
+        return float(np.linalg.norm(self.points[u] - self.points[v]))
+
+    def distances_from(self, u: int) -> np.ndarray:
+        """Vectorized distances from ``u`` to every point."""
+        return np.linalg.norm(self.points - self.points[u], axis=1)
+
+    def neighbors_within(self, u: int, radius: float) -> List[int]:
+        """Indices of points within ``radius`` of point ``u`` (inclusive)."""
+        return sorted(self.kdtree.query_ball_point(self.points[u], radius))
+
+    def ball(self, center: int, radius: float) -> List[int]:  # noqa: D102
+        return self.neighbors_within(center, radius)
+
+
+def random_points(n: int, dim: int = 2, seed: int = 0, scale: float = 1000.0) -> EuclideanMetric:
+    """``n`` uniform points in ``[0, scale]^dim``."""
+    rng = np.random.default_rng(seed)
+    return EuclideanMetric(rng.uniform(0.0, scale, size=(n, dim)))
+
+
+def clustered_points(
+    n: int, dim: int = 2, clusters: int = 8, seed: int = 0, scale: float = 1000.0
+) -> EuclideanMetric:
+    """Points drawn around random cluster centers — high aspect ratio.
+
+    This distribution stresses net hierarchies across many scales, the
+    regime where bounded hop-diameter spanners beat ``O(log rho)``-hop
+    oracles (Section 1.1 of the paper).
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, scale, size=(clusters, dim))
+    assignment = rng.integers(0, clusters, size=n)
+    jitter = rng.normal(0.0, scale / (100.0 * clusters), size=(n, dim))
+    return EuclideanMetric(centers[assignment] + jitter)
+
+
+def grid_points(side: int, dim: int = 2, spacing: float = 1.0) -> EuclideanMetric:
+    """A ``side^dim`` regular grid (deterministic, worst-case-ish packing)."""
+    axes = [np.arange(side, dtype=float) * spacing] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pts = np.stack([m.ravel() for m in mesh], axis=1)
+    return EuclideanMetric(pts)

@@ -1,0 +1,101 @@
+"""General (non-doubling) finite metrics.
+
+Used to exercise the general-metric rows of Table 1 / Theorems 1.2 and
+1.3: Ramsey tree covers need inputs that are *not* doubling, so besides
+explicit distance matrices we provide shortest-path metrics of random
+graphs and uniform-ish random metrics built by metric completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Sequence
+
+import numpy as np
+
+from .base import Metric
+
+__all__ = [
+    "MatrixMetric",
+    "random_metric",
+    "graph_metric",
+    "random_graph_metric",
+]
+
+
+class MatrixMetric(Metric):
+    """A metric given by an explicit symmetric distance matrix."""
+
+    def __init__(self, matrix: Sequence[Sequence[float]]):
+        self.matrix = np.asarray(matrix, dtype=float)
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ValueError("distance matrix must be square")
+        super().__init__(self.matrix.shape[0])
+
+    def distance(self, u: int, v: int) -> float:
+        return float(self.matrix[u, v])
+
+    def distances_from(self, u: int) -> np.ndarray:
+        return self.matrix[u]
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        """Vectorized ball query over the matrix row."""
+        return np.nonzero(self.matrix[center] <= radius)[0].tolist()
+
+
+def random_metric(n: int, seed: int = 0, spread: float = 10.0) -> MatrixMetric:
+    """A random metric via shortcutting random weights (metric completion).
+
+    Draw i.i.d. weights in ``[1, spread]`` on the complete graph and take
+    all-pairs shortest paths (Floyd–Warshall, vectorized); the result is
+    a genuine metric with no doubling structure.
+    """
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(1.0, spread, size=(n, n))
+    matrix = np.minimum(matrix, matrix.T)
+    np.fill_diagonal(matrix, 0.0)
+    for k in range(n):
+        shortcut = matrix[:, k, None] + matrix[None, k, :]
+        np.minimum(matrix, shortcut, out=matrix)
+    return MatrixMetric(matrix)
+
+
+def graph_metric(n: int, edges: Sequence, sources: "range | None" = None) -> MatrixMetric:
+    """Shortest-path metric of a weighted undirected graph edge list."""
+    adj: List[List] = [[] for _ in range(n)]
+    for u, v, w in edges:
+        adj[u].append((v, float(w)))
+        adj[v].append((u, float(w)))
+    matrix = np.full((n, n), np.inf)
+    for s in sources if sources is not None else range(n):
+        dist = matrix[s]
+        dist[s] = 0.0
+        heap = [(0.0, s)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in adj[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+    if np.isinf(matrix).any():
+        raise ValueError("graph is not connected")
+    return MatrixMetric(matrix)
+
+
+def random_graph_metric(n: int, degree: int = 4, seed: int = 0) -> MatrixMetric:
+    """Shortest-path metric of a random connected graph.
+
+    A random spanning path plus ``degree*n/2`` random chords, weighted
+    uniformly — expander-like, hence far from doubling.
+    """
+    rng = random.Random(seed)
+    edges = [(v - 1, v, rng.uniform(1.0, 10.0)) for v in range(1, n)]
+    for _ in range(degree * n // 2):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, rng.uniform(1.0, 10.0)))
+    return graph_metric(n, edges)

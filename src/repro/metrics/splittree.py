@@ -1,0 +1,106 @@
+"""Fair split trees for Euclidean point sets (Callahan–Kosaraju).
+
+The fair split tree is the classic substrate behind the Euclidean
+"Dumbbell Tree" theorem [ADM+95] that the paper's Robust Tree Cover
+generalizes: a hierarchical bounding-box decomposition obtained by
+always halving the longest side.  We use it to build well-separated
+pair decompositions (:mod:`repro.spanners.wspd`) — a baseline spanner
+family and exact/approximate proximity utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .euclidean import EuclideanMetric
+
+__all__ = ["SplitTreeNode", "FairSplitTree"]
+
+
+class SplitTreeNode:
+    """One node: a set of points with its bounding box."""
+
+    __slots__ = ("points", "low", "high", "left", "right", "rep")
+
+    def __init__(self, points: np.ndarray, coords: np.ndarray):
+        self.points = points  # indices into the metric's point array
+        self.low = coords.min(axis=0)
+        self.high = coords.max(axis=0)
+        self.left: Optional["SplitTreeNode"] = None
+        self.right: Optional["SplitTreeNode"] = None
+        self.rep = int(points[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def radius(self) -> float:
+        """Radius of the bounding box's circumscribed ball."""
+        return float(np.linalg.norm(self.high - self.low)) / 2.0
+
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    def size(self) -> int:
+        return len(self.points)
+
+
+class FairSplitTree:
+    """Recursive longest-side midpoint splits over a Euclidean metric."""
+
+    def __init__(self, metric: EuclideanMetric):
+        self.metric = metric
+        self.root = self._build(np.arange(metric.n, dtype=np.int64))
+        self.node_count = self._count(self.root)
+
+    def _build(self, points: np.ndarray) -> SplitTreeNode:
+        coords = self.metric.points[points]
+        node = SplitTreeNode(points, coords)
+        if len(points) == 1:
+            return node
+        extent = node.high - node.low
+        axis = int(np.argmax(extent))
+        midpoint = (node.low[axis] + node.high[axis]) / 2.0
+        mask = coords[:, axis] <= midpoint
+        left, right = points[mask], points[~mask]
+        if len(left) == 0 or len(right) == 0:
+            # Degenerate (duplicate coordinates on the split axis):
+            # split by rank instead to guarantee progress.
+            order = points[np.argsort(coords[:, axis], kind="stable")]
+            half = len(points) // 2
+            left, right = order[:half], order[half:]
+        node.left = self._build(left)
+        node.right = self._build(right)
+        return node
+
+    def _count(self, node: SplitTreeNode) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + self._count(node.left) + self._count(node.right)
+
+    def depth(self) -> int:
+        def walk(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def verify(self) -> None:
+        """Assert the split-tree invariants (tests only)."""
+
+        def walk(node: SplitTreeNode) -> None:
+            coords = self.metric.points[node.points]
+            assert np.all(coords >= node.low - 1e-9)
+            assert np.all(coords <= node.high + 1e-9)
+            if node.is_leaf:
+                assert node.size() == 1
+                return
+            merged = np.concatenate([node.left.points, node.right.points])
+            assert sorted(merged) == sorted(node.points)
+            walk(node.left)
+            walk(node.right)
+
+        walk(self.root)

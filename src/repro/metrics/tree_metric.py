@@ -1,0 +1,36 @@
+"""Tree metrics: the shortest-path metric of an edge-weighted tree.
+
+Tree metrics are the base case of the whole paper (Theorem 1.1).  The
+class precomputes an LCA index so distance queries cost O(1).
+"""
+
+from __future__ import annotations
+
+from ..graphs.lca import LcaIndex
+from ..graphs.tree import Tree
+from .base import Metric
+
+__all__ = ["TreeMetric"]
+
+
+class TreeMetric(Metric):
+    """The metric induced by a rooted edge-weighted :class:`Tree`.
+
+    Points of the metric are exactly the tree's vertices.  For Steiner
+    settings (required subset), restrict queries to the required ids.
+    """
+
+    def __init__(self, tree: Tree):
+        super().__init__(tree.n)
+        self.tree = tree
+        self._lca = LcaIndex(tree)
+
+    def distance(self, u: int, v: int) -> float:
+        return self._lca.distance(u, v)
+
+    def lca(self, u: int, v: int) -> int:
+        return self._lca.lca(u, v)
+
+    def path(self, u: int, v: int):
+        """The unique tree path realizing the distance."""
+        return self.tree.path(u, v)

@@ -1,0 +1,100 @@
+"""Realistic workload generators.
+
+The paper motivates bounded hop-diameter spanners with road/railway
+networks, telecommunication overlays and routing (Section 1.1).  These
+generators produce inputs with those characteristics — far from the
+uniform point clouds of the default benches:
+
+* :func:`road_network_points` — settlements strung along a few highway
+  corridors (doubling, very high aspect ratio, 1-D-ish local structure);
+* :func:`hierarchical_points` — recursive cluster-of-clusters geometry
+  (fractal; stresses every level of a net hierarchy);
+* :func:`power_law_graph_metric` — a scale-free-ish communication graph
+  metric (hubs of huge degree, far from doubling);
+* :func:`ring_of_cliques_metric` — data centers (cliques) on a ring
+  backbone, the overlay-network topology of the routing application.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import numpy as np
+
+from .euclidean import EuclideanMetric
+from .general import MatrixMetric, graph_metric
+
+__all__ = [
+    "road_network_points",
+    "hierarchical_points",
+    "power_law_graph_metric",
+    "ring_of_cliques_metric",
+]
+
+
+def road_network_points(
+    n: int, highways: int = 4, seed: int = 0, scale: float = 10000.0
+) -> EuclideanMetric:
+    """Points scattered tightly along random highway segments."""
+    rng = np.random.default_rng(seed)
+    segments = rng.uniform(0.0, scale, size=(highways, 2, 2))
+    which = rng.integers(0, highways, size=n)
+    t = rng.uniform(0.0, 1.0, size=(n, 1))
+    starts = segments[which, 0]
+    ends = segments[which, 1]
+    jitter = rng.normal(0.0, scale / 400.0, size=(n, 2))
+    return EuclideanMetric(starts + t * (ends - starts) + jitter)
+
+
+def hierarchical_points(
+    n: int, depth: int = 3, branching: int = 4, seed: int = 0, scale: float = 10000.0
+) -> EuclideanMetric:
+    """Recursive clusters: each level shrinks the spread by ~8x."""
+    rng = np.random.default_rng(seed)
+    points = np.zeros((n, 2))
+    spread = scale
+    for _ in range(depth):
+        assignment = rng.integers(0, branching, size=n)
+        offsets = rng.uniform(-spread / 2.0, spread / 2.0, size=(branching, 2))
+        points += offsets[assignment]
+        spread /= 8.0
+    points += rng.normal(0.0, spread / 4.0, size=(n, 2))
+    return EuclideanMetric(points)
+
+
+def power_law_graph_metric(n: int, seed: int = 0) -> MatrixMetric:
+    """Shortest paths of a preferential-attachment graph.
+
+    Each new vertex attaches to two endpoints sampled proportionally to
+    degree, producing hub-dominated topologies whose ball growth
+    violates doubling.
+    """
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int, float]] = [(0, 1, rng.uniform(1.0, 5.0))]
+    degree_pool = [0, 1]
+    for v in range(2, n):
+        for _ in range(2):
+            target = degree_pool[rng.randrange(len(degree_pool))]
+            if target != v:
+                edges.append((v, target, rng.uniform(1.0, 5.0)))
+                degree_pool.append(target)
+        degree_pool.append(v)
+    return graph_metric(n, edges)
+
+
+def ring_of_cliques_metric(
+    cliques: int, clique_size: int, seed: int = 0
+) -> MatrixMetric:
+    """Data centers (cheap internal links) on an expensive ring backbone."""
+    rng = random.Random(seed)
+    n = cliques * clique_size
+    edges: List[Tuple[int, int, float]] = []
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j, rng.uniform(1.0, 2.0)))
+        neighbor = ((c + 1) % cliques) * clique_size
+        edges.append((base, neighbor, rng.uniform(50.0, 100.0)))
+    return graph_metric(n, edges)

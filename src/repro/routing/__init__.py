@@ -1,0 +1,30 @@
+"""Compact routing schemes: trees (Thm 5.1), metrics (Thm 1.3), FT (Thm 5.2)."""
+
+from .ft_routing import FaultTolerantRoutingScheme
+from .labels import HeavyPathLabeling, label_bits, label_distance, lca_key
+from .metric_routing import MetricRoutingScheme
+from .ports import DELIVER, Network, RouteResult
+from .tree_routing import (
+    SELF,
+    TreeRoutingScheme,
+    build_tree_network,
+    header_bits,
+    tree_protocol,
+)
+
+__all__ = [
+    "FaultTolerantRoutingScheme",
+    "HeavyPathLabeling",
+    "label_bits",
+    "label_distance",
+    "lca_key",
+    "MetricRoutingScheme",
+    "DELIVER",
+    "Network",
+    "RouteResult",
+    "SELF",
+    "TreeRoutingScheme",
+    "build_tree_network",
+    "header_bits",
+    "tree_protocol",
+]

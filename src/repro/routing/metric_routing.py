@@ -1,0 +1,157 @@
+"""2-hop compact routing for metric spaces (Theorem 1.3).
+
+The scheme composes the tree-metric routing of Theorem 5.1 with a tree
+cover (Table 1):
+
+* the overlay network is the union of the per-tree 2-hop spanners;
+* every node stores, per tree, its routing table plus its own distance
+  label; every node's *label* carries, per tree, its routing label plus
+  its distance label (exact tree distances — our [FGNW17] substitute);
+* the source evaluates the pair's distance in each tree from the two
+  distance labels (O(ζ) decision time), picks the best tree, and routes
+  inside it; with a *Ramsey* cover (general metrics) the destination's
+  label simply names its home tree, giving O(1) decision time.
+
+Headers grow by the tree index (⌈log ζ⌉ bits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphs.graph import Graph
+from ..metrics.base import Metric
+from ..treecover.base import TreeCover
+from .labels import HeavyPathLabeling, label_bits, label_distance
+from .ports import DELIVER, Network, RouteResult
+from .tree_routing import TreeRoutingScheme, header_bits, tree_protocol
+
+__all__ = ["MetricRoutingScheme"]
+
+
+class MetricRoutingScheme:
+    """Labels, tables and overlay for 2-hop routing over a tree cover."""
+
+    def __init__(self, metric: Metric, cover: TreeCover, seed: int = 0):
+        self.metric = metric
+        self.cover = cover
+        self.schemes: List[TreeRoutingScheme] = [
+            TreeRoutingScheme(cover_tree) for cover_tree in cover.trees
+        ]
+        # Shared fixed-port overlay: the union of the per-tree spanners.
+        overlay = Graph(metric.n)
+        for scheme in self.schemes:
+            for (a, b) in scheme.overlay_edges():
+                overlay.add_edge(a, b, metric.distance(a, b))
+        self.network = Network(overlay, seed=seed)
+        for scheme in self.schemes:
+            scheme.finalize(self.network)
+
+        # Distance labels: exact tree distances from heavy-path labels.
+        self._distance_labelings = [
+            HeavyPathLabeling(cover_tree.tree) for cover_tree in cover.trees
+        ]
+
+        self.labels: Dict[int, dict] = {}
+        self.tables: Dict[int, dict] = {}
+        ramsey = cover.home is not None
+        for p in range(metric.n):
+            dist_labels = [
+                labeling.label(cover.trees[i].vertex_of_point[p])
+                for i, labeling in enumerate(self._distance_labelings)
+            ]
+            if ramsey:
+                home = cover.home[p]
+                self.labels[p] = {
+                    "id": p,
+                    "home": home,
+                    "trees": {home: self.schemes[home].labels[p]},
+                }
+            else:
+                self.labels[p] = {
+                    "id": p,
+                    "home": None,
+                    "trees": {
+                        i: scheme.labels[p] for i, scheme in enumerate(self.schemes)
+                    },
+                    "dist": dist_labels,
+                }
+            self.tables[p] = {
+                "trees": [scheme.tables[p] for scheme in self.schemes],
+                "dist": dist_labels,
+            }
+
+    # ------------------------------------------------------------------
+
+    def protocol(self, u: int, table: dict, header, destination_label: dict):
+        """Fixed-port decision function; header = (tree index, inner header)."""
+        if header is not None:
+            index, inner = header
+            port, inner = tree_protocol(
+                u, table["trees"][index], inner, destination_label["trees"][index]
+            )
+            return port, None if port == DELIVER else (index, inner)
+        if destination_label["id"] == u:
+            return DELIVER, None
+        index = destination_label["home"]
+        if index is None:
+            # Scan the ζ trees with the two distance labels (O(ζ) time).
+            best = float("inf")
+            index = 0
+            for i, own in enumerate(table["dist"]):
+                d = label_distance(own, destination_label["dist"][i])
+                if d < best:
+                    best = d
+                    index = i
+        port, inner = tree_protocol(
+            u, table["trees"][index], None, destination_label["trees"][index]
+        )
+        return port, None if port == DELIVER else (index, inner)
+
+    def route(self, u: int, v: int, max_hops: int = 8) -> RouteResult:
+        """Route one packet; returns the trace for verification."""
+        n = self.metric.n
+        return self.network.route(
+            u,
+            self.protocol,
+            self.labels[v],
+            self.tables,
+            max_hops=max_hops,
+            header_bits=lambda h: header_bits(h[1], n) + max(1, len(self.schemes).bit_length()),
+        )
+
+    # ------------------------------------------------------------------
+    # Bit accounting
+
+    def label_size_bits(self, p: int, float_bits: int = 32) -> int:
+        n = self.metric.n
+        id_bits = max(1, (n - 1).bit_length())
+        label = self.labels[p]
+        bits = id_bits
+        for index, tree_label in label["trees"].items():
+            bits += self.schemes[index].label_size_bits(p, n)
+        if label["home"] is None:
+            for d in label["dist"]:
+                bits += label_bits(d, n, float_bits=float_bits)
+        else:
+            bits += max(1, len(self.schemes).bit_length())
+        return bits
+
+    def table_size_bits(self, p: int, float_bits: int = 32) -> int:
+        n = self.metric.n
+        bits = 0
+        for scheme in self.schemes:
+            bits += scheme.table_size_bits(p, n)
+        for d in self.tables[p]["dist"]:
+            bits += label_bits(d, n, float_bits=float_bits)
+        return bits
+
+    def verify_route(self, u: int, v: int, gamma: float) -> Tuple[int, float]:
+        """Route and assert: delivered, <= 2 hops, stretch <= gamma."""
+        result = self.route(u, v)
+        assert result.path[0] == u and result.path[-1] == v, result.path
+        assert result.hops <= 2, f"route {result.path} uses {result.hops} hops"
+        base = self.metric.distance(u, v)
+        stretch = result.weight / base if base > 0 else 1.0
+        assert stretch <= gamma + 1e-6, f"stretch {stretch} exceeds {gamma}"
+        return result.hops, stretch

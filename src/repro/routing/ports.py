@@ -1,0 +1,97 @@
+"""The fixed-port network simulator for routing schemes.
+
+Routing in the paper's model (Section 5.1) happens on an *overlay
+network* (a spanner); each node's incident links carry *port numbers
+chosen by an adversary* (the fixed-port model), packets carry a small
+header, and each node may consult only its local routing table plus the
+destination label handed to the source.
+
+:class:`Network` enforces exactly that: a routing protocol is a callable
+that sees ``(node id, local table, header, destination label)`` and
+returns either a port to forward on (with a new header) or ``DELIVER``;
+the simulator walks the ports, verifies every hop is a real link,
+accumulates the traveled weight, and reports the trace.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..graphs.graph import Graph
+
+__all__ = ["Network", "RouteResult", "DELIVER"]
+
+#: Sentinel a protocol returns to signal the packet has arrived.
+DELIVER = -1
+
+
+class RouteResult:
+    """Outcome of one routed packet."""
+
+    def __init__(self, path: List[int], weight: float, header_bits: int):
+        self.path = path
+        self.weight = weight
+        #: Largest header (in bits) the packet carried along the route.
+        self.header_bits = header_bits
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def __repr__(self) -> str:
+        return f"RouteResult(hops={self.hops}, weight={self.weight:.3f})"
+
+
+class Network:
+    """A fixed-port overlay network over a weighted graph."""
+
+    def __init__(self, graph: Graph, seed: int = 0):
+        self.graph = graph
+        rng = random.Random(seed)
+        #: port_to[u][v] = the port at u leading to neighbor v.
+        self.port_to: List[Dict[int, int]] = []
+        #: neighbor_at[u][p] = the neighbor of u behind port p.
+        self.neighbor_at: List[Dict[int, int]] = []
+        for u in range(graph.n):
+            neighbors = sorted(graph.adj[u])
+            ports = list(range(len(neighbors)))
+            rng.shuffle(ports)  # the adversary's port assignment
+            self.port_to.append(dict(zip(neighbors, ports)))
+            self.neighbor_at.append(dict(zip(ports, neighbors)))
+
+    def port(self, u: int, v: int) -> int:
+        """The (adversarial) port at ``u`` for the link to ``v``."""
+        return self.port_to[u][v]
+
+    def route(
+        self,
+        source: int,
+        protocol: Callable,
+        destination_label,
+        tables,
+        max_hops: int = 64,
+        header_bits: Callable = None,
+    ) -> RouteResult:
+        """Walk a packet from ``source`` until the protocol delivers it.
+
+        ``protocol(u, table_u, header, destination_label)`` must return
+        ``(port, new_header)``; ``port == DELIVER`` ends the walk.
+        """
+        path = [source]
+        header = None
+        worst_header = 0
+        weight = 0.0
+        for _ in range(max_hops):
+            u = path[-1]
+            port, header = protocol(u, tables[u], header, destination_label)
+            if port == DELIVER:
+                return RouteResult(path, weight, worst_header)
+            if port not in self.neighbor_at[u]:
+                raise ValueError(f"node {u} has no port {port}")
+            if header_bits is not None and header is not None:
+                worst_header = max(worst_header, header_bits(header))
+            v = self.neighbor_at[u][port]
+            weight += self.graph.adj[u][v]
+            path.append(v)
+        raise RuntimeError(f"packet from {source} exceeded {max_hops} hops")

@@ -1,0 +1,33 @@
+"""Spanners: quality measures, baselines, and fault tolerance."""
+
+from .baselines import complete_graph, greedy_spanner, theta_graph, theta_walk
+from .wspd import approximate_diameter, closest_pair, well_separated_pairs, wspd_spanner
+from .fault_tolerant import FaultTolerantSpanner
+from .spanner import (
+    SpannerReport,
+    bounded_hop_stretch,
+    evaluate_spanner,
+    hop_diameter,
+    lightness,
+    measured_stretch,
+    sparsity,
+)
+
+__all__ = [
+    "approximate_diameter",
+    "closest_pair",
+    "well_separated_pairs",
+    "wspd_spanner",
+    "complete_graph",
+    "greedy_spanner",
+    "theta_graph",
+    "theta_walk",
+    "FaultTolerantSpanner",
+    "SpannerReport",
+    "bounded_hop_stretch",
+    "evaluate_spanner",
+    "hop_diameter",
+    "lightness",
+    "measured_stretch",
+    "sparsity",
+]

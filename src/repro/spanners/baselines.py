@@ -1,0 +1,124 @@
+"""Baseline spanner constructions the paper compares against.
+
+* :func:`greedy_spanner` — the path-greedy (1+ε)-spanner [ADD+93]:
+  optimal stretch/size tradeoff, but hop-diameter Ω(n) in the worst
+  case; the poster child for "good weights, terrible hops".
+* :func:`theta_graph` — the Θ-graph [Cla87, Kei88]: simple cone-based
+  Euclidean spanner with easy navigation but Ω(n)-hop paths
+  (Section 1.1 of the paper).
+* :func:`complete_graph` — the metric itself: 1 hop, stretch 1,
+  Θ(n²) edges; the trivial upper baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph, dijkstra
+from ..metrics.base import Metric
+from ..metrics.euclidean import EuclideanMetric
+
+__all__ = ["greedy_spanner", "theta_graph", "complete_graph", "theta_walk"]
+
+
+def greedy_spanner(metric: Metric, t: float) -> Graph:
+    """The path-greedy t-spanner: consider pairs by distance; add an edge
+    whenever the current graph misses the t guarantee for the pair.
+
+    O(n² log n + n·m) time — fine for the evaluation sizes used here.
+    """
+    if t < 1:
+        raise ValueError("stretch must be at least 1")
+    pairs: List[Tuple[float, int, int]] = []
+    for u in range(metric.n):
+        for v in range(u + 1, metric.n):
+            pairs.append((metric.distance(u, v), u, v))
+    pairs.sort()
+    graph = Graph(metric.n)
+    for d, u, v in pairs:
+        if dijkstra(graph, u, target=v) > t * d:
+            graph.add_edge(u, v, d)
+    return graph
+
+
+def theta_graph(metric: EuclideanMetric, cones: int = 8) -> Graph:
+    """The Θ-graph for planar Euclidean point sets.
+
+    Each point connects, in each of ``cones`` angular sectors, to the
+    point whose projection on the sector bisector is nearest.  Stretch
+    is 1/(cos θ - sin θ) for θ = 2π/cones.
+    """
+    if metric.dim != 2:
+        raise ValueError("theta_graph is implemented for 2-D point sets")
+    if cones < 4:
+        raise ValueError("need at least 4 cones")
+    points = metric.points
+    graph = Graph(metric.n)
+    theta = 2.0 * math.pi / cones
+    for u in range(metric.n):
+        delta = points - points[u]
+        angles = np.arctan2(delta[:, 1], delta[:, 0]) % (2.0 * math.pi)
+        sector = (angles / theta).astype(int)
+        for c in range(cones):
+            bisector = (c + 0.5) * theta
+            direction = np.array([math.cos(bisector), math.sin(bisector)])
+            members = np.nonzero((sector == c) & (np.arange(metric.n) != u))[0]
+            if len(members) == 0:
+                continue
+            projections = delta[members] @ direction
+            valid = members[projections > 0]
+            if len(valid) == 0:
+                continue
+            best = valid[np.argmin((delta[valid] @ direction))]
+            graph.add_edge(u, int(best), metric.distance(u, int(best)))
+    return graph
+
+
+def theta_walk(metric: EuclideanMetric, graph: Graph, u: int, v: int, cones: int = 8) -> List[int]:
+    """The classic Θ-graph navigation: repeatedly step to the Θ-neighbor
+    in the cone of the target.  Returns the full walked path — its hop
+    count is the Ω(n) cost the paper's scheme eliminates.
+    """
+    theta = 2.0 * math.pi / cones
+    path = [u]
+    points = metric.points
+    guard = 4 * metric.n
+    while path[-1] != v and len(path) < guard:
+        cur = path[-1]
+        delta = points[v] - points[cur]
+        angle = math.atan2(delta[1], delta[0]) % (2.0 * math.pi)
+        sector = int(angle / theta)
+        # step to the neighbor inside the target's cone minimizing the
+        # projection (the Θ-graph edge of that cone), falling back to the
+        # neighbor closest to the target.
+        best = None
+        best_key = math.inf
+        for w in graph.adj[cur]:
+            dw = points[w] - points[cur]
+            aw = math.atan2(dw[1], dw[0]) % (2.0 * math.pi)
+            if int(aw / theta) == sector:
+                key = float(np.linalg.norm(points[v] - points[w]))
+                if key < best_key:
+                    best_key = key
+                    best = w
+        if best is None:
+            best = min(
+                graph.adj[cur],
+                key=lambda w: float(np.linalg.norm(points[v] - points[w])),
+            )
+        if best in path[-2:]:
+            break  # defensive: avoid 2-cycles on degenerate inputs
+        path.append(best)
+    return path
+
+
+def complete_graph(metric: Metric) -> Graph:
+    """The metric as a graph: the Θ(n²)-edge, 1-hop baseline."""
+    graph = Graph(metric.n)
+    for u in range(metric.n):
+        for v in range(u + 1, metric.n):
+            graph.add_edge(u, v, metric.distance(u, v))
+    return graph

@@ -1,0 +1,161 @@
+"""Spanner quality measures: stretch, hop-diameter, sparsity, lightness.
+
+These are the four properties the paper's introduction singles out; every
+benchmark reports them.  All evaluators work on
+:class:`repro.graphs.graph.Graph` instances against an arbitrary metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from ..graphs.graph import Graph, dijkstra, prim_mst
+from ..metrics.base import Metric, sample_pairs
+
+__all__ = [
+    "measured_stretch",
+    "hop_diameter",
+    "bounded_hop_stretch",
+    "lightness",
+    "sparsity",
+    "SpannerReport",
+    "evaluate_spanner",
+]
+
+
+def measured_stretch(
+    graph: Graph, metric: Metric, pairs: Optional[Iterable[Tuple[int, int]]] = None
+) -> float:
+    """Max over pairs of (spanner distance / metric distance)."""
+    if pairs is None:
+        pairs = sample_pairs(metric.n, 300)
+    worst = 1.0
+    for u, v in pairs:
+        base = metric.distance(u, v)
+        if base == 0:
+            continue
+        worst = max(worst, dijkstra(graph, u, target=v) / base)
+    return worst
+
+
+def bounded_hop_stretch(
+    graph: Graph, metric: Metric, k: int, pairs: Iterable[Tuple[int, int]]
+) -> float:
+    """Max stretch achievable with at most ``k`` hops (Bellman-Ford style).
+
+    This is the quantity a hop-diameter-k t-spanner bounds by t: the
+    weight of the best <= k-edge path, divided by the metric distance.
+    """
+    worst = 1.0
+    for u, v in pairs:
+        base = metric.distance(u, v)
+        if base == 0:
+            continue
+        dist = [math.inf] * graph.n
+        dist[u] = 0.0
+        frontier = {u}
+        for _ in range(k):
+            updates = {}
+            for a in frontier:
+                da = dist[a]
+                for b, w in graph.adj[a].items():
+                    nd = da + w
+                    if nd < dist[b] and nd < updates.get(b, math.inf):
+                        updates[b] = nd
+            for b, nd in updates.items():
+                if nd < dist[b]:
+                    dist[b] = nd
+            frontier = set(updates)
+            if not frontier:
+                break
+        worst = max(worst, dist[v] / base)
+    return worst
+
+
+def hop_diameter(
+    graph: Graph,
+    metric: Metric,
+    t: float,
+    pairs: Iterable[Tuple[int, int]],
+    max_k: int = 64,
+) -> int:
+    """Smallest ``k`` such that every pair has a <= k-hop t-spanner path.
+
+    Evaluated on the given pairs (exhaustive evaluation is quadratic).
+    """
+    worst_k = 1
+    for u, v in pairs:
+        base = metric.distance(u, v)
+        budget = t * base + 1e-9 * max(1.0, base)
+        dist = [math.inf] * graph.n
+        dist[u] = 0.0
+        frontier = {u}
+        k = 0
+        while dist[v] > budget:
+            k += 1
+            if k > max_k:
+                return max_k + 1
+            updates = {}
+            for a in frontier:
+                da = dist[a]
+                for b, w in graph.adj[a].items():
+                    nd = da + w
+                    if nd < dist[b] and nd < updates.get(b, math.inf):
+                        updates[b] = nd
+            for b, nd in updates.items():
+                dist[b] = nd
+            frontier = set(updates)
+            if not frontier:
+                return max_k + 1
+        worst_k = max(worst_k, max(k, 1))
+    return worst_k
+
+
+def lightness(graph: Graph, metric: Metric) -> float:
+    """Spanner weight over MST weight."""
+    mst_weight = sum(w for _, _, w in prim_mst(metric.n, metric.distance))
+    if mst_weight == 0:
+        return 1.0
+    return graph.total_weight() / mst_weight
+
+
+def sparsity(graph: Graph) -> float:
+    """Edges over (n - 1), the size of a spanning tree."""
+    return graph.num_edges / max(1, graph.n - 1)
+
+
+class SpannerReport:
+    """A bundle of the four quality measures for one spanner."""
+
+    def __init__(self, edges: int, stretch: float, hops: int, light: float, sparse: float):
+        self.edges = edges
+        self.stretch = stretch
+        self.hops = hops
+        self.lightness = light
+        self.sparsity = sparse
+
+    def __repr__(self) -> str:
+        return (
+            f"SpannerReport(edges={self.edges}, stretch={self.stretch:.3f}, "
+            f"hops={self.hops}, lightness={self.lightness:.2f}, "
+            f"sparsity={self.sparsity:.2f})"
+        )
+
+
+def evaluate_spanner(
+    graph: Graph,
+    metric: Metric,
+    t: float,
+    pairs: Optional[List[Tuple[int, int]]] = None,
+) -> SpannerReport:
+    """Measure all four spanner quality figures on sampled pairs."""
+    if pairs is None:
+        pairs = sample_pairs(metric.n, 200)
+    return SpannerReport(
+        edges=graph.num_edges,
+        stretch=measured_stretch(graph, metric, pairs),
+        hops=hop_diameter(graph, metric, t, pairs),
+        light=lightness(graph, metric),
+        sparse=sparsity(graph),
+    )

@@ -1,0 +1,31 @@
+"""Tree covers: robust/doubling (Thm 4.1), Ramsey/general, planar (Table 1)."""
+
+from .base import CoverTree, TreeCover
+from .dumbbell import (
+    PairingCover,
+    build_pairing_covers,
+    path_replacement_bound,
+    replaced_path_weight,
+    robust_tree_cover,
+    robustness_certificate,
+)
+from .hst import PartitionHierarchy, build_hst, ckr_partition
+from .planar import planar_tree_cover
+from .ramsey import few_trees_cover, ramsey_tree_cover
+
+__all__ = [
+    "CoverTree",
+    "TreeCover",
+    "PairingCover",
+    "build_pairing_covers",
+    "path_replacement_bound",
+    "replaced_path_weight",
+    "robust_tree_cover",
+    "robustness_certificate",
+    "PartitionHierarchy",
+    "build_hst",
+    "ckr_partition",
+    "planar_tree_cover",
+    "few_trees_cover",
+    "ramsey_tree_cover",
+]

@@ -1,0 +1,161 @@
+"""Tree-cover containers and verification.
+
+A *(γ, ζ)-tree cover* of a metric ``(X, δ)`` (Section 1.2 of the paper)
+is a collection of ζ dominating trees such that every pair of points has
+a tree preserving its distance to within γ.  A *Ramsey* cover
+additionally gives every point a home tree good for **all** its pairs.
+
+:class:`CoverTree` wraps one dominating tree: a rooted weighted
+:class:`~repro.graphs.tree.Tree` whose vertices each carry a
+*representative point*; metric points occupy a designated vertex each
+(possibly internal).  Edge weights are metric distances between the
+representatives of the endpoints, so tree distances dominate metric
+distances by the triangle inequality whenever each point's designated
+vertex has itself as representative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..graphs.tree import Tree
+from ..metrics.base import Metric, sample_pairs
+from ..metrics.tree_metric import TreeMetric
+
+__all__ = ["CoverTree", "TreeCover"]
+
+
+class CoverTree:
+    """One dominating tree of a cover.
+
+    Parameters
+    ----------
+    tree:
+        Rooted weighted tree; vertex count may exceed the number of
+        metric points (Steiner vertices).
+    vertex_of_point:
+        ``vertex_of_point[p]`` is the tree vertex hosting metric point
+        ``p``.
+    rep_point:
+        ``rep_point[v]`` is the metric point represented by tree vertex
+        ``v`` (for a point's own vertex this is the point itself).
+    """
+
+    def __init__(self, tree: Tree, vertex_of_point: Sequence[int], rep_point: Sequence[int]):
+        self.tree = tree
+        self.vertex_of_point = list(vertex_of_point)
+        self.rep_point = list(rep_point)
+        if len(self.rep_point) != tree.n:
+            raise ValueError("rep_point must cover every tree vertex")
+        self._tree_metric: Optional[TreeMetric] = None
+
+    @property
+    def tree_metric(self) -> TreeMetric:
+        if self._tree_metric is None:
+            self._tree_metric = TreeMetric(self.tree)
+        return self._tree_metric
+
+    def tree_distance(self, p: int, q: int) -> float:
+        """Distance between two metric points inside this tree (O(1))."""
+        return self.tree_metric.distance(self.vertex_of_point[p], self.vertex_of_point[q])
+
+    def tree_path_points(self, p: int, q: int) -> List[int]:
+        """The tree path between two points, as representative points."""
+        path = self.tree.path(self.vertex_of_point[p], self.vertex_of_point[q])
+        return [self.rep_point[v] for v in path]
+
+    def descendant_points(self) -> List[List[int]]:
+        """For each tree vertex, the metric points hosted in its subtree.
+
+        Used by the fault-tolerant constructions (the sets ``R(v)`` of
+        Theorem 4.2 are prefixes of these lists).  Points hosted at
+        internal vertices count as descendants of that vertex.
+        """
+        below: List[List[int]] = [[] for _ in range(self.tree.n)]
+        host = [-1] * self.tree.n
+        for p, v in enumerate(self.vertex_of_point):
+            host[v] = p
+        for v in self.tree.postorder():
+            if host[v] != -1:
+                below[v].append(host[v])
+            for c in self.tree.children[v]:
+                below[v].extend(below[c])
+        return below
+
+    def check_dominating(self, metric: Metric, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Assert domination (δ_T >= δ_X) on the given pairs."""
+        for p, q in pairs:
+            td = self.tree_distance(p, q)
+            md = metric.distance(p, q)
+            assert td >= md - 1e-6 * max(1.0, md), (
+                f"tree distance {td} below metric distance {md} for ({p}, {q})"
+            )
+
+
+class TreeCover:
+    """A collection of dominating trees over one metric."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        trees: List[CoverTree],
+        home: Optional[List[int]] = None,
+    ):
+        self.metric = metric
+        self.trees = trees
+        #: Ramsey covers: home[p] = index of the tree covering p against
+        #: every other point; ``None`` for ordinary covers.
+        self.home = home
+
+    @property
+    def size(self) -> int:
+        """The number of trees ζ."""
+        return len(self.trees)
+
+    def best_tree(self, p: int, q: int) -> Tuple[int, float]:
+        """The tree index minimizing the tree distance for the pair.
+
+        Ramsey covers answer from the home tree in O(1); ordinary covers
+        scan all ζ trees (O(ζ), as in Section 3.2 of the paper).
+        """
+        if self.home is not None:
+            index = self.home[p]
+            return index, self.trees[index].tree_distance(p, q)
+        best_index = -1
+        best = float("inf")
+        for index, cover_tree in enumerate(self.trees):
+            d = cover_tree.tree_distance(p, q)
+            if d < best:
+                best = d
+                best_index = index
+        return best_index, best
+
+    def stretch(self, p: int, q: int) -> float:
+        """The stretch the cover achieves for one pair."""
+        base = self.metric.distance(p, q)
+        if base == 0:
+            return 1.0
+        return self.best_tree(p, q)[1] / base
+
+    def measured_stretch(
+        self, pairs: Optional[Sequence[Tuple[int, int]]] = None, sample: int = 500
+    ) -> Tuple[float, float]:
+        """(max, mean) stretch over the given or sampled pairs."""
+        if pairs is None:
+            pairs = sample_pairs(self.metric.n, sample)
+        values = [self.stretch(p, q) for p, q in pairs]
+        return max(values), sum(values) / len(values)
+
+    def verify(
+        self,
+        gamma: float,
+        pairs: Optional[Sequence[Tuple[int, int]]] = None,
+        sample: int = 300,
+    ) -> None:
+        """Assert domination and stretch <= gamma on sampled pairs."""
+        if pairs is None:
+            pairs = sample_pairs(self.metric.n, sample)
+        for cover_tree in self.trees:
+            cover_tree.check_dominating(self.metric, pairs)
+        worst, _ = self.measured_stretch(pairs)
+        assert worst <= gamma + 1e-6, f"cover stretch {worst} exceeds gamma {gamma}"

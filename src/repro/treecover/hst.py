@@ -1,0 +1,169 @@
+"""Hierarchically separated trees (HSTs) from random hierarchical partitions.
+
+The Ramsey tree covers for general metrics (Table 1, [MN06]) are built
+from hierarchies of CKR-style random decompositions; each hierarchy
+yields a dominating HST, and a point that is *padded* at every level of
+the hierarchy enjoys ``O(ℓ)`` stretch to every other point in that HST.
+
+This module provides the two building blocks:
+
+* :func:`ckr_partition` — the Calinescu–Karloff–Rabani random
+  decomposition of a cluster at a given scale;
+* :class:`PartitionHierarchy` — a top-down hierarchy of such partitions,
+  with padding bookkeeping, convertible to a :class:`CoverTree`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..graphs.tree import Tree
+from ..metrics.base import Metric
+from .base import CoverTree
+
+__all__ = ["ckr_partition", "PartitionHierarchy", "build_hst"]
+
+
+def _distance_rows(metric: Metric, center: int, members: np.ndarray) -> np.ndarray:
+    """Distances from ``center`` to each of ``members`` (vectorized if possible)."""
+    rows = getattr(metric, "distances_from", None)
+    if rows is not None:
+        return rows(center)[members]
+    return np.array([metric.distance(center, int(v)) for v in members])
+
+
+def ckr_partition(
+    metric: Metric, members: Sequence[int], scale: float, rng: random.Random
+) -> List[List[int]]:
+    """CKR random decomposition of ``members`` into clusters of diameter <= scale.
+
+    A uniformly random radius ``r`` in ``[scale/4, scale/2]`` and a random
+    permutation π of the members define the cluster of each point as the
+    first π-element within distance ``r`` of it.
+    """
+    member_array = np.asarray(sorted(members), dtype=np.int64)
+    radius = rng.uniform(scale / 4.0, scale / 2.0)
+    order = list(range(len(member_array)))
+    rng.shuffle(order)
+    owner = np.full(len(member_array), -1, dtype=np.int64)
+    remaining = len(member_array)
+    for rank, position in enumerate(order):
+        if remaining == 0:
+            break
+        center = int(member_array[position])
+        dist = _distance_rows(metric, center, member_array)
+        take = (owner == -1) & (dist <= radius)
+        owner[take] = rank
+        remaining -= int(take.sum())
+    clusters: dict = {}
+    for index, own in enumerate(owner):
+        clusters.setdefault(int(own), []).append(int(member_array[index]))
+    return list(clusters.values())
+
+
+class _HierarchyNode:
+    __slots__ = ("members", "scale", "children", "rep")
+
+    def __init__(self, members: List[int], scale: float):
+        self.members = members
+        self.scale = scale
+        self.children: List["_HierarchyNode"] = []
+        self.rep = members[0]
+
+
+class PartitionHierarchy:
+    """A top-down hierarchy of CKR partitions over a metric.
+
+    The root holds all points at a scale at least the diameter; each
+    cluster is recursively partitioned at half its scale until it is a
+    singleton.  ``padded`` marks the points whose ``scale/alpha`` ball
+    stayed inside their cluster at *every* level — the Mendel–Naor
+    padding event whose probability is about ``n^{-1/ℓ}`` when
+    ``alpha = Θ(ℓ)``.
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        alpha: float,
+        rng: random.Random,
+        diameter: Optional[float] = None,
+    ):
+        self.metric = metric
+        self.alpha = alpha
+        if diameter is None:
+            far = max(range(metric.n), key=lambda v: metric.distance(0, v))
+            diameter = 2.0 * metric.distance(0, far)
+        top_scale = 2.0 ** math.ceil(math.log2(max(diameter, 1e-12)))
+        self.root = _HierarchyNode(list(range(metric.n)), top_scale)
+        self.padded: Set[int] = set(range(metric.n))
+        self._build(self.root, rng)
+
+    def _build(self, node: _HierarchyNode, rng: random.Random) -> None:
+        if len(node.members) == 1:
+            return
+        clusters = ckr_partition(self.metric, node.members, node.scale, rng)
+        cluster_of = {}
+        for index, cluster in enumerate(clusters):
+            for v in cluster:
+                cluster_of[v] = index
+        # Padding check: the scale/alpha ball around a padded point must
+        # stay within its own cluster (vectorized per candidate).
+        pad_radius = node.scale / self.alpha
+        member_array = np.asarray(node.members, dtype=np.int64)
+        cluster_ids = np.asarray([cluster_of[int(v)] for v in member_array])
+        for v in node.members:
+            if v not in self.padded:
+                continue
+            dist = _distance_rows(self.metric, v, member_array)
+            cut = (dist <= pad_radius) & (cluster_ids != cluster_of[v])
+            if bool(cut.any()):
+                self.padded.discard(v)
+        for cluster in clusters:
+            child = _HierarchyNode(cluster, node.scale / 2.0)
+            node.children.append(child)
+            self._build(child, rng)
+
+    def to_cover_tree(self) -> CoverTree:
+        """Convert to a dominating :class:`CoverTree` (an HST).
+
+        Each hierarchy node becomes a tree vertex; the edge to a child
+        weighs twice the parent's scale, so two points splitting at a
+        scale-``s`` node are at tree distance in ``[4s, 8s]`` —
+        dominating because that node's cluster has diameter at most
+        ``2s``, and within ``8·alpha`` of the true distance for points
+        padded at every level.
+        """
+        parents: List[float] = []
+        weights: List[float] = []
+        reps: List[int] = []
+        vertex_of_point = [-1] * self.metric.n
+
+        def visit(node: _HierarchyNode, parent_id: int) -> None:
+            node_id = len(parents)
+            parents.append(parent_id)
+            # The edge to the parent must dominate the distance between
+            # any two representatives drawn from the parent's cluster,
+            # whose diameter is bounded by twice the parent's scale
+            # (= 4x this node's scale).
+            weights.append(node.scale * 4.0 if parent_id != -1 else 0.0)
+            reps.append(node.rep)
+            if len(node.members) == 1:
+                vertex_of_point[node.members[0]] = node_id
+            for child in node.children:
+                visit(child, node_id)
+
+        visit(self.root, -1)
+        tree = Tree(parents, weights)
+        return CoverTree(tree, vertex_of_point, reps)
+
+
+def build_hst(metric: Metric, alpha: float, seed: int = 0) -> "tuple[CoverTree, Set[int]]":
+    """One dominating HST plus the set of points padded at every level."""
+    rng = random.Random(seed)
+    hierarchy = PartitionHierarchy(metric, alpha, rng)
+    return hierarchy.to_cover_tree(), hierarchy.padded

@@ -1,0 +1,136 @@
+"""Ramsey tree covers for general metrics (Table 1, [MN06]).
+
+A Ramsey ``(γ, ζ)``-tree cover gives every point a *home tree* whose
+stretch to every other point is at most γ.  Mendel–Naor achieve
+``γ = O(ℓ)`` with ``ζ = O(ℓ · n^{1/ℓ})`` trees deterministically; we
+implement the randomized core (CKR hierarchical partitions with padded
+point extraction), which achieves the same stretch with an extra
+``O(log n)`` factor in the number of trees w.h.p. — see DESIGN.md for
+the substitution note.
+
+Algorithm: repeatedly draw a random partition hierarchy of the whole
+space, turn it into a dominating HST, assign it as home tree to every
+not-yet-homed point that was *padded* at all levels, and continue until
+every point has a home.  The padding parameter ``alpha = 8ℓ`` makes the
+per-iteration success probability about ``n^{-1/ℓ}`` per point and the
+home-tree stretch at most ``8·alpha = 64ℓ = O(ℓ)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..metrics.base import Metric
+from .base import TreeCover
+from .hst import PartitionHierarchy
+
+__all__ = ["ramsey_tree_cover", "few_trees_cover"]
+
+
+def ramsey_tree_cover(
+    metric: Metric,
+    ell: int = 2,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+) -> TreeCover:
+    """A Ramsey tree cover with stretch ``O(ℓ)`` for a general metric.
+
+    Parameters
+    ----------
+    ell:
+        The stretch/size tradeoff knob: larger ``ell`` means fewer
+        padded points per iteration (more trees) but the theory trades
+        it the other way — ``O(ℓ n^{1/ℓ})`` trees, stretch ``O(ℓ)``.
+    max_iterations:
+        Safety valve; once exceeded, the remaining points are homed to
+        the tree where their measured worst stretch is smallest (their
+        guarantee then is measured, not provable).
+    """
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    rng = random.Random(seed)
+    alpha = 8.0 * ell
+    if max_iterations is None:
+        max_iterations = 40 * max(1, round(ell * metric.n ** (1.0 / ell)))
+
+    trees = []
+    home: List[Optional[int]] = [None] * metric.n
+    remaining = set(range(metric.n))
+    iterations = 0
+    while remaining and iterations < max_iterations:
+        iterations += 1
+        hierarchy = PartitionHierarchy(metric, alpha, rng)
+        newly = remaining & hierarchy.padded
+        if not newly:
+            continue
+        index = len(trees)
+        trees.append(hierarchy.to_cover_tree())
+        for p in newly:
+            home[p] = index
+        remaining -= newly
+
+    if remaining:
+        # Fallback: home leftover points to their empirically best tree.
+        if not trees:
+            hierarchy = PartitionHierarchy(metric, alpha, rng)
+            trees.append(hierarchy.to_cover_tree())
+        for p in remaining:
+            best_index = 0
+            best = float("inf")
+            for index, cover_tree in enumerate(trees):
+                worst = max(
+                    cover_tree.tree_distance(p, q) / metric.distance(p, q)
+                    for q in range(metric.n)
+                    if q != p
+                )
+                if worst < best:
+                    best = worst
+                    best_index = index
+            home[p] = best_index
+    return TreeCover(metric, trees, home=[h for h in home])
+
+
+def few_trees_cover(metric: Metric, ell: int, seed: int = 0) -> TreeCover:
+    """The few-trees tradeoff of Table 1: exactly ``ℓ`` trees.
+
+    [BFN19] prove that ``ℓ`` trees suffice for stretch
+    ``O(n^{1/ℓ} log^{1-1/ℓ} n)``.  We substitute the randomized
+    equivalent: draw ``ℓ`` independent partition hierarchies (with a
+    padding parameter that makes each point likely padded in at least
+    one) and home every point to its empirically best tree.  The stretch
+    is measured rather than proven; benches record it against the
+    theoretical curve.
+    """
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    rng = random.Random(seed)
+    # With alpha ~ n^{1/ell} the padding probability per hierarchy is a
+    # constant, so ell independent draws cover most points.
+    alpha = 8.0 * max(1.0, metric.n ** (1.0 / ell))
+    trees = []
+    padded_sets = []
+    for _ in range(ell):
+        hierarchy = PartitionHierarchy(metric, alpha, rng)
+        trees.append(hierarchy.to_cover_tree())
+        padded_sets.append(hierarchy.padded)
+
+    home: List[int] = []
+    for p in range(metric.n):
+        padded_in = [t for t in range(ell) if p in padded_sets[t]]
+        if padded_in:
+            home.append(padded_in[0])
+            continue
+        best_index = 0
+        best = float("inf")
+        for index, cover_tree in enumerate(trees):
+            worst = max(
+                cover_tree.tree_distance(p, q) / metric.distance(p, q)
+                for q in range(metric.n)
+                if q != p
+            )
+            if worst < best:
+                best = worst
+                best_index = index
+        home.append(best_index)
+    return TreeCover(metric, trees, home=home)

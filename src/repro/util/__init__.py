@@ -1,0 +1,5 @@
+"""Utilities: operation counting for the comparison/semigroup model."""
+
+from .counting import CountingComparator, CountingSemigroup
+
+__all__ = ["CountingComparator", "CountingSemigroup"]

@@ -1,0 +1,58 @@
+"""Instrumented operation counting for the semigroup/comparison model.
+
+Theorems 5.6 and the MST-verification results of Section 5.6.2 are
+statements about the *number of semigroup operations* (resp. weight
+comparisons), not wall-clock time; these wrappers count them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["CountingSemigroup", "CountingComparator"]
+
+
+class CountingSemigroup:
+    """Wraps an associative binary operation and counts applications."""
+
+    def __init__(self, op: Callable):
+        self._op = op
+        self.ops = 0
+
+    def __call__(self, a, b):
+        self.ops += 1
+        return self._op(a, b)
+
+    def reset(self) -> int:
+        """Return the count and reset it."""
+        count = self.ops
+        self.ops = 0
+        return count
+
+    def fold(self, items):
+        """Left fold over a non-empty sequence (len - 1 operations)."""
+        iterator = iter(items)
+        result = next(iterator)
+        for item in iterator:
+            result = self(result, item)
+        return result
+
+
+class CountingComparator:
+    """Counts key comparisons (used for weight-comparison accounting)."""
+
+    def __init__(self):
+        self.comparisons = 0
+
+    def less(self, a, b) -> bool:
+        self.comparisons += 1
+        return a < b
+
+    def max(self, a, b):
+        self.comparisons += 1
+        return a if a >= b else b
+
+    def reset(self) -> int:
+        count = self.comparisons
+        self.comparisons = 0
+        return count

@@ -1,0 +1,166 @@
+"""Tests for the Ackermann machinery (Definitions 2.1-2.3, Section 2.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ackermann import (
+    ackermann_a,
+    ackermann_b,
+    alpha_k,
+    alpha_k_prime,
+    inverse_ackermann,
+    pettie_lambda,
+)
+
+
+class TestAckermannValues:
+    def test_a_row_zero_doubles(self):
+        assert [ackermann_a(0, n) for n in range(6)] == [0, 2, 4, 6, 8, 10]
+
+    def test_a_row_one_is_powers_of_two(self):
+        # A(1, n) = 2^n from A(1, n) = A(0, A(1, n-1)) = 2 A(1, n-1), A(1,0)=1.
+        assert [ackermann_a(1, n) for n in range(7)] == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_a_row_two_is_tower(self):
+        assert [ackermann_a(2, n) for n in range(5)] == [1, 2, 4, 16, 65536]
+
+    def test_a_saturates_at_cap(self):
+        assert ackermann_a(3, 4, cap=10**9) == 10**9
+
+    def test_b_row_zero_squares(self):
+        assert [ackermann_b(0, n) for n in range(5)] == [0, 1, 4, 9, 16]
+
+    def test_b_row_one_is_double_exponential(self):
+        # B(1, n) = 2^(2^n).
+        assert [ackermann_b(1, n) for n in range(4)] == [2, 4, 16, 256]
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            ackermann_a(-1, 3)
+        with pytest.raises(ValueError):
+            ackermann_b(0, -1)
+
+
+class TestAlphaInverses:
+    def test_alpha_0_is_half(self):
+        for n in [0, 1, 2, 5, 10, 999]:
+            assert alpha_k(0, n) == math.ceil(n / 2)
+
+    def test_alpha_1_is_sqrt(self):
+        for n in [1, 2, 4, 10, 100, 101, 10000]:
+            assert alpha_k(1, n) == math.ceil(math.sqrt(n))
+
+    def test_alpha_2_is_log(self):
+        for n in [2, 3, 4, 17, 1024, 1025]:
+            assert alpha_k(2, n) == math.ceil(math.log2(n))
+
+    def test_alpha_3_is_loglog(self):
+        for n in [17, 256, 65536, 10**6]:
+            assert alpha_k(3, n) == math.ceil(math.log2(math.log2(n)))
+
+    def test_alpha_4_is_log_star(self):
+        # log*: 16 -> 3, 65536 -> 4, 10^6 -> 5 (tower 2,4,16,65536,...).
+        assert alpha_k(4, 16) == 3
+        assert alpha_k(4, 65536) == 4
+        assert alpha_k(4, 10**6) == 5
+
+    @given(st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_is_minimal(self, k, n):
+        """alpha_k(n) is the least s with the row function reaching n."""
+        s = alpha_k(k, n)
+        half, odd = divmod(k, 2)
+        evaluate = ackermann_b if odd else ackermann_a
+        assert evaluate(half, s, cap=max(n, 1) + 1) >= n
+        if s > 0:
+            assert evaluate(half, s - 1, cap=max(n, 1) + 1) < n
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=2, max_value=10**5))
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_decreases_two_rows_up(self, k, n):
+        # Same-parity rows are comparable: A(k+1, s) >= A(k, s), so the
+        # inverse can only shrink when k grows by 2.
+        assert alpha_k(k + 2, n) <= alpha_k(k, n)
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=10**5 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_monotone_in_n(self, k, n):
+        assert alpha_k(k, n) <= alpha_k(k, n + 1)
+
+
+class TestAlphaPrime:
+    def test_matches_alpha_for_small_k(self):
+        for n in [0, 5, 17, 1000]:
+            assert alpha_k_prime(0, n) == alpha_k(0, n)
+            assert alpha_k_prime(1, n) == alpha_k(1, n)
+
+    def test_matches_alpha_for_small_n(self):
+        for k in range(2, 8):
+            for n in range(k + 2):
+                assert alpha_k_prime(k, n) == alpha_k(k, n)
+
+    def test_recursive_case(self):
+        # alpha'_k(n) = 2 + alpha'_k(alpha'_{k-2}(n)) for n >= k + 2.
+        for k in (2, 3, 4, 5):
+            for n in (k + 2, 50, 1000):
+                inner = alpha_k_prime(k - 2, n)
+                assert alpha_k_prime(k, n) == 2 + alpha_k_prime(k, min(inner, n - 1))
+
+    def test_paper_worked_examples(self):
+        # Figure 1's caption: alpha'_2(48) = 10 and alpha'_2(10) = 6.
+        assert alpha_k_prime(2, 48) == 10
+        assert alpha_k_prime(2, 10) == 6
+
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=80, deadline=None)
+    def test_sandwich_bound(self, k, n):
+        """Lemma 2.4 of [Sol13]: alpha_k <= alpha'_k <= 2 alpha_k + 4."""
+        low = alpha_k(k, n)
+        high = 2 * low + 4
+        assert low <= alpha_k_prime(k, n) <= high
+
+
+class TestInverseAckermann:
+    def test_small_values(self):
+        assert inverse_ackermann(0) == 0
+        assert inverse_ackermann(1) == 1  # A(0, 0) = 0 < 1 <= A(1, 1) = 2
+        assert inverse_ackermann(2) == 1
+        assert inverse_ackermann(3) == 2
+        assert inverse_ackermann(10**9) <= 4
+
+    def test_relation_to_alpha_rows(self):
+        # [NS07]: alpha_{2 alpha(n) + 2}(n) <= 4.
+        for n in (10, 1000, 10**6):
+            a = inverse_ackermann(n)
+            assert alpha_k(2 * a + 2, n) <= 4
+
+
+class TestPettieLambda:
+    def test_row_one_is_log(self):
+        for n in (2, 3, 16, 1000):
+            assert pettie_lambda(1, n) == math.ceil(math.log2(n))
+
+    def test_lambda_bounded_by_alpha(self):
+        """Section 2.2's lemma upper direction: lambda_i(n) <= alpha_{2i}(n).
+
+        (P grows faster than A row-for-row, so its inverse is smaller;
+        the paper's 1/3 lower bound concerns the asymptotic regime and
+        is not a pointwise inequality for the small n tested here.)
+        """
+        for i in (1, 2, 3):
+            for n in (10, 1000, 10**6):
+                lam = pettie_lambda(i, n)
+                if lam > 0:
+                    assert lam <= max(alpha_k(2 * i, n), 1)
+
+    def test_lambda_monotone(self):
+        for i in (1, 2):
+            values = [pettie_lambda(i, n) for n in (4, 64, 4096, 10**6)]
+            assert values == sorted(values)
+
+    def test_invalid_row(self):
+        with pytest.raises(ValueError):
+            pettie_lambda(0, 10)

@@ -1,0 +1,240 @@
+"""Tests for the Section 5 applications: sparsification, SPT, MST,
+online tree products and MST verification."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    MstVerifier,
+    NaiveTreeProduct,
+    OnlineTreeProduct,
+    approximate_mst,
+    approximate_spt,
+    base_mst,
+    mst_weight,
+    sparsify,
+    sparsify_report,
+    spt_as_graph,
+    verify_spt,
+)
+from repro.core import MetricNavigator
+from repro.graphs import dijkstra, path_tree, random_tree
+from repro.metrics import TreeMetric, random_points, sample_pairs
+from repro.spanners import complete_graph, greedy_spanner, lightness
+from repro.treecover import robust_tree_cover
+from repro.util import CountingSemigroup
+
+
+def doubling_navigator(n=70, seed=0, eps=0.45, k=3):
+    metric = random_points(n, dim=2, seed=seed)
+    cover = robust_tree_cover(metric, eps=eps)
+    return MetricNavigator(metric, cover, k)
+
+
+class TestSparsify:
+    def test_dense_input_becomes_sparse(self):
+        nav = doubling_navigator(60, seed=1)
+        dense = complete_graph(nav.metric)
+        before, after, sparse = sparsify_report(dense, nav, t=1.0)
+        assert after.edges < before.edges
+        assert after.edges <= nav.num_edges  # subgraph of H_X
+
+    def test_stretch_grows_by_at_most_gamma(self):
+        nav = doubling_navigator(50, seed=2)
+        pairs = sample_pairs(50, 100)
+        gamma = max(nav.cover.stretch(u, v) for u, v in pairs)
+        spanner = greedy_spanner(nav.metric, 1.4)
+        before, after, _ = sparsify_report(spanner, nav, t=1.4, pairs=pairs)
+        assert after.stretch <= gamma * before.stretch + 1e-6
+
+    def test_lightness_grows_by_at_most_gamma(self):
+        nav = doubling_navigator(50, seed=3)
+        spanner = greedy_spanner(nav.metric, 1.4)
+        sparse = sparsify(spanner, nav)
+        gamma = max(nav.cover.stretch(u, v) for u, v in sample_pairs(50, 200))
+        assert lightness(sparse, nav.metric) <= gamma * lightness(spanner, nav.metric) + 1e-6
+
+    def test_result_is_subgraph_of_navigation_spanner(self):
+        nav = doubling_navigator(40, seed=4)
+        sparse = sparsify(greedy_spanner(nav.metric, 1.5), nav)
+        edges = nav.spanner_edges()
+        for u, v, _ in sparse.edges():
+            assert (min(u, v), max(u, v)) in edges
+
+
+class TestApproximateSpt:
+    @pytest.mark.parametrize("root", [0, 33])
+    def test_algorithm_3_guarantees(self, root):
+        nav = doubling_navigator(60, seed=5)
+        gamma = max(nav.cover.stretch(root, v) for v in range(60) if v != root)
+        parent, dist = approximate_spt(nav, root)
+        verify_spt(nav, root, parent, dist, gamma + 1e-9)
+
+    def test_spt_beats_navigation_weight_bound(self):
+        """dist[v] is at most the navigated path weight (relaxation only
+        improves it)."""
+        nav = doubling_navigator(50, seed=6)
+        parent, dist = approximate_spt(nav, 0)
+        for v in range(1, 50):
+            path = nav.find_path(0, v)
+            assert dist[v] <= nav.path_weight(path) + 1e-9
+
+    def test_spt_graph_is_spanning_tree(self):
+        nav = doubling_navigator(40, seed=7)
+        parent, _ = approximate_spt(nav, 3)
+        g = spt_as_graph(parent, nav.metric)
+        assert g.num_edges == 39
+        assert all(d < float("inf") for d in dijkstra(g, 3))
+
+
+class TestApproximateMst:
+    def test_base_mst_is_minimum(self):
+        metric = random_points(40, dim=2, seed=8)
+        from repro.graphs import prim_mst
+
+        exact = mst_weight(prim_mst(40, metric.distance))
+        assert abs(mst_weight(base_mst(metric)) - exact) < 1e-6
+
+    def test_base_mst_small_input_fallback(self):
+        metric = random_points(3, dim=2, seed=9)
+        assert len(base_mst(metric)) == 2
+
+    def test_approximate_mst_ratio(self):
+        nav = doubling_navigator(60, seed=10)
+        exact = mst_weight(base_mst(nav.metric))
+        approx = mst_weight(approximate_mst(nav))
+        gamma = max(nav.cover.stretch(u, v) for u, v in sample_pairs(60, 300))
+        assert exact <= approx + 1e-9
+        assert approx <= gamma * exact + 1e-6
+
+    def test_approximate_mst_is_spanning_subgraph_of_spanner(self):
+        nav = doubling_navigator(40, seed=11)
+        edges = approximate_mst(nav)
+        assert len(edges) == 39
+        spanner_edges = nav.spanner_edges()
+        for u, v, _ in edges:
+            assert (min(u, v), max(u, v)) in spanner_edges
+
+
+class TestOnlineTreeProduct:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_ops_per_query_at_most_k_minus_one(self, k):
+        tree = random_tree(250, seed=12)
+        values = [(v,) for v in range(250)]
+        counter = CountingSemigroup(lambda a, b: a + b)
+        product = OnlineTreeProduct(tree, k, counter, values)
+        counter.reset()
+        rng = random.Random(13)
+        for _ in range(200):
+            u, v = rng.sample(range(250), 2)
+            product.query(u, v)
+            assert counter.reset() <= k - 1
+
+    def test_non_commutative_correctness(self):
+        """Tuple concatenation is non-commutative; results must equal
+        the naive edge-by-edge walk exactly."""
+        tree = random_tree(150, seed=14)
+        values = [(v,) for v in range(150)]
+        op = lambda a, b: a + b
+        product = OnlineTreeProduct(tree, 3, op, values)
+        naive = NaiveTreeProduct(tree, op, values)
+        rng = random.Random(15)
+        for _ in range(300):
+            u, v = rng.sample(range(150), 2)
+            assert product.query(u, v) == naive.query(u, v)
+
+    def test_matches_tree_distance_for_sum_semigroup(self):
+        tree = random_tree(100, seed=16)
+        product = OnlineTreeProduct(tree, 2, lambda a, b: a + b, list(tree.weights))
+        metric = TreeMetric(tree)
+        rng = random.Random(17)
+        for _ in range(100):
+            u, v = rng.sample(range(100), 2)
+            assert abs(product.query(u, v) - metric.distance(u, v)) < 1e-6
+
+    def test_min_semigroup_on_path(self):
+        tree = path_tree(80, seed=18)
+        product = OnlineTreeProduct(tree, 4, min, list(tree.weights))
+        assert abs(product.query(0, 79) - min(tree.weights[1:])) < 1e-12
+
+    def test_identity_query_rejected(self):
+        tree = random_tree(20, seed=19)
+        product = OnlineTreeProduct(tree, 2, min, list(tree.weights))
+        with pytest.raises(ValueError):
+            product.query(4, 4)
+
+    def test_naive_ops_scale_with_path_length(self):
+        tree = path_tree(200, seed=20)
+        counter = CountingSemigroup(min)
+        naive = NaiveTreeProduct(tree, counter, list(tree.weights))
+        naive.query(0, 199)
+        assert counter.ops == 198  # Θ(n), the cost Theorem 5.6 avoids
+
+
+class TestMstVerification:
+    def setup_method(self):
+        self.tree = random_tree(200, seed=21)
+        self.verifier = MstVerifier(self.tree, 2)
+
+    def test_answers_match_brute_force(self):
+        rng = random.Random(22)
+        for _ in range(300):
+            u, v = rng.sample(range(200), 2)
+            w = rng.uniform(0.0, 15.0)
+            expected = self.verifier.brute_force(u, v, w)
+            by_order, _ = self.verifier.verify_by_order(u, v, w)
+            generic, _ = self.verifier.verify(u, v, w)
+            assert by_order == generic == expected
+
+    def test_single_weight_comparison_by_order(self):
+        rng = random.Random(23)
+        for _ in range(100):
+            u, v = rng.sample(range(200), 2)
+            _, comparisons = self.verifier.verify_by_order(u, v, rng.uniform(0, 15))
+            assert comparisons == 1
+
+    def test_generic_variant_uses_at_most_k_comparisons(self):
+        for k in (2, 3, 4):
+            verifier = MstVerifier(self.tree, k)
+            rng = random.Random(24)
+            for _ in range(100):
+                u, v = rng.sample(range(200), 2)
+                _, comparisons = verifier.verify(u, v, rng.uniform(0, 15))
+                assert comparisons <= k
+
+    def test_preprocessing_comparisons_near_sorting_bound(self):
+        import math
+
+        n = 200
+        assert self.verifier.preprocessing_comparisons <= 3 * n * math.log2(n)
+
+    def test_path_max_matches_walk(self):
+        rng = random.Random(25)
+        depth = self.tree.depths()
+        for _ in range(100):
+            u, v = rng.sample(range(200), 2)
+            path = self.tree.path(u, v)
+            expected = max(
+                self.tree.weights[b if depth[b] > depth[a] else a]
+                for a, b in zip(path, path[1:])
+            )
+            assert abs(self.verifier.path_max(u, v) - expected) < 1e-12
+
+    def test_mst_edges_verify_false_nontree_heavier_true(self):
+        """For an actual MST, every non-tree edge is heavier than the
+        tree path between its endpoints (the cycle property)."""
+        metric = random_points(60, dim=2, seed=26)
+        edges = base_mst(metric)
+        from repro.graphs import Tree
+
+        tree = Tree.from_edges(60, edges)
+        verifier = MstVerifier(tree, 3)
+        rng = random.Random(27)
+        tree_pairs = {(min(u, v), max(u, v)) for u, v, _ in edges}
+        for _ in range(150):
+            u, v = rng.sample(range(60), 2)
+            if (min(u, v), max(u, v)) in tree_pairs:
+                continue
+            ok, _ = verifier.verify_by_order(u, v, metric.distance(u, v))
+            assert ok, f"MST cycle property violated for ({u}, {v})"

@@ -1,0 +1,137 @@
+"""Tests for the AS87 applications: bottleneck flows and MST updates."""
+
+import random
+
+import pytest
+
+from repro.apps import BottleneckOracle, MstUpdater, maximum_spanning_tree
+from repro.graphs import Graph, Tree, prim_mst
+from repro.metrics import random_points
+from repro.util import CountingSemigroup
+
+
+def random_capacity_graph(n, extra, seed):
+    rng = random.Random(seed)
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), rng.uniform(1, 100))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(1, 100))
+    return g
+
+
+class TestMaximumSpanningTree:
+    def test_is_spanning(self):
+        g = random_capacity_graph(50, 80, seed=0)
+        edges = maximum_spanning_tree(g)
+        assert len(edges) == 49
+        Tree.from_edges(50, edges)  # validates connectivity
+
+    def test_rejects_disconnected(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        with pytest.raises(ValueError):
+            maximum_spanning_tree(g)
+
+    def test_maximality_via_cut_property(self):
+        """Every non-tree edge is no heavier than the min edge on its
+        tree path (cut/cycle property of maximum spanning trees)."""
+        g = random_capacity_graph(40, 60, seed=1)
+        edges = maximum_spanning_tree(g)
+        tree = Tree.from_edges(40, edges)
+        depth = tree.depths()
+        tree_pairs = {(min(u, v), max(u, v)) for u, v, _ in edges}
+        for u, v, w in g.edges():
+            if (u, v) in tree_pairs:
+                continue
+            path = tree.path(u, v)
+            path_min = min(
+                tree.weights[b if depth[b] > depth[a] else a]
+                for a, b in zip(path, path[1:])
+            )
+            assert w <= path_min + 1e-9
+
+
+class TestBottleneckOracle:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_widest_path(self, k):
+        g = random_capacity_graph(80, 150, seed=2)
+        oracle = BottleneckOracle(g, k=k)
+        rng = random.Random(3)
+        for _ in range(100):
+            u, v = rng.sample(range(80), 2)
+            assert abs(oracle.bottleneck(u, v) - oracle.brute_force(u, v)) < 1e-9
+
+    def test_ops_per_query(self):
+        g = random_capacity_graph(100, 200, seed=4)
+        counter = CountingSemigroup(min)
+        oracle = BottleneckOracle(g, k=3, op=counter)
+        counter.reset()
+        rng = random.Random(5)
+        for _ in range(100):
+            u, v = rng.sample(range(100), 2)
+            oracle.bottleneck(u, v)
+            assert counter.reset() <= 2  # k - 1
+
+    def test_identity_is_infinite(self):
+        g = random_capacity_graph(10, 10, seed=6)
+        assert BottleneckOracle(g).bottleneck(3, 3) == float("inf")
+
+
+class TestMstUpdater:
+    def setup_method(self):
+        self.metric = random_points(40, dim=2, seed=7)
+        mst_edges = prim_mst(40, self.metric.distance)
+        self.tree = Tree.from_edges(40, mst_edges)
+        tree_pairs = {(min(u, v), max(u, v)) for u, v, _ in mst_edges}
+        self.non_tree = [
+            (u, v, self.metric.distance(u, v))
+            for u in range(40)
+            for v in range(u + 1, 40)
+            if (u, v) not in tree_pairs
+        ]
+        self.updater = MstUpdater(self.tree, self.non_tree)
+
+    def exact_mst_weight(self, overrides):
+        """Prim with per-edge weight overrides {frozenset: weight}."""
+
+        def dist(u, v):
+            return overrides.get((min(u, v), max(u, v)), self.metric.distance(u, v))
+
+        return sum(w for _, _, w in prim_mst(40, dist))
+
+    def test_small_increase_keeps_tree(self):
+        child = next(v for v in range(40) if self.tree.parents[v] != -1)
+        tiny = self.tree.weights[child] + 1e-9
+        assert self.updater.replacement(child, tiny) is None
+
+    def test_huge_increase_triggers_replacement(self):
+        child = max(
+            (v for v in range(40) if self.tree.parents[v] != -1),
+            key=lambda v: self.tree.weights[v],
+        )
+        swap = self.updater.replacement(child, 10**9)
+        assert swap is not None
+        u, v, w = swap
+        # The replacement must actually cross the cut.
+        assert self.updater._on_path(child, u, v)
+
+    @pytest.mark.parametrize("factor", [1.5, 3.0, 100.0])
+    def test_updated_tree_is_optimal(self, factor):
+        rng = random.Random(8)
+        for _ in range(10):
+            child = rng.choice([v for v in range(40) if self.tree.parents[v] != -1])
+            parent = self.tree.parents[child]
+            new_weight = self.tree.weights[child] * factor
+            updated, _ = self.updater.apply(child, new_weight)
+            overrides = {(min(parent, child), max(parent, child)): new_weight}
+            expected = self.exact_mst_weight(overrides)
+            got = sum(w for _, _, w in updated.edges())
+            assert abs(got - expected) < 1e-6
+
+    def test_rejects_root(self):
+        with pytest.raises(ValueError):
+            self.updater.replacement(self.tree.root, 5.0)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tree_defaults(self):
+        args = build_parser().parse_args(["tree"])
+        assert args.n == 1000 and args.k == 2
+
+    def test_navigate_family_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["navigate", "--family", "hyperbolic"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "PODC 2022" in capsys.readouterr().out
+
+    def test_tree_command(self, capsys):
+        assert main(["tree", "--n", "200", "--k", "2", "--queries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hops via" in out and out.count("->") == 3
+
+    def test_navigate_euclidean(self, capsys):
+        assert main([
+            "navigate", "--family", "euclidean", "--n", "60",
+            "--eps", "0.5", "--queries", "2",
+        ]) == 0
+        assert "stretch" in capsys.readouterr().out
+
+    def test_navigate_general(self, capsys):
+        assert main([
+            "navigate", "--family", "general", "--n", "50", "--queries", "2",
+        ]) == 0
+        assert "cover of" in capsys.readouterr().out
+
+    def test_route_planar(self, capsys):
+        assert main([
+            "route", "--family", "planar", "--n", "60", "--queries", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "labels <=" in out and "hops via" in out

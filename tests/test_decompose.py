@@ -1,0 +1,190 @@
+"""Tests for Prune / Decompose / component splitting (Section 3 of [Sol13])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decompose import WorkTree, decompose, prune, split_components
+from repro.graphs import random_tree
+
+
+def work_tree(n, seed):
+    return WorkTree.from_tree(random_tree(n, seed=seed))
+
+
+def required_sample(n, count, seed):
+    rng = random.Random(seed)
+    return set(rng.sample(range(n), count))
+
+
+class TestWorkTree:
+    def test_from_tree_preserves_structure(self):
+        t = random_tree(40, seed=0)
+        wt = WorkTree.from_tree(t)
+        assert len(wt) == 40
+        assert wt.root == t.root
+        assert set(wt.preorder()) == set(range(40))
+
+    def test_postorder_reverses_preorder(self):
+        wt = work_tree(30, seed=1)
+        assert wt.postorder() == list(reversed(wt.preorder()))
+
+
+class TestPrune:
+    def test_keeps_all_required(self):
+        wt = work_tree(80, seed=2)
+        req = required_sample(80, 20, seed=3)
+        pruned = prune(wt, req)
+        assert req <= set(pruned.vertices())
+
+    def test_steiner_bound(self):
+        """At most |R| - 1 Steiner (non-required) vertices survive."""
+        for seed in range(8):
+            wt = work_tree(100, seed=seed)
+            req = required_sample(100, 15, seed=seed + 50)
+            pruned = prune(wt, req)
+            steiner = set(pruned.vertices()) - req
+            assert len(steiner) <= len(req) - 1
+
+    def test_every_steiner_vertex_branches(self):
+        wt = work_tree(90, seed=4)
+        req = required_sample(90, 12, seed=5)
+        pruned = prune(wt, req)
+        for v in pruned.vertices():
+            if v not in req:
+                assert len(pruned.children[v]) >= 2, f"Steiner {v} does not branch"
+
+    def test_preserves_ancestor_order(self):
+        """Parent in the pruned tree is an ancestor in the original tree."""
+        t = random_tree(70, seed=6)
+        wt = WorkTree.from_tree(t)
+        req = required_sample(70, 18, seed=7)
+        pruned = prune(wt, req)
+        for v in pruned.vertices():
+            p = pruned.parent[v]
+            if p != -1:
+                assert t.is_ancestor(p, v)
+
+    def test_noop_when_everything_required(self):
+        wt = work_tree(50, seed=8)
+        pruned = prune(wt, set(range(50)))
+        assert set(pruned.vertices()) == set(range(50))
+        assert pruned.parent == wt.parent
+
+    def test_rejects_empty_required(self):
+        with pytest.raises(ValueError):
+            prune(work_tree(10, seed=9), set())
+
+    def test_single_required_vertex(self):
+        wt = work_tree(40, seed=10)
+        pruned = prune(wt, {7})
+        assert set(pruned.vertices()) == {7}
+        assert pruned.root == 7
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("ell", [1, 2, 5, 10, 25])
+    def test_components_bounded(self, ell):
+        wt = work_tree(120, seed=11)
+        req = set(range(120))
+        cuts = decompose(wt, req, ell)
+        components, _, _ = split_components(wt, cuts)
+        for comp in components:
+            assert len(set(comp.vertices()) & req) <= ell
+
+    def test_cut_count_bound(self):
+        """|CV| <= |V| / (ell + 1) (Lemma 3.1's general case)."""
+        for seed in range(6):
+            wt = work_tree(150, seed=seed)
+            req = set(range(150))
+            for ell in (3, 7, 20):
+                cuts = decompose(wt, req, ell)
+                assert len(cuts) <= len(wt) // (ell + 1) + 1
+
+    def test_half_ell_gives_single_centroid_cut(self):
+        """ell = ceil(n/2) yields exactly one cut vertex (the k=2 case)."""
+        for seed in range(10):
+            n = 20 + seed * 13
+            wt = work_tree(n, seed=seed)
+            req = set(range(n))
+            cuts = decompose(wt, req, (n + 1) // 2)
+            assert len(cuts) == 1
+
+    def test_respects_required_subset(self):
+        wt = work_tree(100, seed=12)
+        req = required_sample(100, 30, seed=13)
+        cuts = decompose(wt, req, 4)
+        components, _, comp_of = split_components(wt, cuts)
+        for comp in components:
+            assert len(set(comp.vertices()) & req) <= 4
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            decompose(work_tree(10, seed=14), {0}, 0)
+
+
+class TestSplitComponents:
+    def test_partition_of_non_cut_vertices(self):
+        wt = work_tree(80, seed=15)
+        cuts = decompose(wt, set(range(80)), 6)
+        components, borders, comp_of = split_components(wt, cuts)
+        seen = set()
+        for comp in components:
+            vertices = set(comp.vertices())
+            assert not (vertices & seen), "components overlap"
+            seen |= vertices
+        assert seen | set(cuts) == set(range(80))
+
+    def test_components_are_connected_subtrees(self):
+        wt = work_tree(70, seed=16)
+        cuts = decompose(wt, set(range(70)), 5)
+        components, _, _ = split_components(wt, cuts)
+        for comp in components:
+            assert set(comp.preorder()) == set(comp.vertices())
+
+    def test_borders_are_adjacent_cuts(self):
+        wt = work_tree(90, seed=17)
+        cuts = decompose(wt, set(range(90)), 8)
+        components, borders, comp_of = split_components(wt, cuts)
+        cut_set = set(cuts)
+        for i, comp in enumerate(components):
+            vertices = set(comp.vertices())
+            expected = set()
+            for v in vertices:
+                p = wt.parent[v]
+                if p in cut_set:
+                    expected.add(p)
+            for c in cut_set:
+                if wt.parent[c] in vertices:
+                    expected.add(c)
+            assert borders[i] == expected
+
+    def test_comp_of_covers_all_non_cuts(self):
+        wt = work_tree(60, seed=18)
+        cuts = decompose(wt, set(range(60)), 7)
+        _, _, comp_of = split_components(wt, cuts)
+        assert set(comp_of) == set(range(60)) - set(cuts)
+
+
+@given(
+    st.integers(min_value=8, max_value=120),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_decompose_invariant(n, ell, seed):
+    """On random trees with random required sets, components hold <= ell
+    required vertices and cuts plus components partition the tree."""
+    rng = random.Random(seed)
+    wt = work_tree(n, seed=seed)
+    req = set(rng.sample(range(n), rng.randint(1, n)))
+    cuts = decompose(wt, req, ell)
+    components, _, comp_of = split_components(wt, cuts)
+    covered = set(cuts)
+    for comp in components:
+        vertices = set(comp.vertices())
+        assert len(vertices & req) <= ell
+        covered |= vertices
+    assert covered == set(range(n))

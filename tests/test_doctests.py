@@ -1,0 +1,22 @@
+"""Run the library's embedded doctests (usage examples in docstrings)."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graphs.lca
+import repro.graphs.tree
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.graphs.lca, repro.graphs.tree],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    # Modules listed here are expected to actually contain examples.
+    if module is not repro.graphs.tree:
+        assert results.attempted > 0

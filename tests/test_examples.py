@@ -1,0 +1,27 @@
+"""Smoke-run every example script (opt-in: ``pytest -m stress``).
+
+Examples are documentation; these tests keep them from rotting.  They
+are in the stress tier because a few build full tree covers and FT
+spanners (tens of seconds each).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.stress
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    spec = importlib.util.spec_from_file_location(script.stem, script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its results

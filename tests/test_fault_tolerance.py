@@ -1,0 +1,139 @@
+"""Tests for the fault-tolerant spanner (Theorem 4.2) and FT navigation."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.metrics import clustered_points, random_points, sample_pairs
+from repro.spanners import FaultTolerantSpanner
+from repro.spanners.spanner import measured_stretch
+from repro.treecover import robust_tree_cover
+
+
+class TestConstruction:
+    def setup_method(self):
+        self.metric = random_points(60, dim=2, seed=0)
+        self.cover = robust_tree_cover(self.metric, eps=0.45)
+
+    def test_edge_count_grows_quadratically_in_f(self):
+        counts = [
+            FaultTolerantSpanner(self.metric, f=f, k=2, cover=self.cover).edge_count()
+            for f in (0, 1, 3)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+        # Theorem 4.2's f² factor is the worst case (both replica sets
+        # full); edges incident to leaves scale linearly, so require
+        # clearly superconstant growth without demanding the full f².
+        assert counts[2] >= 3 * counts[0]
+
+    def test_replica_sets_respect_f(self):
+        ft = FaultTolerantSpanner(self.metric, f=2, k=2, cover=self.cover)
+        for per_tree in ft.replicas:
+            for pool in per_tree:
+                assert len(pool) <= 3
+
+    def test_leaf_replicas_are_the_point(self):
+        ft = FaultTolerantSpanner(self.metric, f=2, k=2, cover=self.cover)
+        for data_index, cover_tree in enumerate(ft.cover.trees[:5]):
+            for p, vertex in enumerate(cover_tree.vertex_of_point):
+                assert ft.replicas[data_index][vertex] == [p]
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ValueError):
+            FaultTolerantSpanner(self.metric, f=-1, k=2, cover=self.cover)
+
+    def test_materialized_graph_spans_metric(self):
+        ft = FaultTolerantSpanner(self.metric, f=1, k=2, cover=self.cover)
+        graph = ft.materialize()
+        stretch = measured_stretch(graph, self.metric, sample_pairs(60, 80))
+        assert stretch <= 2.5  # the (1 + O(eps)) regime
+
+
+class TestFtNavigation:
+    def setup_method(self):
+        self.metric = random_points(50, dim=2, seed=1)
+        self.cover = robust_tree_cover(self.metric, eps=0.45)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    @pytest.mark.parametrize("f", [0, 1, 2])
+    def test_paths_under_random_faults(self, k, f):
+        ft = FaultTolerantSpanner(self.metric, f=f, k=k, cover=self.cover)
+        rng = random.Random(2)
+        for _ in range(60):
+            u, v = rng.sample(range(50), 2)
+            pool = [x for x in range(50) if x not in (u, v)]
+            faults = set(rng.sample(pool, f))
+            path = ft.find_path(u, v, faults)
+            stretch = ft.verify_path(u, v, faults, path)
+            assert stretch <= 30.0  # sanity: bounded, measured in benches
+
+    def test_exhaustive_single_faults_small_instance(self):
+        metric = random_points(18, dim=2, seed=3)
+        cover = robust_tree_cover(metric, eps=0.45)
+        ft = FaultTolerantSpanner(metric, f=1, k=2, cover=cover)
+        for u, v in itertools.combinations(range(18), 2):
+            for fault in range(18):
+                if fault in (u, v):
+                    continue
+                path = ft.find_path(u, v, {fault})
+                ft.verify_path(u, v, {fault}, path)
+
+    def test_path_edges_exist_in_materialized_spanner(self):
+        ft = FaultTolerantSpanner(self.metric, f=1, k=3, cover=self.cover)
+        graph = ft.materialize()
+        rng = random.Random(4)
+        for _ in range(40):
+            u, v = rng.sample(range(50), 2)
+            fault = rng.choice([x for x in range(50) if x not in (u, v)])
+            path = ft.find_path(u, v, {fault})
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b), (a, b)
+
+    def test_fault_free_equals_plain_query(self):
+        ft = FaultTolerantSpanner(self.metric, f=2, k=2, cover=self.cover)
+        path = ft.find_path(0, 49)
+        assert path[0] == 0 and path[-1] == 49
+        assert len(path) - 1 <= 2
+
+    def test_rejects_faulty_endpoint(self):
+        ft = FaultTolerantSpanner(self.metric, f=1, k=2, cover=self.cover)
+        with pytest.raises(ValueError):
+            ft.find_path(0, 1, {0})
+
+    def test_rejects_excess_faults(self):
+        ft = FaultTolerantSpanner(self.metric, f=1, k=2, cover=self.cover)
+        with pytest.raises(ValueError):
+            ft.find_path(0, 1, {2, 3})
+
+    def test_clustered_input(self):
+        metric = clustered_points(40, clusters=4, seed=5)
+        cover = robust_tree_cover(metric, eps=0.45)
+        ft = FaultTolerantSpanner(metric, f=1, k=2, cover=cover)
+        rng = random.Random(6)
+        for _ in range(40):
+            u, v = rng.sample(range(40), 2)
+            fault = rng.choice([x for x in range(40) if x not in (u, v)])
+            path = ft.find_path(u, v, {fault})
+            ft.verify_path(u, v, {fault}, path)
+
+
+class TestStretchUnderFaults:
+    def test_stretch_stays_bounded_as_f_grows(self):
+        """The f-FT guarantee: stretch under faults does not degrade
+        with f (bigger replica sets only help)."""
+        metric = random_points(45, dim=2, seed=7)
+        cover = robust_tree_cover(metric, eps=0.4)
+        rng = random.Random(8)
+        worst = {}
+        for f in (1, 3):
+            ft = FaultTolerantSpanner(metric, f=f, k=2, cover=cover)
+            rng_local = random.Random(9)
+            worst[f] = 0.0
+            for _ in range(60):
+                u, v = rng_local.sample(range(45), 2)
+                pool = [x for x in range(45) if x not in (u, v)]
+                faults = set(rng_local.sample(pool, f))
+                path = ft.find_path(u, v, faults)
+                worst[f] = max(worst[f], ft.verify_path(u, v, faults, path))
+        assert worst[3] <= worst[1] * 3.0 + 3.0

@@ -1,0 +1,197 @@
+"""Tests for the weighted-graph substrate and spanner quality measures."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import Graph, bfs_hops, dijkstra, prim_mst
+from repro.metrics import random_points, sample_pairs
+from repro.spanners import (
+    bounded_hop_stretch,
+    complete_graph,
+    evaluate_spanner,
+    greedy_spanner,
+    hop_diameter,
+    lightness,
+    measured_stretch,
+    sparsity,
+    theta_graph,
+)
+from repro.spanners.baselines import theta_walk
+
+
+def random_graph(n, extra, seed):
+    rng = random.Random(seed)
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), rng.uniform(1, 10))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, rng.uniform(1, 10))
+    return g
+
+
+def to_networkx(g):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    for u, v, w in g.edges():
+        h.add_edge(u, v, weight=w)
+    return h
+
+
+class TestGraph:
+    def test_parallel_edges_keep_minimum(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(1, 0, 2.0)
+        g.add_edge(0, 1, 9.0)
+        assert g.adj[0][1] == 2.0
+        assert g.num_edges == 1
+
+    def test_self_loops_ignored(self):
+        g = Graph(2)
+        g.add_edge(0, 0, 1.0)
+        assert g.num_edges == 0
+
+    def test_rejects_negative_weight(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_rejects_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5, 1.0)
+
+    def test_union_and_totals(self):
+        a = Graph(4)
+        a.add_edge(0, 1, 1.0)
+        b = Graph(4)
+        b.add_edge(1, 2, 2.0)
+        b.add_edge(0, 1, 0.5)
+        u = a.union(b)
+        assert u.num_edges == 2
+        assert u.adj[0][1] == 0.5
+        assert abs(u.total_weight() - 2.5) < 1e-9
+
+    def test_path_weight_validates_edges(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            g.path_weight([0, 2])
+        assert g.path_weight([0, 1]) == 1.0
+
+    def test_degree_accounting(self):
+        g = random_graph(30, 40, seed=0)
+        assert g.max_degree() == max(g.degree(v) for v in range(30))
+
+
+class TestShortestPaths:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dijkstra_matches_networkx(self, seed):
+        g = random_graph(40, 60, seed)
+        h = to_networkx(g)
+        expected = nx.single_source_dijkstra_path_length(h, 0)
+        got = dijkstra(g, 0)
+        for v in range(40):
+            assert abs(got[v] - expected[v]) < 1e-9
+
+    def test_dijkstra_with_target_early_exit(self):
+        g = random_graph(50, 80, seed=3)
+        full = dijkstra(g, 0)
+        for v in (5, 17, 49):
+            assert abs(dijkstra(g, 0, target=v) - full[v]) < 1e-9
+
+    def test_bfs_hops_matches_networkx(self):
+        g = random_graph(40, 50, seed=4)
+        h = to_networkx(g)
+        expected = nx.single_source_shortest_path_length(h, 2)
+        got = bfs_hops(g, 2)
+        for v in range(40):
+            assert got[v] == expected[v]
+
+    def test_prim_matches_networkx_mst_weight(self):
+        m = random_points(50, seed=5)
+        edges = prim_mst(50, m.distance)
+        assert len(edges) == 49
+        h = nx.Graph()
+        for u in range(50):
+            for v in range(u + 1, 50):
+                h.add_edge(u, v, weight=m.distance(u, v))
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_tree(h).edges(data=True)
+        )
+        assert abs(sum(w for _, _, w in edges) - expected) < 1e-6
+
+
+class TestSpannerMeasures:
+    def test_complete_graph_is_perfect(self):
+        m = random_points(30, seed=6)
+        g = complete_graph(m)
+        pairs = sample_pairs(30, 60)
+        assert measured_stretch(g, m, pairs) <= 1.0 + 1e-9
+        assert hop_diameter(g, m, 1.0, pairs) == 1
+
+    def test_greedy_spanner_respects_stretch(self):
+        m = random_points(40, seed=7)
+        for t in (1.2, 1.5, 2.0):
+            g = greedy_spanner(m, t)
+            assert measured_stretch(g, m, sample_pairs(40, 80)) <= t + 1e-9
+
+    def test_greedy_spanner_size_decreases_with_stretch(self):
+        m = random_points(40, seed=8)
+        sizes = [greedy_spanner(m, t).num_edges for t in (1.1, 1.5, 2.5)]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_theta_graph_stretch_bound(self):
+        m = random_points(60, seed=9)
+        g = theta_graph(m, cones=12)
+        theta = 2 * math.pi / 12
+        bound = 1.0 / (math.cos(theta) - math.sin(theta))
+        assert measured_stretch(g, m, sample_pairs(60, 100)) <= bound + 1e-6
+
+    def test_theta_walk_reaches_target(self):
+        m = random_points(60, seed=10)
+        g = theta_graph(m, cones=10)
+        rng = random.Random(0)
+        for _ in range(20):
+            u, v = rng.sample(range(60), 2)
+            walk = theta_walk(m, g, u, v, cones=10)
+            assert walk[-1] == v
+
+    def test_bounded_hop_stretch_decreases_with_k(self):
+        m = random_points(40, seed=11)
+        g = greedy_spanner(m, 1.5)
+        pairs = sample_pairs(40, 60)
+        values = [bounded_hop_stretch(g, m, k, pairs) for k in (1, 2, 4, 40)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] <= 1.5 + 1e-9
+
+    def test_hop_diameter_consistent_with_bounded_stretch(self):
+        m = random_points(35, seed=12)
+        g = greedy_spanner(m, 1.4)
+        pairs = sample_pairs(35, 50)
+        k = hop_diameter(g, m, 1.4, pairs)
+        assert bounded_hop_stretch(g, m, k, pairs) <= 1.4 + 1e-9
+        if k > 1:
+            assert bounded_hop_stretch(g, m, k - 1, pairs) > 1.4
+
+    def test_lightness_of_mst_is_one(self):
+        m = random_points(30, seed=13)
+        g = Graph(30)
+        for u, v, w in prim_mst(30, m.distance):
+            g.add_edge(u, v, w)
+        assert abs(lightness(g, m) - 1.0) < 1e-6
+        assert abs(sparsity(g) - 1.0) < 1e-9
+
+    def test_evaluate_spanner_bundles_measures(self):
+        m = random_points(30, seed=14)
+        g = greedy_spanner(m, 1.5)
+        report = evaluate_spanner(g, m, 1.5, sample_pairs(30, 40))
+        assert report.edges == g.num_edges
+        assert report.stretch <= 1.5 + 1e-9
+        assert report.hops >= 1
+        assert report.lightness >= 1.0

@@ -1,0 +1,181 @@
+"""End-to-end integration tests: full pipelines across subsystems.
+
+Each test exercises a realistic chain — metric → cover → navigation →
+application/routing — and checks the cross-cutting invariants the unit
+tests cannot see (e.g. that routed paths live on the same overlay the
+navigator reports, or that sparsified spanners remain navigable inputs).
+"""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    MstVerifier,
+    approximate_mst,
+    approximate_spt,
+    base_mst,
+    mst_weight,
+    shallow_light_tree,
+    sparsify,
+)
+from repro.core import MetricNavigator, TreeNavigator
+from repro.graphs import Tree, dijkstra, random_tree
+from repro.metrics import (
+    TreeMetric,
+    clustered_points,
+    random_graph_metric,
+    random_points,
+    sample_pairs,
+)
+from repro.routing import MetricRoutingScheme, build_tree_network, tree_protocol
+from repro.spanners import FaultTolerantSpanner, bounded_hop_stretch
+from repro.treecover import few_trees_cover, ramsey_tree_cover, robust_tree_cover
+
+
+@pytest.fixture(scope="module")
+def doubling_setup():
+    metric = random_points(80, dim=2, seed=0)
+    cover = robust_tree_cover(metric, eps=0.45)
+    return metric, cover
+
+
+class TestNavigationVsSpannerMeasures:
+    def test_reported_paths_match_bounded_hop_stretch(self, doubling_setup):
+        """The spanner's measured k-hop stretch can never beat the
+        navigator's reported paths by definition, and the navigator must
+        achieve the hop budget the spanner measurement certifies."""
+        metric, cover = doubling_setup
+        nav = MetricNavigator(metric, cover, 3)
+        spanner = nav.spanner()
+        pairs = sample_pairs(80, 40, seed=1)
+        best_possible = bounded_hop_stretch(spanner, metric, 3, pairs)
+        reported = max(nav.query_stretch(u, v)[1] for u, v in pairs)
+        assert best_possible <= reported + 1e-9
+
+    def test_spanner_distance_at_most_path_weight(self, doubling_setup):
+        metric, cover = doubling_setup
+        nav = MetricNavigator(metric, cover, 2)
+        spanner = nav.spanner()
+        for u, v in sample_pairs(80, 30, seed=2):
+            path_weight = nav.path_weight(nav.find_path(u, v))
+            assert dijkstra(spanner, u, target=v) <= path_weight + 1e-9
+
+    def test_approx_distance_consistent_with_paths(self, doubling_setup):
+        metric, cover = doubling_setup
+        nav = MetricNavigator(metric, cover, 2)
+        for u, v in sample_pairs(80, 50, seed=3):
+            oracle = nav.approx_distance(u, v)
+            assert metric.distance(u, v) <= oracle + 1e-9
+            assert nav.path_weight(nav.find_path(u, v)) <= oracle + 1e-9
+
+
+class TestRoutingMatchesNavigation:
+    def test_routed_weight_never_beats_navigated_weight_by_much(self, doubling_setup):
+        """Routing picks the same best tree as navigation, so routed and
+        navigated 2-hop weights agree."""
+        metric, cover = doubling_setup
+        nav = MetricNavigator(metric, cover, 2)
+        scheme = MetricRoutingScheme(metric, cover, seed=4)
+        for u, v in sample_pairs(80, 50, seed=5):
+            routed = scheme.route(u, v).weight
+            navigated = nav.path_weight(nav.find_path(u, v))
+            assert abs(routed - navigated) <= 1e-6 * max(1.0, navigated)
+
+    def test_tree_routing_agrees_with_tree_navigation(self):
+        tree = random_tree(150, seed=6)
+        scheme, net = build_tree_network(tree, seed=7)
+        navigator = scheme.navigator
+        metric = TreeMetric(tree)
+        rng = random.Random(8)
+        for _ in range(100):
+            u, v = rng.sample(range(150), 2)
+            result = net.route(u, tree_protocol, scheme.labels[v], scheme.tables)
+            path = navigator.find_path(u, v)
+            assert result.hops <= 2 and len(path) - 1 <= 2
+            assert abs(result.weight - metric.distance(u, v)) < 1e-6
+
+
+class TestSparsifyThenConsume:
+    def test_sparsified_spanner_still_serves_spt(self, doubling_setup):
+        """Pipeline: dense spanner -> sparsify -> run Dijkstra on the
+        result; stretch must stay within the composition bound."""
+        metric, cover = doubling_setup
+        nav = MetricNavigator(metric, cover, 2)
+        from repro.spanners import complete_graph
+
+        sparse = sparsify(complete_graph(metric), nav)
+        pairs = sample_pairs(80, 30, seed=9)
+        gamma = max(cover.stretch(u, v) for u, v in pairs)
+        for u, v in pairs:
+            d = dijkstra(sparse, u, target=v)
+            assert d <= gamma * metric.distance(u, v) + 1e-6
+
+
+class TestTreePipeline:
+    def test_navigator_feeds_verifier_and_products(self):
+        """One tree, one navigator, shared by tree products and MST
+        verification (navigator reuse path)."""
+        tree = random_tree(120, seed=10)
+        navigator = TreeNavigator(tree, 3)
+        from repro.apps import OnlineTreeProduct
+
+        product = OnlineTreeProduct(
+            tree, 3, max, list(tree.weights), navigator=navigator
+        )
+        metric = TreeMetric(tree)
+        rng = random.Random(11)
+        for _ in range(60):
+            u, v = rng.sample(range(120), 2)
+            path = metric.path(u, v)
+            depth = tree.depths()
+            expected = max(
+                tree.weights[b if depth[b] > depth[a] else a]
+                for a, b in zip(path, path[1:])
+            )
+            assert abs(product.query(u, v) - expected) < 1e-12
+
+
+class TestFullDoublingStack:
+    def test_everything_on_one_clustered_instance(self):
+        """Cover -> navigation -> SPT/MST/SLT -> FT, one instance."""
+        metric = clustered_points(70, clusters=5, seed=12)
+        cover = robust_tree_cover(metric, eps=0.45)
+        nav = MetricNavigator(metric, cover, 3)
+
+        parent, dist = approximate_spt(nav, 0)
+        assert all(p != -1 for i, p in enumerate(parent) if i != 0)
+
+        mst_edges = approximate_mst(nav)
+        assert mst_weight(mst_edges) <= 2.0 * mst_weight(base_mst(metric))
+
+        slt_parent, slt_dist = shallow_light_tree(nav, 0, beta=2.0, mst_edges=mst_edges)
+        assert sum(1 for p in slt_parent if p == -1) == 1
+
+        verifier = MstVerifier(Tree.from_edges(70, mst_edges), 2)
+        rng = random.Random(13)
+        for _ in range(40):
+            u, v = rng.sample(range(70), 2)
+            ok, comparisons = verifier.verify_by_order(u, v, 10**9)
+            assert ok and comparisons == 1
+
+        ft = FaultTolerantSpanner(metric, f=1, k=3, cover=cover)
+        for _ in range(30):
+            u, v = rng.sample(range(70), 2)
+            fault = rng.choice([x for x in range(70) if x not in (u, v)])
+            path = ft.find_path(u, v, {fault})
+            ft.verify_path(u, v, {fault}, path)
+
+
+class TestGeneralMetricStack:
+    def test_ramsey_and_few_trees_agree_on_domination(self):
+        metric = random_graph_metric(60, seed=14)
+        for cover in (
+            ramsey_tree_cover(metric, ell=2, seed=15),
+            few_trees_cover(metric, 3, seed=16),
+        ):
+            nav = MetricNavigator(metric, cover, 2)
+            for u, v in sample_pairs(60, 40, seed=17):
+                weight = nav.path_weight(nav.find_path(u, v))
+                assert weight >= metric.distance(u, v) - 1e-9
+                assert len(nav.find_path(u, v)) - 1 <= 2

@@ -1,0 +1,70 @@
+"""Tests for cover/tree serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import MetricNavigator
+from repro.graphs import random_tree
+from repro.io import (
+    cover_from_dict,
+    cover_to_dict,
+    load_cover,
+    save_cover,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.metrics import random_graph_metric, random_points, sample_pairs
+from repro.treecover import ramsey_tree_cover, robust_tree_cover
+
+
+class TestTreeRoundTrip:
+    def test_structure_and_weights_preserved(self):
+        tree = random_tree(80, seed=0)
+        clone = tree_from_dict(json.loads(json.dumps(tree_to_dict(tree))))
+        assert clone.parents == tree.parents
+        assert clone.weights == tree.weights
+        assert clone.distance(3, 77) == tree.distance(3, 77)
+
+
+class TestCoverRoundTrip:
+    def test_doubling_cover_round_trip(self, tmp_path):
+        metric = random_points(60, dim=2, seed=1)
+        cover = robust_tree_cover(metric, eps=0.5)
+        path = str(tmp_path / "cover.json")
+        save_cover(cover, path)
+        loaded = load_cover(path, metric)
+        assert loaded.size == cover.size
+        for u, v in sample_pairs(60, 50, seed=2):
+            assert abs(loaded.stretch(u, v) - cover.stretch(u, v)) < 1e-9
+
+    def test_ramsey_home_preserved(self):
+        metric = random_graph_metric(40, seed=3)
+        cover = ramsey_tree_cover(metric, ell=2, seed=4)
+        buffer = io.StringIO()
+        save_cover(cover, buffer)
+        buffer.seek(0)
+        loaded = load_cover(buffer, metric)
+        assert loaded.home == cover.home
+
+    def test_loaded_cover_navigates_identically(self):
+        metric = random_points(50, dim=2, seed=5)
+        cover = robust_tree_cover(metric, eps=0.5)
+        loaded = cover_from_dict(cover_to_dict(cover), metric)
+        original = MetricNavigator(metric, cover, 2)
+        rebuilt = MetricNavigator(metric, loaded, 2)
+        for u, v in sample_pairs(50, 60, seed=6):
+            assert original.find_path(u, v) == rebuilt.find_path(u, v)
+
+    def test_rejects_wrong_metric_size(self):
+        metric = random_points(30, dim=2, seed=7)
+        cover = robust_tree_cover(metric, eps=0.5)
+        other = random_points(31, dim=2, seed=7)
+        with pytest.raises(ValueError):
+            cover_from_dict(cover_to_dict(cover), other)
+
+    def test_rejects_foreign_payload(self):
+        metric = random_points(10, dim=2, seed=8)
+        with pytest.raises(ValueError):
+            cover_from_dict({"format": "something-else"}, metric)

@@ -1,0 +1,149 @@
+"""Tests for Theorem 1.2: two-step navigation over tree covers."""
+
+import random
+import time
+
+import pytest
+
+from repro.core import MetricNavigator
+from repro.metrics import (
+    grid_graph_metric,
+    random_graph_metric,
+    random_points,
+    sample_pairs,
+)
+from repro.treecover import (
+    planar_tree_cover,
+    ramsey_tree_cover,
+    robust_tree_cover,
+)
+
+
+def home_stretch(cover, metric):
+    worst = 1.0
+    for p in range(metric.n):
+        tree = cover.trees[cover.home[p]]
+        for q in range(0, metric.n, 5):
+            if q != p:
+                worst = max(worst, tree.tree_distance(p, q) / metric.distance(p, q))
+    return worst
+
+
+class TestDoublingNavigation:
+    def setup_method(self):
+        self.metric = random_points(90, dim=2, seed=0)
+        self.cover = robust_tree_cover(self.metric, eps=0.45)
+        self.gamma = self.cover.measured_stretch(sample_pairs(90, 300))[0]
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_queries_meet_all_guarantees(self, k):
+        nav = MetricNavigator(self.metric, self.cover, k)
+        pairs = sample_pairs(90, 100, seed=k)
+        gamma = max(self.cover.stretch(u, v) for u, v in pairs)
+        for u, v in pairs:
+            nav.verify_query(u, v, gamma + 1e-9)
+
+    def test_path_is_list_of_points(self):
+        nav = MetricNavigator(self.metric, self.cover, 2)
+        path = nav.find_path(0, 89)
+        assert all(0 <= p < 90 for p in path)
+        assert path[0] == 0 and path[-1] == 89
+
+    def test_identity(self):
+        nav = MetricNavigator(self.metric, self.cover, 2)
+        assert nav.find_path(7, 7) == [7]
+
+    def test_reported_tree_achieves_best_distance(self):
+        nav = MetricNavigator(self.metric, self.cover, 2)
+        _, index = nav.find_path_with_tree(3, 50)
+        best_index, best = self.cover.best_tree(3, 50)
+        assert index == best_index
+
+    def test_spanner_size_scales_with_zeta(self):
+        """|H_X| = O(n·αk(n)·ζ): a richer cover gives a bigger H_X."""
+        rich_cover = robust_tree_cover(self.metric, eps=0.25)
+        base = MetricNavigator(self.metric, self.cover, 2).num_edges
+        rich = MetricNavigator(self.metric, rich_cover, 2).num_edges
+        assert rich_cover.size > self.cover.size
+        assert rich > base
+
+    def test_query_stretch_helper(self):
+        nav = MetricNavigator(self.metric, self.cover, 3)
+        hops, stretch = nav.query_stretch(2, 77)
+        assert hops <= 3
+        assert 1.0 <= stretch <= self.gamma + 1e-9
+
+
+class TestGeneralNavigation:
+    def setup_method(self):
+        self.metric = random_graph_metric(70, seed=1)
+        self.cover = ramsey_tree_cover(self.metric, ell=2, seed=2)
+        self.gamma = home_stretch(self.cover, self.metric)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_queries(self, k):
+        nav = MetricNavigator(self.metric, self.cover, k)
+        for u, v in sample_pairs(70, 120, seed=k):
+            nav.verify_query(u, v)
+
+    def test_constant_time_tree_choice(self):
+        """Ramsey home lookup beats the O(ζ) scan structurally: the
+        chosen tree is always the home tree of one endpoint."""
+        nav = MetricNavigator(self.metric, self.cover, 2)
+        for u, v in sample_pairs(70, 50, seed=9):
+            _, index = nav.find_path_with_tree(u, v)
+            assert index == self.cover.home[u]
+
+
+class TestPlanarNavigation:
+    def test_queries(self):
+        metric = grid_graph_metric(9, seed=3)
+        cover = planar_tree_cover(metric)
+        for k in (2, 3):
+            nav = MetricNavigator(metric, cover, k)
+            pairs = sample_pairs(metric.n, 120, seed=k)
+            gamma = max(cover.stretch(u, v) for u, v in pairs)
+            assert gamma <= 3.0 + 1e-6
+            for u, v in pairs:
+                nav.verify_query(u, v, gamma + 1e-9)
+
+
+class TestQueryWorkScaling:
+    def _count_distance_evaluations(self, metric, cover, queries):
+        """Tree-distance evaluations per find_path (the O(ζ) scan)."""
+        from repro.treecover.base import CoverTree
+
+        nav = MetricNavigator(metric, cover, 2)
+        counter = {"calls": 0}
+        original = CoverTree.tree_distance
+
+        def counting(self, p, q):
+            counter["calls"] += 1
+            return original(self, p, q)
+
+        CoverTree.tree_distance = counting
+        try:
+            for u, v in queries:
+                nav.find_path(u, v)
+        finally:
+            CoverTree.tree_distance = original
+        return counter["calls"] / len(queries)
+
+    def test_scan_cost_is_zeta_not_n(self):
+        """O(k + ζ) query: tree selection evaluates exactly ζ tree
+        distances per query, independent of n (deterministic version of
+        the paper's τ bound — wall-clock is measured in the benches)."""
+        metric = random_points(120, dim=2, seed=4)
+        cover = robust_tree_cover(metric, eps=0.6)
+        per_query = self._count_distance_evaluations(
+            metric, cover, sample_pairs(120, 40, seed=5)
+        )
+        assert per_query == cover.size
+
+    def test_ramsey_scan_cost_is_constant(self):
+        metric = random_graph_metric(80, seed=6)
+        cover = ramsey_tree_cover(metric, ell=2, seed=7)
+        per_query = self._count_distance_evaluations(
+            metric, cover, sample_pairs(80, 40, seed=8)
+        )
+        assert per_query == 1.0  # home-tree lookup only

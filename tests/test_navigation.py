@@ -1,0 +1,247 @@
+"""Tests for Theorem 1.1: the navigable tree 1-spanner.
+
+The three guarantees under test, per query: the reported path (a) uses
+only spanner edges, (b) has at most k hops, (c) has weight exactly the
+tree distance and is T-monotone.  Plus the structural guarantees: size
+O(n·αk(n)), recursion-tree depth O(αk(n)), O(k)-ish query work.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TreeNavigator, alpha_k, dedup_path
+from repro.graphs import (
+    caterpillar_tree,
+    path_tree,
+    random_tree,
+    star_tree,
+)
+
+SHAPES = [
+    ("random", lambda n, s: random_tree(n, seed=s)),
+    ("path", lambda n, s: path_tree(n, seed=s)),
+    ("caterpillar", lambda n, s: caterpillar_tree(n, seed=s)),
+    ("star", lambda n, s: star_tree(n)),
+]
+
+
+class TestDedup:
+    def test_removes_consecutive_duplicates_only(self):
+        assert dedup_path([1, 1, 2, 2, 3, 1]) == [1, 2, 3, 1]
+        assert dedup_path([5]) == [5]
+        assert dedup_path([]) == []
+
+
+class TestExhaustiveCorrectness:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize("shape", ["random", "path", "caterpillar", "star"])
+    def test_all_pairs_small_trees(self, k, shape):
+        builder = dict(SHAPES)[shape]
+        for seed in (0, 1):
+            n = 37 + 11 * seed
+            tree = builder(n, seed)
+            nav = TreeNavigator(tree, k)
+            for u, v in itertools.combinations(range(n), 2):
+                nav.verify_path(u, v, nav.find_path(u, v))
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_sampled_pairs_medium_trees(self, k):
+        tree = random_tree(600, seed=5)
+        nav = TreeNavigator(tree, k)
+        rng = random.Random(6)
+        for _ in range(400):
+            u, v = rng.randrange(600), rng.randrange(600)
+            if u != v:
+                nav.verify_path(u, v, nav.find_path(u, v))
+
+    def test_tiny_trees_every_size(self):
+        for n in range(2, 12):
+            for k in (2, 3, 4):
+                tree = random_tree(n, seed=n)
+                nav = TreeNavigator(tree, k)
+                for u, v in itertools.combinations(range(n), 2):
+                    nav.verify_path(u, v, nav.find_path(u, v))
+
+    def test_identity_query(self):
+        nav = TreeNavigator(random_tree(20, seed=7), 2)
+        assert nav.find_path(5, 5) == [5]
+
+
+class TestSteinerSetting:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_required_subset(self, k):
+        rng = random.Random(8)
+        tree = random_tree(120, seed=9)
+        required = sorted(rng.sample(range(120), 35))
+        nav = TreeNavigator(tree, k, required=required)
+        for u, v in itertools.combinations(required, 2):
+            nav.verify_path(u, v, nav.find_path(u, v))
+
+    def test_non_required_query_rejected(self):
+        tree = random_tree(30, seed=10)
+        nav = TreeNavigator(tree, 2, required=[0, 1, 2, 3, 4])
+        with pytest.raises(KeyError):
+            nav.find_path(0, 20)
+
+    def test_empty_required_rejected(self):
+        with pytest.raises(ValueError):
+            TreeNavigator(random_tree(10, seed=0), 2, required=[])
+
+    def test_single_required_vertex(self):
+        nav = TreeNavigator(random_tree(10, seed=0), 2, required=[3])
+        assert nav.find_path(3, 3) == [3]
+
+    def test_smaller_required_set_gives_smaller_spanner(self):
+        tree = random_tree(200, seed=11)
+        full = TreeNavigator(tree, 2)
+        partial = TreeNavigator(tree, 2, required=list(range(0, 200, 4)))
+        assert partial.num_edges < full.num_edges
+
+
+class TestParameterValidation:
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            TreeNavigator(random_tree(10, seed=0), 1)
+
+    def test_decrement_must_be_one_or_two(self):
+        with pytest.raises(ValueError):
+            TreeNavigator(random_tree(10, seed=0), 2, decrement=3)
+
+
+class TestLevelByLevelVariant:
+    """The AS87-style ablation: budget drops by 1 per interconnection
+    level, paths use up to 2(k-1) hops (Remark 5.4's other side)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_correctness(self, k):
+        tree = random_tree(90, seed=20)
+        nav = TreeNavigator(tree, k, decrement=1)
+        for u, v in itertools.combinations(range(0, 90, 4), 2):
+            nav.verify_path(u, v, nav.find_path(u, v))
+
+    def test_hop_bound_doubles(self):
+        tree = path_tree(600, seed=21)
+        solomon = TreeNavigator(tree, 5)
+        leveled = TreeNavigator(tree, 5, decrement=1)
+        assert solomon.hop_bound == 5
+        assert leveled.hop_bound == 8
+        rng = random.Random(22)
+        worst = max(
+            len(leveled.find_path(rng.randrange(600), rng.randrange(600))) - 1
+            for _ in range(400)
+        )
+        assert 5 < worst <= 8  # really pays more hops than Solomon
+
+    def test_k2_variants_identical(self):
+        """At k = 2 both schemes are the same centroid star."""
+        tree = random_tree(200, seed=23)
+        assert (
+            TreeNavigator(tree, 2).num_edges
+            == TreeNavigator(tree, 2, decrement=1).num_edges
+        )
+
+
+class TestSizeBounds:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_size_tracks_n_alpha_k(self, k):
+        """|E| <= C·n·αk(n): check with a uniform constant across n."""
+        constant = 6.0
+        for n in (128, 512, 2048):
+            nav = TreeNavigator(path_tree(n, seed=1), k)
+            bound = constant * n * max(1, alpha_k(k, n))
+            assert nav.num_edges <= bound, (n, k, nav.num_edges, bound)
+
+    def test_k2_size_is_about_n_log_n(self):
+        n = 4096
+        nav = TreeNavigator(path_tree(n, seed=2), 2)
+        # Within [0.4, 1.5] of n log2 n on paths.
+        assert 0.4 * n * 12 <= nav.num_edges <= 1.5 * n * 12
+
+    def test_size_decreases_from_k2_to_k3(self):
+        tree = path_tree(2048, seed=3)
+        assert TreeNavigator(tree, 3).num_edges < TreeNavigator(tree, 2).num_edges
+
+    def test_star_tree_is_cheap(self):
+        """A star is already a 2-hop 1-spanner; size stays near-linear."""
+        nav = TreeNavigator(star_tree(1000), 2)
+        assert nav.num_edges <= 6 * 1000
+
+
+class TestRecursionTreeDepth:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_phi_depth_tracks_alpha_k(self, k):
+        """Observation 3.1: depth(Φ) = O(αk(n))."""
+        for n in (256, 1024, 4096):
+            nav = TreeNavigator(path_tree(n, seed=4), k)
+            assert nav.phi_depth() <= 3 * max(1, alpha_k(k, n)) + 3
+
+    def test_depth_grows_with_n_for_k2(self):
+        d1 = TreeNavigator(path_tree(256, seed=5), 2).phi_depth()
+        d2 = TreeNavigator(path_tree(4096, seed=5), 2).phi_depth()
+        assert d2 > d1
+
+
+class TestQueryWork:
+    def test_hops_never_exceed_k(self):
+        for k in (2, 3, 4, 5, 6):
+            nav = TreeNavigator(path_tree(900, seed=6), k)
+            rng = random.Random(7)
+            for _ in range(300):
+                u, v = rng.randrange(900), rng.randrange(900)
+                assert len(nav.find_path(u, v)) - 1 <= k
+
+    def test_some_query_needs_k_hops(self):
+        """The hop budget is tight: on paths, some pair uses all k hops."""
+        for k in (2, 3, 4):
+            nav = TreeNavigator(path_tree(800, seed=8), k)
+            rng = random.Random(9)
+            longest = max(
+                len(nav.find_path(rng.randrange(800), rng.randrange(800))) - 1
+                for _ in range(500)
+            )
+            assert longest == k
+
+    def test_spanner_graph_matches_edge_dict(self):
+        nav = TreeNavigator(random_tree(100, seed=10), 3)
+        g = nav.spanner()
+        assert g.num_edges == nav.num_edges
+        for (a, b), w in nav.edges.items():
+            assert abs(g.adj[a][b] - w) < 1e-9
+
+
+class TestEdgeWeights:
+    def test_edge_weights_are_tree_distances(self):
+        tree = random_tree(80, seed=11)
+        nav = TreeNavigator(tree, 3)
+        for (a, b), w in nav.edges.items():
+            assert abs(w - tree.distance(a, b)) < 1e-9
+
+    def test_unit_weights_hop_equals_distance_on_path(self):
+        # On a unit path, spanner distance == |u - v| despite few hops.
+        tree = path_tree(200, seed=12)
+        tree.weights = [0.0] + [1.0] * 199
+        tree._wdepth = None
+        nav = TreeNavigator(tree, 2)
+        path = nav.find_path(10, 150)
+        total = sum(nav.edges[(min(a, b), max(a, b))] for a, b in zip(path, path[1:]))
+        assert abs(total - 140.0) < 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=70),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_random_trees_random_pairs(n, k, seed):
+    tree = random_tree(n, seed=seed)
+    nav = TreeNavigator(tree, k)
+    rng = random.Random(seed)
+    for _ in range(10):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            nav.verify_path(u, v, nav.find_path(u, v))

@@ -1,0 +1,114 @@
+"""Cross-cutting hypothesis property tests over the core structures.
+
+These complement the per-module tests with randomized invariants that
+tie several subsystems together: navigation paths vs tree paths, cover
+domination vs metric axioms, tree-product algebra, routing labels.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import OnlineTreeProduct
+from repro.core import TreeNavigator
+from repro.graphs import random_tree
+from repro.metrics import TreeMetric, random_points
+from repro.routing import HeavyPathLabeling, label_distance, lca_key
+from repro.treecover import robust_tree_cover
+
+tree_params = st.tuples(
+    st.integers(min_value=2, max_value=90),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+
+@given(tree_params, st.integers(min_value=2, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_navigation_path_is_subsequence_of_tree_path(params, k):
+    n, seed = params
+    tree = random_tree(n, seed=seed)
+    navigator = TreeNavigator(tree, k)
+    rng = random.Random(seed)
+    u, v = rng.randrange(n), rng.randrange(n)
+    if u == v:
+        return
+    spanner_path = navigator.find_path(u, v)
+    tree_path = tree.path(u, v)
+    positions = {w: i for i, w in enumerate(tree_path)}
+    indices = [positions[w] for w in spanner_path]
+    assert indices[0] == 0 and indices[-1] == len(tree_path) - 1
+    assert indices == sorted(indices)
+
+
+@given(tree_params)
+@settings(max_examples=30, deadline=None)
+def test_spanner_never_shrinks_distances(params):
+    """1-spanner edges carry exact tree distances: any spanner walk is
+    at least the tree distance (domination) for every vertex pair."""
+    n, seed = params
+    tree = random_tree(n, seed=seed)
+    navigator = TreeNavigator(tree, 3)
+    metric = TreeMetric(tree)
+    rng = random.Random(seed + 1)
+    for _ in range(5):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        path = navigator.find_path(u, v)
+        weight = sum(
+            navigator.edges[(min(a, b), max(a, b))] for a, b in zip(path, path[1:])
+        )
+        assert weight >= metric.distance(u, v) - 1e-9
+
+
+@given(tree_params, st.integers(min_value=2, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_tree_product_associativity_consistency(params, k):
+    """Products computed through different hop decompositions agree —
+    a direct consequence of associativity that exercises the per-edge
+    precomputation across k values."""
+    n, seed = params
+    tree = random_tree(n, seed=seed)
+    values = [(v % 13,) for v in range(n)]
+    op = lambda a, b: a + b
+    products = [
+        OnlineTreeProduct(tree, kk, op, values) for kk in (2, k)
+    ]
+    rng = random.Random(seed + 2)
+    for _ in range(5):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        assert products[0].query(u, v) == products[1].query(u, v)
+
+
+@given(tree_params)
+@settings(max_examples=30, deadline=None)
+def test_labels_answer_lca_and_distance(params):
+    n, seed = params
+    tree = random_tree(n, seed=seed)
+    labeling = HeavyPathLabeling(tree)
+    metric = TreeMetric(tree)
+    rng = random.Random(seed + 3)
+    for _ in range(5):
+        u, v = rng.randrange(n), rng.randrange(n)
+        assert lca_key(labeling.label(u), labeling.label(v)) == labeling.key(
+            metric.lca(u, v)
+        )
+        d = label_distance(labeling.label(u), labeling.label(v))
+        assert abs(d - metric.distance(u, v)) < 1e-9
+
+
+@given(st.integers(min_value=10, max_value=40), st.integers(min_value=0, max_value=50))
+@settings(max_examples=8, deadline=None)
+def test_cover_domination_is_universal(n, seed):
+    metric = random_points(n, dim=2, seed=seed)
+    cover = robust_tree_cover(metric, eps=0.5)
+    rng = random.Random(seed)
+    for _ in range(10):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        for tree in random.Random(seed).sample(cover.trees, min(5, cover.size)):
+            assert tree.tree_distance(u, v) >= metric.distance(u, v) - 1e-6

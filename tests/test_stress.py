@@ -1,0 +1,51 @@
+"""Large randomized soak tests (marked ``stress``; run explicitly with
+``pytest -m stress tests/test_stress.py``).
+
+The default suite keeps instances small for speed; these push the
+navigator and covers to larger n and many random seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MetricNavigator, TreeNavigator
+from repro.graphs import random_tree
+from repro.metrics import random_points, sample_pairs
+from repro.treecover import robust_tree_cover
+
+pytestmark = pytest.mark.stress
+
+
+def test_tree_navigator_soak_many_seeds():
+    for seed in range(40):
+        rng = random.Random(seed)
+        n = rng.randrange(50, 400)
+        k = rng.choice([2, 3, 4, 5, 6, 7, 8])
+        tree = random_tree(n, seed=seed)
+        navigator = TreeNavigator(tree, k)
+        for _ in range(60):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                navigator.verify_path(u, v, navigator.find_path(u, v))
+
+
+def test_tree_navigator_large_instance():
+    n = 60000
+    tree = random_tree(n, seed=99)
+    navigator = TreeNavigator(tree, 3)
+    rng = random.Random(1)
+    for _ in range(500):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            path = navigator.find_path(u, v)
+            assert len(path) - 1 <= 3
+
+
+def test_metric_navigation_soak():
+    for seed in range(6):
+        metric = random_points(120, dim=2, seed=seed)
+        cover = robust_tree_cover(metric, eps=0.4)
+        navigator = MetricNavigator(metric, cover, 2)
+        for u, v in sample_pairs(120, 150, seed=seed):
+            navigator.verify_query(u, v)

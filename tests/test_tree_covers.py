@@ -1,0 +1,264 @@
+"""Tests for the tree cover constructions (Table 1, Theorem 4.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics import (
+    NetHierarchy,
+    clustered_points,
+    delaunay_metric,
+    grid_graph_metric,
+    random_graph_metric,
+    random_metric,
+    random_points,
+    sample_pairs,
+    scale_levels,
+)
+from repro.treecover import (
+    CoverTree,
+    build_pairing_covers,
+    ckr_partition,
+    few_trees_cover,
+    path_replacement_bound,
+    planar_tree_cover,
+    ramsey_tree_cover,
+    replaced_path_weight,
+    robust_tree_cover,
+    robustness_certificate,
+)
+from repro.treecover.hst import PartitionHierarchy, build_hst
+
+
+class TestPairingCovers:
+    def test_definition_4_2_properties(self):
+        """Each point has at most one partner per set; every close pair
+        is paired in some set."""
+        m = random_points(100, seed=0)
+        eps = 0.4
+        lo, hi = scale_levels(m)
+        lo -= math.ceil(math.log2(1 / eps)) + 2
+        h = NetHierarchy(m, i_min=lo, i_max=hi)
+        covers = build_pairing_covers(m, h, eps)
+        for cover in covers.values():
+            cover.verify(m, eps)
+
+    def test_coverage_of_close_net_pairs(self):
+        from repro.treecover.dumbbell import covering_radius, pairing_radius
+
+        m = random_points(80, seed=1)
+        eps = 0.4
+        h = NetHierarchy(m)
+        covers = build_pairing_covers(m, h, eps)
+        for i in range(h.i_min, h.i_max + 1):
+            rho = pairing_radius(eps, i, covering_radius(m, h, i))
+            net = h.nets[i]
+            paired = set()
+            for pairs in covers[i].sets:
+                for x, y in pairs:
+                    paired.add((min(x, y), max(x, y)))
+            for a_index, a in enumerate(net):
+                for b in net[a_index + 1 :]:
+                    if m.distance(a, b) <= rho:
+                        assert (min(a, b), max(a, b)) in paired, (i, a, b)
+
+
+class TestRobustCover:
+    def setup_method(self):
+        self.metric = random_points(110, dim=2, seed=2)
+        self.cover = robust_tree_cover(self.metric, eps=0.4)
+        self.pairs = sample_pairs(110, 300)
+
+    def test_trees_dominate(self):
+        for cover_tree in self.cover.trees[: min(25, self.cover.size)]:
+            cover_tree.check_dominating(self.metric, self.pairs[:60])
+
+    def test_stretch_bounded(self):
+        worst, mean = self.cover.measured_stretch(self.pairs)
+        assert worst <= 2.5  # 1 + O(eps) with the construction's constants
+        assert mean <= 1.3
+
+    def test_stretch_improves_with_eps(self):
+        small = robust_tree_cover(self.metric, eps=0.2)
+        worst_small, _ = small.measured_stretch(self.pairs)
+        worst_big, _ = self.cover.measured_stretch(self.pairs)
+        assert worst_small <= worst_big + 1e-9
+        assert small.size > self.cover.size  # zeta grows as eps shrinks
+
+    def test_robustness_certificate_bounded(self):
+        values = [robustness_certificate(self.cover, p, q) for p, q in self.pairs[:40]]
+        assert max(values) <= 8.0  # adversarial replacement stays O(1)
+
+    def test_random_replacement_within_certificate(self):
+        rng = random.Random(3)
+        for p, q in self.pairs[:25]:
+            index, _ = self.cover.best_tree(p, q)
+            cover_tree = self.cover.trees[index]
+            descendants = cover_tree.descendant_points()
+            bound = path_replacement_bound(cover_tree, self.metric, p, q, descendants)
+            for _ in range(5):
+                w = replaced_path_weight(
+                    cover_tree, self.metric, p, q, rng, descendants
+                )
+                assert w <= bound + 1e-6
+
+    def test_every_point_is_a_distinct_leaf(self):
+        for cover_tree in self.cover.trees[:10]:
+            hosts = cover_tree.vertex_of_point
+            assert len(set(hosts)) == len(hosts)
+            for p, v in enumerate(hosts):
+                assert cover_tree.rep_point[v] == p
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            robust_tree_cover(self.metric, eps=0.0)
+        with pytest.raises(ValueError):
+            robust_tree_cover(self.metric, eps=1.0)
+
+    def test_works_on_clustered_input(self):
+        m = clustered_points(90, clusters=6, seed=4)
+        cover = robust_tree_cover(m, eps=0.4)
+        worst, _ = cover.measured_stretch(sample_pairs(90, 200))
+        assert worst <= 2.5
+
+
+class TestCoverTreeContainer:
+    def test_descendant_points_partition_at_leaves(self):
+        m = random_points(60, seed=5)
+        cover = robust_tree_cover(m, eps=0.45)
+        cover_tree = cover.trees[0]
+        below = cover_tree.descendant_points()
+        root = cover_tree.tree.root
+        assert sorted(below[root]) == list(range(60))
+        for p, v in enumerate(cover_tree.vertex_of_point):
+            assert below[v] == [p]
+
+    def test_tree_path_points_ends_match(self):
+        m = random_points(40, seed=6)
+        cover = robust_tree_cover(m, eps=0.45)
+        points = cover.trees[0].tree_path_points(3, 17)
+        assert points[0] == 3 and points[-1] == 17
+
+    def test_best_tree_scans_when_no_home(self):
+        m = random_points(40, seed=7)
+        cover = robust_tree_cover(m, eps=0.45)
+        index, dist = cover.best_tree(1, 2)
+        assert dist == min(t.tree_distance(1, 2) for t in cover.trees)
+        assert abs(cover.trees[index].tree_distance(1, 2) - dist) < 1e-12
+
+    def test_rep_point_length_validated(self):
+        from repro.graphs import random_tree
+
+        with pytest.raises(ValueError):
+            CoverTree(random_tree(5, seed=0), [0, 1, 2, 3, 4], [0, 1])
+
+
+class TestHst:
+    def test_ckr_partition_is_a_partition_with_bounded_diameter(self):
+        m = random_metric(60, seed=8)
+        rng = random.Random(9)
+        scale = 20.0
+        clusters = ckr_partition(m, list(range(60)), scale, rng)
+        seen = sorted(v for cluster in clusters for v in cluster)
+        assert seen == list(range(60))
+        for cluster in clusters:
+            for a in cluster:
+                for b in cluster:
+                    assert m.distance(a, b) <= scale + 1e-9
+
+    def test_hst_dominates(self):
+        m = random_metric(50, seed=10)
+        hst, _ = build_hst(m, alpha=8.0, seed=1)
+        hst.check_dominating(m, sample_pairs(50, 150))
+
+    def test_padded_points_have_bounded_stretch(self):
+        m = random_metric(60, seed=11)
+        hierarchy = PartitionHierarchy(m, alpha=16.0, rng=random.Random(2))
+        hst = hierarchy.to_cover_tree()
+        for p in hierarchy.padded:
+            for q in range(60):
+                if q != p:
+                    assert hst.tree_distance(p, q) <= 8 * 16.0 * m.distance(p, q)
+
+
+class TestRamseyCover:
+    @pytest.mark.parametrize("ell", [1, 2, 3])
+    def test_home_tree_stretch(self, ell):
+        m = random_graph_metric(70, seed=12)
+        cover = ramsey_tree_cover(m, ell=ell, seed=3)
+        assert cover.home is not None
+        bound = 64.0 * ell
+        fallback_ok = 0
+        for p in range(70):
+            tree = cover.trees[cover.home[p]]
+            worst = max(
+                tree.tree_distance(p, q) / m.distance(p, q)
+                for q in range(70)
+                if q != p
+            )
+            if worst > bound:
+                fallback_ok += 1
+        # The randomized construction may home a few leftovers by
+        # empirical best; the vast majority must meet the proven bound.
+        assert fallback_ok <= 70 * 0.1
+
+    def test_best_tree_uses_home_in_constant_lookups(self):
+        m = random_metric(40, seed=13)
+        cover = ramsey_tree_cover(m, ell=2, seed=4)
+        index, _ = cover.best_tree(5, 9)
+        assert index == cover.home[5]
+
+    def test_tradeoff_direction(self):
+        """Larger ell: fewer trees (easier padding), larger stretch bound."""
+        m = random_graph_metric(80, seed=14)
+        z1 = ramsey_tree_cover(m, ell=1, seed=5).size
+        z3 = ramsey_tree_cover(m, ell=3, seed=5).size
+        assert z3 <= z1
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            ramsey_tree_cover(random_metric(10, seed=0), ell=0)
+
+
+class TestFewTreesCover:
+    @pytest.mark.parametrize("ell", [1, 2, 3])
+    def test_exactly_ell_trees(self, ell):
+        m = random_metric(50, seed=15)
+        cover = few_trees_cover(m, ell, seed=6)
+        assert cover.size == ell
+        assert cover.home is not None
+
+    def test_stretch_decreases_with_more_trees(self):
+        m = random_graph_metric(60, seed=16)
+        pairs = sample_pairs(60, 150)
+        worst1, _ = few_trees_cover(m, 1, seed=7).measured_stretch(pairs)
+        worst4, _ = few_trees_cover(m, 4, seed=7).measured_stretch(pairs)
+        assert worst4 <= worst1 + 1e-9
+
+
+class TestPlanarCover:
+    @pytest.mark.parametrize("maker,arg", [("grid", 11), ("delaunay", 140)])
+    def test_stretch_at_most_three(self, maker, arg):
+        metric = grid_graph_metric(arg, seed=17) if maker == "grid" else delaunay_metric(arg, seed=17)
+        cover = planar_tree_cover(metric)
+        pairs = sample_pairs(metric.n, 400)
+        worst, _ = cover.measured_stretch(pairs)
+        assert worst <= 3.0 + 1e-6
+
+    def test_dominating(self):
+        metric = grid_graph_metric(8, seed=18)
+        cover = planar_tree_cover(metric)
+        pairs = sample_pairs(metric.n, 200)
+        for tree in cover.trees:
+            tree.check_dominating(metric, pairs)
+
+    def test_logarithmically_many_trees(self):
+        small = planar_tree_cover(grid_graph_metric(6, seed=19)).size
+        large = planar_tree_cover(grid_graph_metric(14, seed=19)).size
+        assert large <= small + 8  # O(log n) levels, not polynomial
+
+    def test_max_levels_caps_trees(self):
+        metric = grid_graph_metric(9, seed=20)
+        cover = planar_tree_cover(metric, max_levels=2)
+        assert cover.size <= 2

@@ -1,0 +1,87 @@
+"""Tests for workload generators and the full stack on realistic inputs."""
+
+import pytest
+
+from repro.core import MetricNavigator
+from repro.metrics import (
+    aspect_ratio,
+    check_metric_axioms,
+    doubling_constant_estimate,
+    hierarchical_points,
+    power_law_graph_metric,
+    random_points,
+    ring_of_cliques_metric,
+    road_network_points,
+    sample_pairs,
+)
+from repro.treecover import ramsey_tree_cover, robust_tree_cover
+
+
+class TestGenerators:
+    def test_road_network_axioms_and_aspect(self):
+        metric = road_network_points(150, seed=0)
+        check_metric_axioms(metric, trials=300)
+        assert aspect_ratio(metric, sample=400) > aspect_ratio(
+            random_points(150, seed=0), sample=400
+        )
+
+    def test_hierarchical_axioms(self):
+        check_metric_axioms(hierarchical_points(120, seed=1), trials=300)
+
+    def test_power_law_axioms(self):
+        check_metric_axioms(power_law_graph_metric(100, seed=2), trials=300)
+
+    def test_power_law_has_hubs(self):
+        """The degree distribution must be hub-dominated — doubling
+        estimate larger than for a Euclidean cloud of equal size."""
+        hubby = power_law_graph_metric(150, seed=3)
+        flat = random_points(150, dim=2, seed=3)
+        assert doubling_constant_estimate(hubby, samples=15) >= (
+            0.8 * doubling_constant_estimate(flat, samples=15)
+        )
+
+    def test_ring_of_cliques_structure(self):
+        metric = ring_of_cliques_metric(6, 8, seed=4)
+        assert metric.n == 48
+        # Intra-clique distances are tiny; cross-ring distances huge.
+        assert metric.distance(0, 1) < 5.0
+        half_way = 3 * 8
+        assert metric.distance(0, half_way) > 50.0
+
+    def test_deterministic_by_seed(self):
+        a = road_network_points(50, seed=9).points
+        b = road_network_points(50, seed=9).points
+        assert (a == b).all()
+
+
+class TestNavigationOnWorkloads:
+    @pytest.mark.parametrize("maker", [road_network_points, hierarchical_points])
+    def test_doubling_workloads_navigate(self, maker):
+        metric = maker(90, seed=5)
+        cover = robust_tree_cover(metric, eps=0.45)
+        navigator = MetricNavigator(metric, cover, 3)
+        for u, v in sample_pairs(90, 80, seed=6):
+            navigator.verify_query(u, v)
+
+    @pytest.mark.parametrize(
+        "metric",
+        [
+            power_law_graph_metric(70, seed=7),
+            ring_of_cliques_metric(7, 10, seed=8),
+        ],
+        ids=["power-law", "ring-of-cliques"],
+    )
+    def test_general_workloads_navigate(self, metric):
+        cover = ramsey_tree_cover(metric, ell=2, seed=9)
+        navigator = MetricNavigator(metric, cover, 2)
+        for u, v in sample_pairs(metric.n, 80, seed=10):
+            navigator.verify_query(u, v)
+
+    def test_high_aspect_ratio_is_handled(self):
+        """Road networks have huge aspect ratios — many net levels; the
+        cover must still meet its stretch on every scale."""
+        metric = road_network_points(100, seed=11)
+        cover = robust_tree_cover(metric, eps=0.4)
+        pairs = sample_pairs(100, 300, seed=12)
+        worst, _ = cover.measured_stretch(pairs)
+        assert worst <= 2.5

@@ -1,0 +1,117 @@
+"""Tests for fair split trees, WSPDs, and the classic applications."""
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.metrics import FairSplitTree, grid_points, random_points, sample_pairs
+from repro.spanners import (
+    approximate_diameter,
+    closest_pair,
+    measured_stretch,
+    well_separated_pairs,
+    wspd_spanner,
+)
+
+
+class TestFairSplitTree:
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_invariants(self, dim):
+        metric = random_points(120, dim=dim, seed=0)
+        tree = FairSplitTree(metric)
+        tree.verify()
+
+    def test_node_count_linear(self):
+        metric = random_points(200, dim=2, seed=1)
+        tree = FairSplitTree(metric)
+        assert tree.node_count == 2 * 200 - 1  # binary with n leaves
+
+    def test_handles_duplicate_coordinates(self):
+        points = [[0.0, float(i % 3)] for i in range(12)]
+        # All x equal: the degenerate split path must still terminate.
+        metric_points = np.asarray(points) + np.arange(12)[:, None] * 1e-9
+        from repro.metrics import EuclideanMetric
+
+        tree = FairSplitTree(EuclideanMetric(metric_points))
+        tree.verify()
+
+    def test_depth_reasonable_on_grid(self):
+        metric = grid_points(12, dim=2)
+        tree = FairSplitTree(metric)
+        assert tree.depth() <= 4 * math.ceil(math.log2(metric.n)) + 4
+
+
+class TestWspd:
+    def test_every_pair_covered_exactly_once(self):
+        metric = random_points(60, dim=2, seed=2)
+        tree = FairSplitTree(metric)
+        pairs = well_separated_pairs(tree, 2.0)
+        covered = {}
+        for a, b in pairs:
+            for p in a.points:
+                for q in b.points:
+                    key = (min(int(p), int(q)), max(int(p), int(q)))
+                    covered[key] = covered.get(key, 0) + 1
+        expected = {(p, q) for p, q in itertools.combinations(range(60), 2)}
+        assert set(covered) == expected
+        assert all(count == 1 for count in covered.values())
+
+    def test_pairs_are_separated(self):
+        metric = random_points(80, dim=2, seed=3)
+        tree = FairSplitTree(metric)
+        s = 3.0
+        for a, b in well_separated_pairs(tree, s):
+            radius = max(a.radius(), b.radius())
+            for p in a.points:
+                for q in b.points:
+                    assert metric.distance(int(p), int(q)) >= s * radius - 2 * radius - 1e-9
+
+    def test_pair_count_linear_in_n(self):
+        sizes = {}
+        for n in (100, 400):
+            metric = random_points(n, dim=2, seed=4)
+            sizes[n] = len(well_separated_pairs(FairSplitTree(metric), 2.0))
+        assert sizes[400] <= 6 * sizes[100]  # O(n) pairs for fixed s, d
+
+    def test_rejects_nonpositive_separation(self):
+        metric = random_points(10, dim=2, seed=5)
+        with pytest.raises(ValueError):
+            well_separated_pairs(FairSplitTree(metric), 0.0)
+
+
+class TestWspdSpanner:
+    @pytest.mark.parametrize("s,bound", [(4.0, 3.0), (8.0, 2.0), (16.0, 1.5)])
+    def test_stretch_bound(self, s, bound):
+        metric = random_points(70, dim=2, seed=6)
+        graph = wspd_spanner(metric, s=s)
+        assert measured_stretch(graph, metric, sample_pairs(70, 150)) <= bound
+
+    def test_size_grows_with_separation(self):
+        metric = random_points(100, dim=2, seed=7)
+        small = wspd_spanner(metric, s=2.0).num_edges
+        large = wspd_spanner(metric, s=8.0).num_edges
+        assert small < large
+
+
+class TestProximityUtilities:
+    def test_closest_pair_exact(self):
+        for seed in range(5):
+            metric = random_points(80, dim=2, seed=seed)
+            u, v, d = closest_pair(metric)
+            expected = min(
+                metric.distance(p, q)
+                for p, q in itertools.combinations(range(80), 2)
+            )
+            assert abs(d - expected) < 1e-9
+            assert abs(metric.distance(u, v) - expected) < 1e-9
+
+    def test_approximate_diameter(self):
+        metric = random_points(90, dim=2, seed=8)
+        exact = max(
+            metric.distance(p, q) for p, q in itertools.combinations(range(90), 2)
+        )
+        approx = approximate_diameter(metric, eps=0.1)
+        assert (1 - 0.1) * exact - 1e-9 <= approx <= exact + 1e-9
