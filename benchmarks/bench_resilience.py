@@ -1,0 +1,107 @@
+"""Resilience subsystem — injector cost, chaos sweeps, degraded queries.
+
+Times the moving parts of ``repro.resilience``: fault-set generation
+(including the adversarial path-probing injector), a full chaos sweep
+with per-query invariant enforcement, and the graceful-degradation
+wrappers in the over-budget regime.  Survival-curve *tables* come from
+``python -m repro chaos``; this file answers "how expensive is it?".
+"""
+
+import pytest
+
+from repro.metrics import random_points
+from repro.resilience import (
+    AdversarialInjector,
+    ChaosHarness,
+    RandomInjector,
+    RegionalInjector,
+    find_path_degraded,
+)
+from repro.routing import FaultTolerantRoutingScheme
+from repro.spanners import FaultTolerantSpanner
+from repro.treecover import robust_tree_cover
+
+N = 80
+
+
+@pytest.fixture(scope="module")
+def res_metric():
+    return random_points(N, dim=2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def res_cover(res_metric):
+    return robust_tree_cover(res_metric, eps=0.45)
+
+
+@pytest.fixture(scope="module")
+def res_spanner(res_metric, res_cover):
+    return FaultTolerantSpanner(res_metric, f=2, k=4, cover=res_cover)
+
+
+@pytest.fixture(scope="module")
+def res_router(res_metric, res_cover):
+    return FaultTolerantRoutingScheme(res_metric, f=2, cover=res_cover, seed=7)
+
+
+def test_random_injector_sampling(benchmark, res_metric):
+    injector = RandomInjector(res_metric.n, seed=3)
+
+    def sample_many():
+        total = 0
+        for size in range(0, 20):
+            total += len(injector.sample(size))
+        return total
+
+    assert benchmark(sample_many) == sum(range(20))
+
+
+def test_regional_injector_sampling(benchmark, res_metric):
+    injector = RegionalInjector(res_metric, seed=3)
+    faults = benchmark(injector.sample, 12)
+    assert len(faults) == 12
+
+
+def test_adversarial_injector_construction(benchmark, res_spanner):
+    """The expensive part: probing navigator paths to build the heat map."""
+    injector = benchmark(AdversarialInjector, res_spanner, 60)
+    assert len(injector.ranked()) == res_spanner.metric.n
+
+
+def test_chaos_sweep_navigation_only(benchmark, res_spanner):
+    harness = ChaosHarness(res_spanner, queries=10, seed=5)
+    injector = RandomInjector(res_spanner.metric.n, seed=5)
+
+    def sweep():
+        return harness.sweep(injector, sizes=[0, 2, 6])
+
+    report = benchmark(sweep)
+    assert report.navigation_rate(0) == 1.0
+    assert report.navigation_rate(2) == 1.0
+
+
+def test_chaos_sweep_with_routing(benchmark, res_spanner, res_router):
+    harness = ChaosHarness(res_spanner, res_router, queries=10, seed=5)
+    injector = RandomInjector(res_spanner.metric.n, seed=5)
+
+    def sweep():
+        return harness.sweep(injector, sizes=[0, 2])
+
+    report = benchmark(sweep)
+    assert report.routing_rate(2) == 1.0
+
+
+def test_degraded_queries_over_budget(benchmark, res_spanner):
+    """Best-effort navigation with |F| = 4(f+1), far past the budget."""
+    injector = RandomInjector(res_spanner.metric.n, seed=9)
+    faults = injector.sample(12)
+    live = [p for p in range(N) if p not in faults]
+    pairs = list(zip(live[:20], live[20:40]))
+
+    def degrade_all():
+        delivered = 0
+        for u, v in pairs:
+            delivered += find_path_degraded(res_spanner, u, v, faults).delivered
+        return delivered
+
+    assert benchmark(degrade_all) >= 0

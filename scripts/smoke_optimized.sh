@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Smoke the suite under `python -O`, which strips every `assert`
+# statement.  Library correctness checks must survive (they raise
+# repro.errors exceptions, enforced by tests/test_no_bare_asserts.py);
+# test asserts stay live through pytest's assertion rewriting.
+#
+# Usage: scripts/smoke_optimized.sh [extra pytest args]
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python -O -m pytest -x -q "$@"

@@ -23,6 +23,12 @@ applications.
 """
 
 from .core.ackermann import alpha_k, alpha_k_prime, inverse_ackermann
+from .errors import (
+    FaultBudgetExceeded,
+    InvariantViolation,
+    MetricValidationError,
+    ReproError,
+)
 from .io import load_cover, save_cover
 from .core.metric_navigator import MetricNavigator
 from .core.navigation import TreeNavigator
@@ -41,6 +47,10 @@ __all__ = [
     "alpha_k",
     "alpha_k_prime",
     "inverse_ackermann",
+    "ReproError",
+    "MetricValidationError",
+    "FaultBudgetExceeded",
+    "InvariantViolation",
     "MetricNavigator",
     "TreeNavigator",
     "FaultTolerantSpanner",

@@ -82,7 +82,9 @@ def approximate_mst(navigator: MetricNavigator) -> List[Tuple[int, int, float]]:
             parent[ru] = rv
             result.append((u, v, w))
     if len(result) != metric.n - 1:
-        raise AssertionError("navigated MST union is not connected")
+        from ..errors import InvariantViolation
+
+        raise InvariantViolation("navigated MST union is not connected")
     return result
 
 

@@ -51,18 +51,22 @@ def approximate_spt(
 def verify_spt(
     navigator: MetricNavigator, root: int, parent: List[int], dist: List[float], gamma: float
 ) -> None:
-    """Assert Claims 5.1-5.3: T is a tree, dist is consistent, stretch <= γ."""
+    """Check Claims 5.1-5.3: T is a tree, dist is consistent, stretch <= γ.
+
+    Raises :class:`~repro.errors.InvariantViolation` on violation."""
+    from ..errors import check
+
     metric = navigator.metric
     n = metric.n
     # Tree shape: exactly one root, everything reaches it.
-    assert parent[root] == -1
+    check(parent[root] == -1, "root must have no parent")
     for v in range(n):
         hops = 0
         u = v
         while u != root:
             u = parent[u]
             hops += 1
-            assert hops <= n, f"cycle through vertex {v}"
+            check(hops <= n, f"cycle through vertex {v}")
     # Claim 5.2's invariant (an inequality: a parent's label may drop
     # after its children were attached) and Claim 5.3's γ guarantee on
     # the *tree* distances.
@@ -73,16 +77,21 @@ def verify_spt(
             continue
         u = parent[v]
         key = (u, v) if u < v else (v, u)
-        assert key in edges, f"SPT edge ({u}, {v}) not in the spanner"
+        check(key in edges, f"SPT edge ({u}, {v}) not in the spanner")
         weight = metric.distance(u, v)
         tree_dist[v] = tree_dist[u] + weight
-        assert dist[u] + weight <= dist[v] + 1e-6 * max(1.0, dist[v]), (
-            f"label invariant violated at edge ({u}, {v})"
+        check(
+            dist[u] + weight <= dist[v] + 1e-6 * max(1.0, dist[v]),
+            f"label invariant violated at edge ({u}, {v})",
         )
-        assert tree_dist[v] <= dist[v] + 1e-6 * max(1.0, dist[v])
+        check(
+            tree_dist[v] <= dist[v] + 1e-6 * max(1.0, dist[v]),
+            f"tree distance to {v} exceeds its label",
+        )
         base = metric.distance(root, v)
-        assert tree_dist[v] <= gamma * base + 1e-6, (
-            f"SPT distance {tree_dist[v]} to {v} exceeds {gamma} x {base}"
+        check(
+            tree_dist[v] <= gamma * base + 1e-6,
+            f"SPT distance {tree_dist[v]} to {v} exceeds {gamma} x {base}",
         )
 
 

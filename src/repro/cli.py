@@ -5,6 +5,7 @@ Examples::
     python -m repro navigate --family euclidean --n 300 --k 3 --queries 5
     python -m repro route    --family general   --n 150 --queries 10
     python -m repro tree     --n 2000 --k 2 --queries 5
+    python -m repro chaos    --scenario adversarial --f 2 --k 4
     python -m repro info
 """
 
@@ -99,6 +100,86 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import (
+        ChaosHarness,
+        CrashRecoverySchedule,
+        make_injector,
+    )
+    from .routing import FaultTolerantRoutingScheme
+    from .spanners import FaultTolerantSpanner
+
+    metric = _make_metric(args.family, args.n, args.seed)
+    start = time.perf_counter()
+    cover = robust_tree_cover(metric, eps=args.eps)
+    spanner = FaultTolerantSpanner(metric, f=args.f, k=args.k, cover=cover)
+    router = None
+    if not args.no_routing:
+        router = FaultTolerantRoutingScheme(
+            metric, f=args.f, cover=cover, seed=args.seed
+        )
+    print(
+        f"{args.family} n={args.n}: f={args.f} k={args.k} cover of "
+        f"{cover.size} trees, FT spanner with {spanner.edge_count()} "
+        f"biclique edges ({time.perf_counter() - start:.1f}s)"
+    )
+    harness = ChaosHarness(spanner, router, queries=args.queries, seed=args.seed)
+    sizes = None
+    if args.sizes:
+        try:
+            sizes = sorted({int(s) for s in args.sizes.split(",")})
+        except ValueError:
+            print(f"error: --sizes must be comma-separated integers, "
+                  f"got {args.sizes!r}", file=sys.stderr)
+            return 2
+        if any(s < 0 for s in sizes):
+            print("error: --sizes values must be non-negative", file=sys.stderr)
+            return 2
+
+    if args.scenario == "crash":
+        base = make_injector("random", metric, spanner, seed=args.seed)
+        size = max(sizes) if sizes else 2 * (args.f + 1)
+        schedule = CrashRecoverySchedule(
+            base, size=size, steps=args.steps, seed=args.seed
+        )
+        report = harness.run_schedule(schedule)
+        print(f"\n## crash/recovery timeline — |F|={size}, {args.steps} steps")
+        print(report.format_table())
+        print(
+            f"\nall {report.invariants_checked} within-budget queries satisfied "
+            f"hop <= k, fault avoidance and the robust stretch bound"
+        )
+        return 0
+
+    reports = {}
+    scenarios = [args.scenario] if args.scenario == "random" else ["random", args.scenario]
+    for name in scenarios:
+        injector = make_injector(name, metric, spanner, seed=args.seed)
+        reports[name] = harness.sweep(injector, sizes)
+        print(f"\n## survival — scenario={name}")
+        print(reports[name].format_table())
+    if args.scenario in reports and "random" in reports and args.scenario != "random":
+        adv, rnd = reports[args.scenario], reports["random"]
+        worse = 0
+        for i, (a, r) in enumerate(zip(adv.navigation, rnd.navigation)):
+            nav_worse = a.delivery_rate < r.delivery_rate
+            route_worse = (
+                i < len(adv.routing) and i < len(rnd.routing)
+                and adv.routing[i].delivery_rate < rnd.routing[i].delivery_rate
+            )
+            worse += nav_worse or route_worse
+        print(
+            f"\n{args.scenario} injector degraded delivery below the random "
+            f"baseline at {worse}/{len(adv.navigation)} fault-set sizes"
+        )
+    checked = sum(r.invariants_checked for r in reports.values())
+    print(
+        f"all {checked} within-budget queries satisfied hop <= k, "
+        "fault avoidance and the robust stretch bound"
+    )
+    return 0
+
+
 def cmd_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — bounded hop-diameter spanner navigation "
           "(PODC 2022 reproduction)")
@@ -134,6 +215,29 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--queries", type=int, default=5)
         cmd.add_argument("--seed", type=int, default=0)
         cmd.set_defaults(func=func)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection survival sweeps on the FT stack"
+    )
+    chaos.add_argument("--family", choices=["euclidean", "general", "planar"],
+                       default="euclidean")
+    chaos.add_argument("--n", type=int, default=120)
+    chaos.add_argument("--f", type=int, default=2)
+    chaos.add_argument("--k", type=int, default=4)
+    chaos.add_argument("--eps", type=float, default=0.45)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scenario",
+                       choices=["random", "adversarial", "regional", "crash"],
+                       default="random")
+    chaos.add_argument("--sizes", type=str, default="",
+                       help="comma-separated |F| values (default: auto sweep)")
+    chaos.add_argument("--queries", type=int, default=40,
+                       help="query pairs per fault-set size")
+    chaos.add_argument("--steps", type=int, default=8,
+                       help="time steps for --scenario crash")
+    chaos.add_argument("--no-routing", action="store_true",
+                       help="skip the FT routing survival curve")
+    chaos.set_defaults(func=cmd_chaos)
 
     info = sub.add_parser("info", help="version and subsystem inventory")
     info.set_defaults(func=cmd_info)

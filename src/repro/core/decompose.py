@@ -119,7 +119,9 @@ def prune(wt: WorkTree, required: Set[int]) -> WorkTree:
     # Exactly one kept vertex has no kept ancestor: the closure root.
     roots = [v for v, p in new_parent.items() if p == -1]
     if len(roots) != 1:
-        raise AssertionError(f"prune produced {len(roots)} roots")
+        from ..errors import InvariantViolation
+
+        raise InvariantViolation(f"prune produced {len(roots)} roots")
     return WorkTree(new_parent, new_root)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
 from ..treecover.base import TreeCover
@@ -127,7 +128,8 @@ class MetricNavigator:
     # Verification
 
     def verify_query(self, u: int, v: int, gamma: Optional[float] = None) -> None:
-        """Assert hop and stretch guarantees for one query.
+        """Check hop and stretch guarantees for one query; raises
+        :class:`~repro.errors.InvariantViolation` on violation.
 
         The path must (a) start and end correctly, (b) respect the hop
         budget, (c) consist of spanner edges, (d) weigh no more than the
@@ -135,22 +137,25 @@ class MetricNavigator:
         γ·δ(u, v) if ``gamma`` is the cover's stretch on this pair).
         """
         path = self.find_path(u, v)
-        assert path[0] == u and path[-1] == v, "endpoints mismatch"
-        assert len(path) - 1 <= self.k, (
-            f"path for ({u}, {v}) has {len(path) - 1} hops, budget {self.k}"
+        check(path[0] == u and path[-1] == v, "endpoints mismatch")
+        check(
+            len(path) - 1 <= self.k,
+            f"path for ({u}, {v}) has {len(path) - 1} hops, budget {self.k}",
         )
         edges = self.spanner_edges()
         for a, b in zip(path, path[1:]):
             key = (a, b) if a < b else (b, a)
-            assert key in edges, f"hop ({a}, {b}) is not a spanner edge"
+            check(key in edges, f"hop ({a}, {b}) is not a spanner edge")
         base = self.metric.distance(u, v)
         if base > 0:
             weight = self.path_weight(path)
             _, best = self.cover.best_tree(u, v)
-            assert weight <= best + 1e-6 * max(1.0, best), (
-                f"path weight {weight} exceeds the tree distance {best}"
+            check(
+                weight <= best + 1e-6 * max(1.0, best),
+                f"path weight {weight} exceeds the tree distance {best}",
             )
             if gamma is not None:
-                assert weight <= gamma * base + 1e-6, (
-                    f"path weight {weight} exceeds {gamma} x {base}"
+                check(
+                    weight <= gamma * base + 1e-6,
+                    f"path weight {weight} exceeds {gamma} x {base}",
                 )

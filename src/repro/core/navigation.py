@@ -40,6 +40,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..errors import InvariantViolation, check
 from ..graphs.graph import Graph
 from ..graphs.index import TreeIndex
 from ..graphs.tree import Tree
@@ -380,7 +381,7 @@ class TreeNavigator:
                 if b not in parent:
                     parent[b] = a
                     queue.append(b)
-        raise AssertionError("base-case subgraph must connect its vertices")
+        raise InvariantViolation("base-case subgraph must connect its vertices")
 
     def _locate_contracted(self, u: int, beta: _PhiNode) -> int:
         """The vertex of 𝒯_β standing for ``u`` (``LocateContracted``)."""
@@ -406,23 +407,29 @@ class TreeNavigator:
     # Verification helpers (used by tests and benches)
 
     def verify_path(self, u: int, v: int, path: List[int]) -> None:
-        """Assert the three guarantees of Theorem 1.1 for one query."""
-        assert path[0] == u and path[-1] == v, "path endpoints mismatch"
-        assert len(path) - 1 <= self.hop_bound, (
-            f"path {path} has {len(path) - 1} hops, budget {self.hop_bound}"
+        """Check the three guarantees of Theorem 1.1 for one query.
+
+        Raises :class:`~repro.errors.InvariantViolation` on the first
+        broken guarantee — a real exception rather than an ``assert``,
+        so verification is not a no-op under ``python -O``."""
+        check(path[0] == u and path[-1] == v, "path endpoints mismatch")
+        check(
+            len(path) - 1 <= self.hop_bound,
+            f"path {path} has {len(path) - 1} hops, budget {self.hop_bound}",
         )
         total = 0.0
         for a, b in zip(path, path[1:]):
             key = (a, b) if a < b else (b, a)
-            assert key in self.edges, f"({a}, {b}) is not a spanner edge"
+            check(key in self.edges, f"({a}, {b}) is not a spanner edge")
             total += self.edges[key]
         direct = self.metric.distance(u, v)
-        assert abs(total - direct) <= 1e-6 * max(1.0, direct), (
-            f"path weight {total} differs from tree distance {direct}"
+        check(
+            abs(total - direct) <= 1e-6 * max(1.0, direct),
+            f"path weight {total} differs from tree distance {direct}",
         )
         # T-monotone: the path vertices appear in order along the tree path.
         tree_path = self.tree.path(u, v)
         positions = {w: i for i, w in enumerate(tree_path)}
         indices = [positions.get(w) for w in path]
-        assert None not in indices, f"path {path} leaves the tree path"
-        assert indices == sorted(indices), f"path {path} is not T-monotone"
+        check(None not in indices, f"path {path} leaves the tree path")
+        check(indices == sorted(indices), f"path {path} is not T-monotone")

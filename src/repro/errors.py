@@ -1,0 +1,82 @@
+"""Structured exception hierarchy for the whole library.
+
+Historically the code base signalled broken guarantees through bare
+``assert`` statements (silently stripped under ``python -O``) and
+ad-hoc ``ValueError`` / ``AssertionError`` raises.  Every correctness
+check now raises one of the typed exceptions below, so guarantees
+survive optimized interpreters and callers can react to *which*
+contract failed (the resilience subsystem relies on this to degrade
+gracefully instead of crashing).
+
+Design notes
+------------
+* :class:`FaultBudgetExceeded` and :class:`MetricValidationError` also
+  subclass :class:`ValueError`, and :class:`InvariantViolation` also
+  subclasses :class:`AssertionError`, so code (and tests) written
+  against the historical exception types keeps working.
+* None of the raises below live behind ``assert``; ``python -O`` does
+  not change the library's behaviour (enforced by
+  ``tests/test_no_bare_asserts.py`` and the ``scripts/smoke_optimized.sh``
+  smoke job).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Type
+
+__all__ = [
+    "ReproError",
+    "MetricValidationError",
+    "FaultBudgetExceeded",
+    "InvariantViolation",
+    "check",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception the library raises on purpose."""
+
+
+class MetricValidationError(ReproError, ValueError):
+    """A metric input is malformed: NaN/inf, negative, asymmetric
+    distances, nonzero self-distance, or a triangle violation."""
+
+
+class FaultBudgetExceeded(ReproError, ValueError):
+    """A query supplied more faults than the structure was built for.
+
+    Strict APIs (:meth:`FaultTolerantSpanner.find_path`,
+    :meth:`FaultTolerantRoutingScheme.route`) raise this when
+    ``|F| > f``; the graceful alternatives in
+    :mod:`repro.resilience.degradation` return a
+    :class:`~repro.resilience.degradation.DegradedResult` instead.
+    """
+
+    def __init__(self, f: int, faults: Optional[Iterable[int]] = None, message: str = ""):
+        self.f = f
+        self.faults = frozenset(faults) if faults is not None else frozenset()
+        if not message:
+            message = (
+                f"{len(self.faults)} faults supplied but the structure "
+                f"only supports f={f}"
+            )
+        super().__init__(message)
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A structural guarantee the paper proves did not hold at runtime.
+
+    Raised by the ``verify_*`` helpers, the chaos harness, and internal
+    sanity checks (e.g. a replica pool with no live member under
+    ``|F| <= f``, which Theorem 4.2 rules out).
+    """
+
+
+def check(condition: bool, message: str, exc: Type[ReproError] = InvariantViolation) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds.
+
+    The ``assert``-statement replacement used throughout ``src/`` —
+    unlike ``assert`` it survives ``python -O``.
+    """
+    if not condition:
+        raise exc(message)

@@ -11,6 +11,8 @@ import itertools
 import random
 from typing import Iterable, List, Optional, Tuple
 
+from ..errors import MetricValidationError, check
+
 __all__ = ["Metric", "check_metric_axioms", "sample_pairs", "aspect_ratio"]
 
 
@@ -51,22 +53,38 @@ class Metric:
 def check_metric_axioms(metric: Metric, trials: int = 200, seed: int = 0) -> None:
     """Spot-check symmetry, identity and the triangle inequality.
 
-    Raises ``AssertionError`` on the first violated axiom.  Used by tests
-    on randomly generated metrics.
+    Raises :class:`~repro.errors.MetricValidationError` on the first
+    violated axiom.  Used by tests on randomly generated metrics and by
+    the opt-in validation mode of :mod:`repro.resilience.validation`.
     """
     rng = random.Random(seed)
     n = metric.n
     for _ in range(trials):
         u, v, w = (rng.randrange(n) for _ in range(3))
         duv = metric.distance(u, v)
-        assert duv >= 0, "distances must be non-negative"
-        assert abs(duv - metric.distance(v, u)) < 1e-9, "metric must be symmetric"
-        assert metric.distance(u, u) == 0, "self distance must be zero"
+        check(duv == duv, f"distance ({u}, {v}) is NaN", MetricValidationError)
+        check(duv >= 0, "distances must be non-negative", MetricValidationError)
+        check(
+            abs(duv - metric.distance(v, u)) < 1e-9,
+            "metric must be symmetric",
+            MetricValidationError,
+        )
+        check(
+            metric.distance(u, u) == 0,
+            "self distance must be zero",
+            MetricValidationError,
+        )
         if u != v:
-            assert duv > 0, "distinct points must have positive distance"
+            check(
+                duv > 0,
+                "distinct points must have positive distance",
+                MetricValidationError,
+            )
         slack = 1e-9 * max(1.0, duv)
-        assert duv <= metric.distance(u, w) + metric.distance(w, v) + slack, (
-            "triangle inequality violated"
+        check(
+            duv <= metric.distance(u, w) + metric.distance(w, v) + slack,
+            "triangle inequality violated",
+            MetricValidationError,
         )
 
 

@@ -119,22 +119,27 @@ class NetHierarchy:
         ]
 
     def verify(self) -> None:
-        """Assert the net properties (used by tests; O(n^2) per level)."""
+        """Check the net properties (used by tests; O(n^2) per level);
+        raises :class:`~repro.errors.InvariantViolation` on violation."""
+        from ..errors import check
+
         for i in range(self.i_min + 1, self.i_max + 1):
             radius = 2.0**i
             net = self.nets[i]
             prev = self.nets[i - 1]
             net_set = set(net)
-            assert net_set <= set(prev), f"nets not nested at level {i}"
+            check(net_set <= set(prev), f"nets not nested at level {i}")
             for a_idx, a in enumerate(net):
                 for b in net[a_idx + 1 :]:
-                    assert self.metric.distance(a, b) > radius, (
-                        f"net points too close at level {i}"
+                    check(
+                        self.metric.distance(a, b) > radius,
+                        f"net points too close at level {i}",
                     )
             for p in prev:
-                assert any(
-                    self.metric.distance(p, q) <= radius for q in net
-                ), f"point {p} uncovered at level {i}"
+                check(
+                    any(self.metric.distance(p, q) <= radius for q in net),
+                    f"point {p} uncovered at level {i}",
+                )
 
 
 def doubling_constant_estimate(metric: Metric, samples: int = 30, seed: int = 0) -> float:

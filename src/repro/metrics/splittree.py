@@ -89,17 +89,22 @@ class FairSplitTree:
         return walk(self.root)
 
     def verify(self) -> None:
-        """Assert the split-tree invariants (tests only)."""
+        """Check the split-tree invariants (tests only); raises
+        :class:`~repro.errors.InvariantViolation` on violation."""
+        from ..errors import check
 
         def walk(node: SplitTreeNode) -> None:
             coords = self.metric.points[node.points]
-            assert np.all(coords >= node.low - 1e-9)
-            assert np.all(coords <= node.high + 1e-9)
+            check(bool(np.all(coords >= node.low - 1e-9)), "point below node box")
+            check(bool(np.all(coords <= node.high + 1e-9)), "point above node box")
             if node.is_leaf:
-                assert node.size() == 1
+                check(node.size() == 1, "leaf holds more than one point")
                 return
             merged = np.concatenate([node.left.points, node.right.points])
-            assert sorted(merged) == sorted(node.points)
+            check(
+                sorted(merged) == sorted(node.points),
+                "children do not partition the node's points",
+            )
             walk(node.left)
             walk(node.right)
 

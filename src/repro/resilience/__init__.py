@@ -1,0 +1,53 @@
+"""Fault injection, chaos testing, graceful degradation, validation.
+
+The resilience subsystem turns the fault-tolerant theory (Theorems 4.2
+and 5.2) into an operationally testable stack:
+
+* :mod:`~repro.resilience.injectors` — random, regional, adversarial
+  and time-stepped crash/recovery fault models;
+* :mod:`~repro.resilience.chaos` — the harness that sweeps fault-set
+  sizes through the over-budget regime while enforcing the paper's
+  guarantees on every within-budget query;
+* :mod:`~repro.resilience.degradation` — best-effort query wrappers
+  returning typed :class:`DegradedResult` instead of raising;
+* :mod:`~repro.resilience.validation` — opt-in construction-time input
+  and invariant validation (``validate=`` / ``REPRO_VALIDATE``).
+
+CLI: ``python -m repro chaos --scenario adversarial --f 2 --k 4``.
+"""
+
+from .chaos import ChaosHarness, ChaosReport, SurvivalPoint
+from .degradation import DegradedResult, find_path_degraded, route_degraded
+from .injectors import (
+    AdversarialInjector,
+    CrashRecoverySchedule,
+    FaultInjector,
+    RandomInjector,
+    RegionalInjector,
+    make_injector,
+)
+from .validation import (
+    validate_cover,
+    validate_ft_spanner,
+    validate_metric,
+    validation_enabled,
+)
+
+__all__ = [
+    "ChaosHarness",
+    "ChaosReport",
+    "SurvivalPoint",
+    "DegradedResult",
+    "find_path_degraded",
+    "route_degraded",
+    "AdversarialInjector",
+    "CrashRecoverySchedule",
+    "FaultInjector",
+    "RandomInjector",
+    "RegionalInjector",
+    "make_injector",
+    "validate_cover",
+    "validate_ft_spanner",
+    "validate_metric",
+    "validation_enabled",
+]

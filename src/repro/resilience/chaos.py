@@ -1,0 +1,308 @@
+"""The chaos harness: scenario sweeps with invariants checked per query.
+
+Drives :meth:`FaultTolerantSpanner.find_path` (through the graceful
+:func:`~repro.resilience.degradation.find_path_degraded` wrapper) and
+:meth:`FaultTolerantRoutingScheme.route` across fault sets produced by
+an injector, growing ``|F|`` from zero through the over-budget regime
+``|F| > f``, and records the *survival curve*: delivery rate, degraded
+rate and stretch as a function of ``|F|``.
+
+For every query with ``|F| <= f`` the harness enforces Theorem 4.2's
+contract — delivered, at most ``k`` hops, no faulty intermediate, and
+path weight within the robust-replacement bound of the candidate trees
+(the measured γ of Theorem 4.1's robustness analysis) — raising
+:class:`~repro.errors.InvariantViolation` on the spot rather than
+averaging a violation away.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InvariantViolation, check
+from ..treecover.dumbbell import path_replacement_bound
+from .degradation import DegradedResult, find_path_degraded, route_degraded
+from .injectors import CrashRecoverySchedule, FaultInjector
+
+__all__ = ["ChaosHarness", "ChaosReport", "SurvivalPoint"]
+
+_MIX = 1000003
+
+
+@dataclass
+class SurvivalPoint:
+    """Aggregated outcomes of all queries at one fault-set size."""
+
+    size: int
+    queries: int
+    delivered: int
+    degraded: int
+    mean_stretch: float
+    max_stretch: float
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.queries if self.queries else 1.0
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded / self.queries if self.queries else 0.0
+
+
+@dataclass
+class ChaosReport:
+    """One injector's survival curves for navigation and routing."""
+
+    injector: str
+    f: int
+    k: int
+    queries_per_size: int
+    navigation: List[SurvivalPoint] = field(default_factory=list)
+    routing: List[SurvivalPoint] = field(default_factory=list)
+    #: queries with |F| <= f whose full strict contract was enforced.
+    invariants_checked: int = 0
+
+    def navigation_rate(self, size: int) -> float:
+        for point in self.navigation:
+            if point.size == size:
+                return point.delivery_rate
+        raise KeyError(f"no navigation sweep at |F|={size}")
+
+    def routing_rate(self, size: int) -> float:
+        for point in self.routing:
+            if point.size == size:
+                return point.delivery_rate
+        raise KeyError(f"no routing sweep at |F|={size}")
+
+    def format_table(self) -> str:
+        """The survival curve as a markdown table."""
+        lines = [
+            f"injector={self.injector}  f={self.f}  k={self.k}  "
+            f"queries/size={self.queries_per_size}  "
+            f"checked={self.invariants_checked}",
+        ]
+        has_routing = bool(self.routing)
+        header = "| |F| | regime | nav delivery | nav degraded | nav stretch max |"
+        rule = "|----:|--------|-------------:|-------------:|----------------:|"
+        if has_routing:
+            header += " route delivery | route stretch max |"
+            rule += "---------------:|------------------:|"
+        lines.append(header)
+        lines.append(rule)
+        for i, point in enumerate(self.navigation):
+            regime = "<= f" if point.size <= self.f else "> f"
+            row = (
+                f"| {point.size} | {regime} | {point.delivery_rate:7.1%} "
+                f"| {point.degraded_rate:7.1%} | {point.max_stretch:10.3f} |"
+            )
+            if has_routing:
+                rp = self.routing[i] if i < len(self.routing) else None
+                if rp is None:
+                    row += " — | — |"
+                else:
+                    row += f" {rp.delivery_rate:7.1%} | {rp.max_stretch:10.3f} |"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def _aggregate(size: int, outcomes: Sequence[DegradedResult]) -> SurvivalPoint:
+    delivered = [o for o in outcomes if o.delivered]
+    stretches = [o.stretch for o in delivered] or [0.0]
+    return SurvivalPoint(
+        size=size,
+        queries=len(outcomes),
+        delivered=len(delivered),
+        degraded=sum(1 for o in outcomes if o.degraded),
+        mean_stretch=sum(stretches) / len(stretches),
+        max_stretch=max(stretches),
+    )
+
+
+class ChaosHarness:
+    """Scenario sweeps over an FT spanner and (optionally) FT routing.
+
+    Parameters
+    ----------
+    spanner:
+        The :class:`~repro.spanners.FaultTolerantSpanner` under test.
+    router:
+        Optional :class:`~repro.routing.FaultTolerantRoutingScheme`
+        sharing the metric; adds routing survival curves.
+    queries:
+        Non-faulty query pairs sampled per fault-set size.
+    candidates:
+        Candidate-tree budget forwarded to ``find_path``; also the set
+        of trees whose robust-replacement bound defines the enforced
+        stretch ceiling.
+    routing_gamma:
+        Sanity ceiling on routing stretch within budget (the routing
+        path detours through one replica, so its rigorous bound is the
+        replacement bound of the single chosen tree; a generous scalar
+        keeps the check tree-choice agnostic).
+    """
+
+    def __init__(
+        self,
+        spanner,
+        router=None,
+        queries: int = 40,
+        seed: int = 0,
+        candidates: int = 12,
+        routing_gamma: float = 25.0,
+    ):
+        self.spanner = spanner
+        self.router = router
+        self.queries = queries
+        self.seed = seed
+        self.candidates = candidates
+        self.routing_gamma = routing_gamma
+        self.metric = spanner.metric
+        self._descendants: Dict[int, List[List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # The enforced stretch bound (Theorem 4.1's robustness, measured)
+
+    def _tree_descendants(self, index: int) -> List[List[int]]:
+        pools = self._descendants.get(index)
+        if pools is None:
+            pools = self.spanner.cover.trees[index].descendant_points()
+            self._descendants[index] = pools
+        return pools
+
+    def pair_bound(self, u: int, v: int) -> float:
+        """Upper bound on any substituted path weight ``find_path`` may
+        return for (u, v): the minimum, over its candidate trees, of the
+        arbitrary-leaf replacement bound of Theorem 4.1."""
+        return min(
+            path_replacement_bound(
+                self.spanner.cover.trees[t], self.metric, u, v,
+                descendants=self._tree_descendants(t),
+            )
+            for t in self.spanner.candidate_trees(u, v, self.candidates)
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant enforcement (the |F| <= f contract)
+
+    def enforce_navigation(self, result: DegradedResult) -> None:
+        """Raise :class:`InvariantViolation` unless the strict Theorem
+        4.2 contract held for one within-budget query outcome."""
+        u, v, faults = result.u, result.v, result.faults
+        label = f"({u}, {v}) with |F|={len(faults)} <= f={self.spanner.f}"
+        check(result.delivered, f"undelivered within budget {label}: {result.reason}")
+        check(not result.degraded, f"degraded within budget {label}: {result.reason}")
+        check(
+            result.hops <= self.spanner.k,
+            f"{result.hops} hops exceed k={self.spanner.k} for {label}",
+        )
+        check(
+            not (set(result.path) & faults),
+            f"path visits a faulty point for {label}",
+        )
+        bound = self.pair_bound(u, v)
+        check(
+            result.weight <= bound * (1 + 1e-6) + 1e-9,
+            f"path weight {result.weight:.6g} exceeds the robust replacement "
+            f"bound {bound:.6g} for {label}",
+        )
+
+    def enforce_routing(self, result: DegradedResult) -> None:
+        """Theorem 5.2's contract for one within-budget routed packet."""
+        u, v, faults = result.u, result.v, result.faults
+        label = f"({u}, {v}) with |F|={len(faults)} <= f={self.router.f}"
+        check(result.delivered, f"undelivered within budget {label}: {result.reason}")
+        check(result.hops <= 2, f"{result.hops} hops exceed 2 for {label}")
+        check(
+            not (set(result.path) & faults),
+            f"route visits a faulty point for {label}",
+        )
+        check(
+            result.stretch <= self.routing_gamma + 1e-6,
+            f"routing stretch {result.stretch:.3f} exceeds "
+            f"{self.routing_gamma} for {label}",
+        )
+
+    # ------------------------------------------------------------------
+    # Sweeps
+
+    def default_sizes(self) -> List[int]:
+        """0 through the over-budget regime, capped so two live points
+        always remain."""
+        f = self.spanner.f
+        raw = {0, max(1, f // 2), f, f + 1, 2 * (f + 1), 4 * (f + 1)}
+        cap = max(0, self.metric.n - 3)
+        return sorted({min(size, cap) for size in raw})
+
+    def _query_pairs(self, faults: Set[int], salt: int) -> List[Tuple[int, int]]:
+        live = [p for p in range(self.metric.n) if p not in faults]
+        check(len(live) >= 2, "fewer than two live points; nothing to query")
+        rng = random.Random(self.seed * _MIX + salt)
+        pairs = []
+        for _ in range(self.queries):
+            u, v = rng.sample(live, 2)
+            pairs.append((u, v))
+        return pairs
+
+    def _run_one(
+        self, faults: Set[int], salt: int, report: ChaosReport
+    ) -> Tuple[SurvivalPoint, Optional[SurvivalPoint]]:
+        pairs = self._query_pairs(faults, salt)
+        within_budget = len(faults) <= self.spanner.f
+        nav_outcomes = []
+        for u, v in pairs:
+            outcome = find_path_degraded(
+                self.spanner, u, v, faults, candidates=self.candidates
+            )
+            if within_budget:
+                self.enforce_navigation(outcome)
+                report.invariants_checked += 1
+            nav_outcomes.append(outcome)
+        nav_point = _aggregate(len(faults), nav_outcomes)
+        route_point = None
+        if self.router is not None:
+            route_outcomes = []
+            within_route_budget = len(faults) <= self.router.f
+            for u, v in pairs:
+                outcome = route_degraded(self.router, u, v, faults)
+                if within_route_budget:
+                    self.enforce_routing(outcome)
+                    report.invariants_checked += 1
+                route_outcomes.append(outcome)
+            route_point = _aggregate(len(faults), route_outcomes)
+        return nav_point, route_point
+
+    def sweep(
+        self,
+        injector: FaultInjector,
+        sizes: Optional[Iterable[int]] = None,
+    ) -> ChaosReport:
+        """Survival curves for one injector across fault-set sizes."""
+        sizes = self.default_sizes() if sizes is None else sorted(set(sizes))
+        report = ChaosReport(
+            injector=injector.name, f=self.spanner.f, k=self.spanner.k,
+            queries_per_size=self.queries,
+        )
+        for salt, size in enumerate(sizes):
+            faults = injector.sample(size) if size else set()
+            nav_point, route_point = self._run_one(faults, salt, report)
+            report.navigation.append(nav_point)
+            if route_point is not None:
+                report.routing.append(route_point)
+        return report
+
+    def run_schedule(self, schedule: CrashRecoverySchedule) -> ChaosReport:
+        """Drive a time-stepped crash/recovery schedule; one survival
+        point per step (sizes in the report are step indexes' |F|)."""
+        report = ChaosReport(
+            injector=f"crash({schedule.injector.name})",
+            f=self.spanner.f, k=self.spanner.k,
+            queries_per_size=self.queries,
+        )
+        for step, faults in enumerate(schedule):
+            nav_point, route_point = self._run_one(faults, 1000 + step, report)
+            report.navigation.append(nav_point)
+            if route_point is not None:
+                report.routing.append(route_point)
+        return report

@@ -1,0 +1,179 @@
+"""Graceful degradation: best-effort queries past the fault budget.
+
+The strict APIs promise Theorem 4.2 / 5.2 guarantees and therefore
+refuse ``|F| > f`` outright (:class:`~repro.errors.FaultBudgetExceeded`)
+and treat a dead replica pool as a broken invariant
+(:class:`~repro.errors.InvariantViolation`).  A production system wants
+neither crash: when the fault budget is blown it should return whatever
+service level is still achievable, *labelled as such*.  The two
+``*_degraded`` entry points here do exactly that — they never raise for
+over-budget fault sets; they return a :class:`DegradedResult` carrying
+the best-effort path plus the guarantees it actually achieved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set
+
+from ..errors import InvariantViolation
+
+__all__ = ["DegradedResult", "find_path_degraded", "route_degraded"]
+
+
+@dataclass
+class DegradedResult:
+    """Outcome of a best-effort query, with achieved (not promised)
+    guarantees.
+
+    ``degraded`` is True whenever the theorem's preconditions did not
+    hold (over-budget faults, faulty endpoint) or a guarantee was lost;
+    ``delivered and not degraded`` means the full strict guarantee held.
+    """
+
+    u: int
+    v: int
+    path: Optional[List[int]]
+    delivered: bool
+    degraded: bool
+    over_budget: bool
+    hops: int = -1
+    weight: float = math.inf
+    stretch: float = math.inf
+    reason: str = ""
+    faults: Set[int] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """Delivered with every strict guarantee intact."""
+        return self.delivered and not self.degraded
+
+
+def _measure(metric, u: int, v: int, path: List[int]):
+    weight = sum(metric.distance(a, b) for a, b in zip(path, path[1:]))
+    base = metric.distance(u, v)
+    stretch = weight / base if base > 0 else 1.0
+    return len(path) - 1, weight, stretch
+
+
+def find_path_degraded(
+    spanner,
+    u: int,
+    v: int,
+    faults: Iterable[int] = (),
+    candidates: int = 12,
+) -> DegradedResult:
+    """Best-effort FT navigation that never raises on bad fault sets.
+
+    Within budget (``|F| <= f``) this is exactly
+    :meth:`FaultTolerantSpanner.find_path` wrapped in a non-degraded
+    result.  Over budget, every candidate tree is probed leniently —
+    trees that lost a whole replica pool are skipped — and the lightest
+    surviving substituted path is returned with ``degraded=True``.  If
+    every candidate tree lost a pool, the result is undelivered (with
+    the reason recorded) instead of an exception.
+    """
+    faulty = set(faults)
+    if u in faulty or v in faulty:
+        return DegradedResult(
+            u, v, None, delivered=False, degraded=True,
+            over_budget=len(faulty) > spanner.f,
+            reason="query endpoint is faulty", faults=faulty,
+        )
+    if u == v:
+        return DegradedResult(
+            u, v, [u], delivered=True, degraded=False,
+            over_budget=len(faulty) > spanner.f,
+            hops=0, weight=0.0, stretch=1.0, faults=faulty,
+        )
+    over = len(faulty) > spanner.f
+    if not over:
+        path = spanner.find_path(u, v, faulty, candidates=candidates)
+        hops, weight, stretch = _measure(spanner.metric, u, v, path)
+        return DegradedResult(
+            u, v, path, delivered=True, degraded=False, over_budget=False,
+            hops=hops, weight=weight, stretch=stretch, faults=faulty,
+        )
+    best: Optional[List[int]] = None
+    best_weight = math.inf
+    dead_trees = 0
+    for index in spanner.candidate_trees(u, v, candidates):
+        path = spanner._path_in_tree(index, u, v, faulty, strict=False)
+        if path is None:
+            dead_trees += 1
+            continue
+        weight = sum(
+            spanner.metric.distance(a, b) for a, b in zip(path, path[1:])
+        )
+        if weight < best_weight:
+            best_weight = weight
+            best = path
+    if best is None:
+        return DegradedResult(
+            u, v, None, delivered=False, degraded=True, over_budget=True,
+            reason=f"all {dead_trees} candidate trees lost a replica pool",
+            faults=faulty,
+        )
+    hops, weight, stretch = _measure(spanner.metric, u, v, best)
+    return DegradedResult(
+        u, v, best, delivered=True, degraded=True, over_budget=True,
+        hops=hops, weight=weight, stretch=stretch,
+        reason=(
+            f"over budget (|F|={len(faulty)} > f={spanner.f}); "
+            f"best effort across {dead_trees} dead / "
+            "surviving candidate trees"
+        ),
+        faults=faulty,
+    )
+
+
+def route_degraded(
+    scheme,
+    u: int,
+    v: int,
+    faults: Iterable[int] = (),
+) -> DegradedResult:
+    """Best-effort FT routing that never raises on bad fault sets.
+
+    Launches the packet regardless of ``|F|``; a routing dead end
+    (every replica of a needed cut vertex is faulty) or a hop-count
+    blow-up is reported as an undelivered :class:`DegradedResult`
+    rather than an exception.
+    """
+    faulty = set(faults)
+    over = len(faulty) > scheme.f
+    if u in faulty or v in faulty:
+        return DegradedResult(
+            u, v, None, delivered=False, degraded=True, over_budget=over,
+            reason="route endpoint is faulty", faults=faulty,
+        )
+    try:
+        result = scheme.route(u, v, faulty, enforce_budget=False)
+    except InvariantViolation as exc:
+        if not over:  # within budget this is a real construction bug
+            raise
+        return DegradedResult(
+            u, v, None, delivered=False, degraded=True, over_budget=True,
+            reason=str(exc), faults=faulty,
+        )
+    except RuntimeError as exc:
+        return DegradedResult(
+            u, v, None, delivered=False, degraded=True, over_budget=over,
+            reason=str(exc), faults=faulty,
+        )
+    base = scheme.metric.distance(u, v)
+    stretch = result.weight / base if base > 0 else 1.0
+    delivered = bool(result.path) and result.path[0] == u and result.path[-1] == v
+    lost_guarantee = (
+        not delivered
+        or result.hops > 2
+        or bool(set(result.path) & faulty)
+    )
+    return DegradedResult(
+        u, v, list(result.path), delivered=delivered,
+        degraded=over or lost_guarantee, over_budget=over,
+        hops=result.hops, weight=result.weight, stretch=stretch,
+        reason="over budget best effort" if over else "",
+        faults=faulty,
+    )

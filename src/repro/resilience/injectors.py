@@ -1,0 +1,235 @@
+"""Fault injectors: who dies, and in what order.
+
+Four adversary models drive the chaos harness
+(:mod:`repro.resilience.chaos`):
+
+* :class:`RandomInjector` — uniform faults, the model E5/E12 always
+  used;
+* :class:`RegionalInjector` — correlated failures: all points inside a
+  metric ball die together (a rack, a region, a cut fiber);
+* :class:`AdversarialInjector` — a white-box adversary that greedily
+  kills the replica pools ``R(v)`` sitting on the hottest navigator
+  paths, the worst case Theorem 4.2's ``f + 1`` replication is sized
+  against;
+* :class:`CrashRecoverySchedule` — a time-stepped churn process
+  (crash + recovery) layered over any of the above.
+
+Injectors are deterministic: ``sample(size)`` depends only on the
+constructor arguments and ``size``, so every sweep is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Iterator, List, Optional, Set
+
+from ..metrics.base import Metric, sample_pairs
+
+__all__ = [
+    "FaultInjector",
+    "RandomInjector",
+    "RegionalInjector",
+    "AdversarialInjector",
+    "CrashRecoverySchedule",
+    "make_injector",
+]
+
+_MIX = 1000003  # seed mixer keeping per-size draws independent
+
+
+class FaultInjector:
+    """Base class: a deterministic source of faulty point sets."""
+
+    name = "injector"
+
+    def __init__(self, n: int, seed: int = 0):
+        self.n = n
+        self.seed = seed
+
+    def ranked(self) -> List[int]:
+        """All points in kill-priority order (most damaging first).
+
+        The default ranking replays ``sample`` at full size; subclasses
+        with a natural ordering override this.
+        """
+        return sorted(self.sample(self.n))
+
+    def sample(self, size: int) -> Set[int]:
+        """A faulty set of ``size`` points (all points when ``size >= n``)."""
+        raise NotImplementedError
+
+    def __call__(self, size: int) -> Set[int]:
+        return self.sample(size)
+
+
+class RandomInjector(FaultInjector):
+    """Uniformly random faults — the baseline adversary."""
+
+    name = "random"
+
+    def sample(self, size: int) -> Set[int]:
+        size = min(size, self.n)
+        rng = random.Random(self.seed * _MIX + size)
+        return set(rng.sample(range(self.n), size))
+
+    def ranked(self) -> List[int]:
+        rng = random.Random(self.seed * _MIX)
+        order = list(range(self.n))
+        rng.shuffle(order)
+        return order
+
+
+class RegionalInjector(FaultInjector):
+    """Correlated regional faults: a metric ball around a center dies.
+
+    ``sample(size)`` kills the ``size`` points nearest to the center
+    (the center included), i.e. the smallest metric ball holding
+    ``size`` points.
+    """
+
+    name = "regional"
+
+    def __init__(self, metric: Metric, seed: int = 0, center: Optional[int] = None):
+        super().__init__(metric.n, seed)
+        self.metric = metric
+        if center is None:
+            center = random.Random(seed).randrange(metric.n)
+        self.center = center
+        self._order = sorted(
+            range(metric.n), key=lambda p: (metric.distance(self.center, p), p)
+        )
+
+    def ranked(self) -> List[int]:
+        return list(self._order)
+
+    def sample(self, size: int) -> Set[int]:
+        return set(self._order[: min(size, self.n)])
+
+
+class AdversarialInjector(FaultInjector):
+    """A white-box adversary against a :class:`FaultTolerantSpanner`.
+
+    Probes the structure with sampled fault-free queries, counts how
+    often each (tree, vertex) shows up as an intermediate on the k-hop
+    navigator paths of the best candidate trees, then kills replica
+    pools ``R(v)`` whole, hottest first.  Killing a full pool is exactly
+    what forces ``find_path`` into its endpoint fallback (within budget)
+    or kills the tree outright (over budget), so at equal ``|F|`` this
+    degrades service far more than random faults.
+    """
+
+    name = "adversarial"
+
+    def __init__(
+        self,
+        spanner,
+        probe_pairs: int = 150,
+        candidates: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__(spanner.metric.n, seed)
+        self.spanner = spanner
+        heat: Counter = Counter()
+        for u, v in sample_pairs(self.n, probe_pairs, seed=seed):
+            for t in spanner.candidate_trees(u, v, candidates):
+                cover_tree = spanner.cover.trees[t]
+                vertex_path = spanner.navigators[t].find_path(
+                    cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
+                )
+                for x in vertex_path[1:-1]:
+                    heat[(t, x)] += 1
+        #: Replica pools in decreasing heat order; `sample` drains them.
+        self.pools: List[List[int]] = [
+            list(spanner.replicas[t][x]) for (t, x), _ in heat.most_common()
+        ]
+
+    def ranked(self) -> List[int]:
+        order: List[int] = []
+        seen: Set[int] = set()
+        for pool in self.pools:
+            for p in pool:
+                if p not in seen:
+                    seen.add(p)
+                    order.append(p)
+        for p in range(self.n):  # cold points last
+            if p not in seen:
+                order.append(p)
+        return order
+
+    def sample(self, size: int) -> Set[int]:
+        return set(self.ranked()[: min(size, self.n)])
+
+
+class CrashRecoverySchedule:
+    """A time-stepped crash/recovery schedule over a base injector.
+
+    Iterating yields one faulty set per step.  Step 0 is
+    ``injector.sample(size)``; each later step recovers a fraction of
+    the currently-faulty points and crashes fresh ones from the
+    injector's kill-priority ranking, keeping ``|F|`` at ``size``.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        size: int,
+        steps: int,
+        recover_fraction: float = 0.5,
+        seed: int = 0,
+    ):
+        if steps < 1:
+            raise ValueError("a schedule needs at least one step")
+        if not 0.0 <= recover_fraction <= 1.0:
+            raise ValueError("recover_fraction must lie in [0, 1]")
+        self.injector = injector
+        self.size = min(size, injector.n)
+        self.steps = steps
+        self.recover_fraction = recover_fraction
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[Set[int]]:
+        rng = random.Random(self.seed)
+        ranking = self.injector.ranked()
+        current = set(ranking[: self.size])
+        yield set(current)
+        for _ in range(self.steps - 1):
+            churn = max(1, round(self.recover_fraction * len(current)))
+            recovered = set(rng.sample(sorted(current), min(churn, len(current))))
+            current -= recovered
+            # Refill with the hottest points that are neither still down
+            # nor just recovered — without the `recovered` exclusion the
+            # ranking would hand the same points straight back and the
+            # schedule would never churn.
+            for p in ranking:
+                if len(current) >= self.size:
+                    break
+                if p not in current and p not in recovered:
+                    current.add(p)
+            for p in ranking:  # n too small for fresh points: re-crash
+                if len(current) >= self.size:
+                    break
+                if p not in current:
+                    current.add(p)
+            yield set(current)
+
+    def __len__(self) -> int:
+        return self.steps
+
+
+def make_injector(
+    name: str,
+    metric: Metric,
+    spanner=None,
+    seed: int = 0,
+) -> FaultInjector:
+    """Factory used by the CLI and tests: injector by scenario name."""
+    if name == "random":
+        return RandomInjector(metric.n, seed=seed)
+    if name == "regional":
+        return RegionalInjector(metric, seed=seed)
+    if name == "adversarial":
+        if spanner is None:
+            raise ValueError("the adversarial injector needs the spanner to attack")
+        return AdversarialInjector(spanner, seed=seed)
+    raise ValueError(f"unknown injector {name!r}")

@@ -1,0 +1,124 @@
+"""Opt-in runtime invariant checking.
+
+The constructions assume well-formed inputs (finite, symmetric,
+positive distances) and produce structures with provable invariants
+(replica pools of size ``min(f + 1, |subtree|)``, dominating cover
+trees).  This module validates both — at construction time, behind an
+explicit ``validate=`` flag or the ``REPRO_VALIDATE`` environment
+variable — so corrupted inputs surface as typed
+:class:`~repro.errors.MetricValidationError` /
+:class:`~repro.errors.InvariantViolation` instead of garbage paths deep
+inside a query.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from typing import Optional
+
+from ..errors import InvariantViolation, MetricValidationError, check
+from ..metrics.base import Metric, check_metric_axioms, sample_pairs
+
+__all__ = [
+    "validation_enabled",
+    "validate_metric",
+    "validate_cover",
+    "validate_ft_spanner",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def validation_enabled(env: str = "REPRO_VALIDATE") -> bool:
+    """Whether the opt-in validation mode is switched on globally."""
+    return os.environ.get(env, "").strip().lower() in _TRUTHY
+
+
+def validate_metric(
+    metric: Metric, trials: int = 300, seed: int = 0
+) -> None:
+    """Screen a metric for malformed distances.
+
+    Checks, on a deterministic sample: NaN and infinite values, negative
+    distances, asymmetry, nonzero self-distances, and (via
+    :func:`~repro.metrics.base.check_metric_axioms`) the triangle
+    inequality.  Raises :class:`MetricValidationError` on the first
+    problem found.
+    """
+    n = metric.n
+    rng = random.Random(seed)
+    for _ in range(min(trials, 4 * n)):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        d = metric.distance(u, v)
+        check(not math.isnan(d), f"distance ({u}, {v}) is NaN", MetricValidationError)
+        check(
+            not math.isinf(d),
+            f"distance ({u}, {v}) is infinite",
+            MetricValidationError,
+        )
+        check(d >= 0, f"distance ({u}, {v}) is negative", MetricValidationError)
+        back = metric.distance(v, u)
+        check(
+            abs(d - back) <= 1e-9 * max(1.0, abs(d)),
+            f"asymmetric distances for ({u}, {v}): {d} vs {back}",
+            MetricValidationError,
+        )
+        du = metric.distance(u, u)
+        check(
+            du == 0,
+            f"self distance of {u} is {du}, expected 0",
+            MetricValidationError,
+        )
+    check_metric_axioms(metric, trials=trials, seed=seed)
+
+
+def validate_cover(cover, sample: int = 150, gamma: Optional[float] = None) -> None:
+    """Check a tree cover's structural invariants on sampled pairs.
+
+    Every tree must dominate the metric; with ``gamma`` given, the
+    cover's measured stretch must stay below it.  Raises
+    :class:`InvariantViolation` on violation.
+    """
+    pairs = sample_pairs(cover.metric.n, sample)
+    for cover_tree in cover.trees:
+        cover_tree.check_dominating(cover.metric, pairs)
+    worst, _ = cover.measured_stretch(pairs)
+    check(math.isfinite(worst), "cover stretch is unbounded on sampled pairs")
+    if gamma is not None:
+        check(worst <= gamma + 1e-6, f"cover stretch {worst} exceeds gamma {gamma}")
+
+
+def validate_ft_spanner(spanner) -> None:
+    """Check Theorem 4.2's replica-pool structure after construction.
+
+    For every tree: each pool holds between 1 and ``f + 1`` in-range
+    points, and the pool of a point's own host vertex starts with that
+    point (the property the undersized-pool endpoint fallback of
+    ``find_path`` relies on).  Raises :class:`InvariantViolation` on
+    violation.
+    """
+    n = spanner.metric.n
+    limit = spanner.f + 1
+    for t, (cover_tree, pools) in enumerate(zip(spanner.cover.trees, spanner.replicas)):
+        for v, pool in enumerate(pools):
+            check(pool, f"tree {t} vertex {v} has an empty replica pool")
+            check(
+                len(pool) <= limit,
+                f"tree {t} vertex {v} pool has {len(pool)} > f+1 = {limit} replicas",
+            )
+            check(
+                all(0 <= p < n for p in pool),
+                f"tree {t} vertex {v} pool contains out-of-range points",
+            )
+            check(
+                len(set(pool)) == len(pool),
+                f"tree {t} vertex {v} pool contains duplicates",
+            )
+        for p, host in enumerate(cover_tree.vertex_of_point):
+            check(
+                p in pools[host],
+                f"tree {t}: point {p} missing from its host vertex pool",
+            )

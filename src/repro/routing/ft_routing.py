@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.navigation import TreeNavigator
+from ..errors import FaultBudgetExceeded, InvariantViolation, check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
 from ..routing.labels import HeavyPathLabeling, label_bits, label_distance, lca_key
@@ -75,7 +76,16 @@ class FaultTolerantRoutingScheme:
         eps: float = 0.45,
         cover: Optional[TreeCover] = None,
         seed: int = 0,
+        validate: Optional[bool] = None,
     ):
+        if validate is None:
+            from ..resilience.validation import validation_enabled
+
+            validate = validation_enabled()
+        if validate:
+            from ..resilience.validation import validate_metric
+
+            validate_metric(metric)
         self.metric = metric
         self.f = f
         self.cover = cover if cover is not None else robust_tree_cover(metric, eps)
@@ -169,18 +179,34 @@ class FaultTolerantRoutingScheme:
                     return out_ports[w], ("deliver",)
                 if w in out_ports:
                     return out_ports[w], ("forward", in_ports[w])
-            raise AssertionError(
-                f"no live replica for lambda={lam}: construction invariant broken"
+            raise InvariantViolation(
+                f"no live replica for lambda={lam}: all {len(in_ports)} "
+                "replicas of the cut vertex are faulty"
             )
 
         return protocol
 
-    def route(self, u: int, v: int, faults: Iterable[int] = ()) -> RouteResult:
+    def route(
+        self,
+        u: int,
+        v: int,
+        faults: Iterable[int] = (),
+        enforce_budget: bool = True,
+    ) -> RouteResult:
+        """Route one packet, avoiding the faulty set.
+
+        With ``enforce_budget`` (the default), ``|F| > f`` raises
+        :class:`FaultBudgetExceeded`.  ``enforce_budget=False`` is the
+        best-effort mode used by :mod:`repro.resilience.degradation`:
+        the packet is launched anyway and may fail with
+        :class:`InvariantViolation` if every replica of a needed cut
+        vertex is dead.
+        """
         faulty = set(faults)
         if u in faulty or v in faulty:
             raise ValueError("endpoints must be non-faulty")
-        if len(faulty) > self.f:
-            raise ValueError(f"at most f={self.f} faults supported")
+        if enforce_budget and len(faulty) > self.f:
+            raise FaultBudgetExceeded(self.f, faulty)
         return self.network.route(
             u, self.protocol_for(faulty), self.labels[v], self.tables, max_hops=8
         )
@@ -188,13 +214,19 @@ class FaultTolerantRoutingScheme:
     def verify_route(
         self, u: int, v: int, faults: Set[int], gamma: float
     ) -> Tuple[int, float]:
+        """Route and check delivery, the 2-hop budget, fault avoidance
+        and the stretch bound; raises :class:`InvariantViolation` (never
+        a ``python -O``-stripped ``assert``) on violation."""
         result = self.route(u, v, faults)
-        assert result.path[0] == u and result.path[-1] == v, result.path
-        assert result.hops <= 2, f"{result.path} uses {result.hops} hops"
-        assert not (set(result.path) & faults), "route visits a faulty node"
+        check(
+            result.path[0] == u and result.path[-1] == v,
+            f"route {result.path} does not connect ({u}, {v})",
+        )
+        check(result.hops <= 2, f"{result.path} uses {result.hops} hops")
+        check(not (set(result.path) & faults), "route visits a faulty node")
         base = self.metric.distance(u, v)
         stretch = result.weight / base if base > 0 else 1.0
-        assert stretch <= gamma + 1e-6, f"stretch {stretch} exceeds {gamma}"
+        check(stretch <= gamma + 1e-6, f"stretch {stretch} exceeds {gamma}")
         return result.hops, stretch
 
     # ------------------------------------------------------------------

@@ -147,11 +147,19 @@ class MetricRoutingScheme:
         return bits
 
     def verify_route(self, u: int, v: int, gamma: float) -> Tuple[int, float]:
-        """Route and assert: delivered, <= 2 hops, stretch <= gamma."""
+        """Route and check: delivered, <= 2 hops, stretch <= gamma.
+
+        Raises :class:`~repro.errors.InvariantViolation` on the first
+        broken guarantee (a real exception, not an ``assert``)."""
+        from ..errors import check
+
         result = self.route(u, v)
-        assert result.path[0] == u and result.path[-1] == v, result.path
-        assert result.hops <= 2, f"route {result.path} uses {result.hops} hops"
+        check(
+            result.path[0] == u and result.path[-1] == v,
+            f"route {result.path} does not connect ({u}, {v})",
+        )
+        check(result.hops <= 2, f"route {result.path} uses {result.hops} hops")
         base = self.metric.distance(u, v)
         stretch = result.weight / base if base > 0 else 1.0
-        assert stretch <= gamma + 1e-6, f"stretch {stretch} exceeds {gamma}"
+        check(stretch <= gamma + 1e-6, f"stretch {stretch} exceeds {gamma}")
         return result.hops, stretch

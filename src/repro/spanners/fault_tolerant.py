@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Set
 
 from ..core.navigation import TreeNavigator, dedup_path
+from ..errors import FaultBudgetExceeded, InvariantViolation, check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
 from ..treecover.base import TreeCover
@@ -34,7 +35,15 @@ __all__ = ["FaultTolerantSpanner"]
 
 
 class FaultTolerantSpanner:
-    """An f-FT spanner with hop-diameter k over a doubling metric."""
+    """An f-FT spanner with hop-diameter k over a doubling metric.
+
+    With ``validate=True`` (or the environment variable
+    ``REPRO_VALIDATE`` set to a truthy value) the constructor runs the
+    opt-in invariant-checking mode of
+    :mod:`repro.resilience.validation`: the metric is screened for
+    NaN/negative/asymmetric distances before the build, and the replica
+    pools are checked against Theorem 4.2's structure afterwards.
+    """
 
     def __init__(
         self,
@@ -43,9 +52,18 @@ class FaultTolerantSpanner:
         k: int,
         eps: float = 0.4,
         cover: Optional[TreeCover] = None,
+        validate: Optional[bool] = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
+        if validate is None:
+            from ..resilience.validation import validation_enabled
+
+            validate = validation_enabled()
+        if validate:
+            from ..resilience.validation import validate_metric
+
+            validate_metric(metric)
         self.metric = metric
         self.f = f
         self.k = k
@@ -60,6 +78,10 @@ class FaultTolerantSpanner:
             self.navigators.append(navigator)
             below = cover_tree.descendant_points()
             self.replicas.append([pool[: f + 1] for pool in below])
+        if validate:
+            from ..resilience.validation import validate_ft_spanner
+
+            validate_ft_spanner(self)
 
     # ------------------------------------------------------------------
     # Size accounting (edges are counted analytically; the biclique
@@ -109,16 +131,12 @@ class FaultTolerantSpanner:
         if u in faulty or v in faulty:
             raise ValueError("query endpoints must be non-faulty")
         if len(faulty) > self.f:
-            raise ValueError(f"at most f={self.f} faults are supported")
+            raise FaultBudgetExceeded(self.f, faulty)
         if u == v:
             return [u]
-        order = sorted(
-            range(len(self.cover.trees)),
-            key=lambda t: self.cover.trees[t].tree_distance(u, v),
-        )
         best_path: List[int] = []
         best_weight = float("inf")
-        for index in order[: max(1, candidates)]:
+        for index in self.candidate_trees(u, v, candidates):
             path = self._path_in_tree(index, u, v, faulty)
             weight = sum(
                 self.metric.distance(a, b) for a, b in zip(path, path[1:])
@@ -128,8 +146,28 @@ class FaultTolerantSpanner:
                 best_path = path
         return best_path
 
-    def _path_in_tree(self, index: int, u: int, v: int, faulty: Set[int]) -> List[int]:
-        """The replica-substituted k-hop path through one cover tree."""
+    def candidate_trees(self, u: int, v: int, candidates: int = 12) -> List[int]:
+        """The ``candidates`` cover trees with the smallest stored u-v
+        distance, in order.  A ``candidates`` larger than ζ simply
+        returns every tree; values below 1 are clamped to 1."""
+        order = sorted(
+            range(len(self.cover.trees)),
+            key=lambda t: self.cover.trees[t].tree_distance(u, v),
+        )
+        return order[: max(1, candidates)]
+
+    def _path_in_tree(
+        self, index: int, u: int, v: int, faulty: Set[int], strict: bool = True
+    ) -> Optional[List[int]]:
+        """The replica-substituted k-hop path through one cover tree.
+
+        With ``strict`` (the default, valid whenever ``|F| <= f``) a
+        replica pool with no live member is a broken construction
+        invariant and raises :class:`InvariantViolation`.  The
+        degradation layer passes ``strict=False`` to probe trees in the
+        over-budget regime ``|F| > f``, where a fully-dead pool is an
+        expected outcome: the tree is skipped by returning ``None``.
+        """
         cover_tree = self.cover.trees[index]
         vertex_path = self.navigators[index].find_path(
             cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
@@ -140,11 +178,15 @@ class FaultTolerantSpanner:
             live = [p for p in reps[x] if p not in faulty]
             if not live:
                 # Undersized replica sets always contain an endpoint.
-                live = [p for p in (u, v) if p in reps[x]]
+                live = [p for p in (u, v) if p in reps[x] and p not in faulty]
             if not live:
-                raise AssertionError(
-                    f"no live replica at tree vertex {x}; construction invariant broken"
-                )
+                if strict:
+                    raise InvariantViolation(
+                        f"no live replica at tree vertex {x} with "
+                        f"{len(faulty)} <= f={self.f} faults; "
+                        "construction invariant broken"
+                    )
+                return None
             # Any live replica preserves the guarantees; greedily taking
             # the one nearest the previous point improves the constant.
             previous = points[-1]
@@ -153,14 +195,19 @@ class FaultTolerantSpanner:
         return dedup_path(points)
 
     def verify_path(self, u: int, v: int, faults: Set[int], path: List[int]) -> float:
-        """Assert FT-path validity; returns its stretch.
+        """Check FT-path validity; returns its stretch.
 
-        Checks: endpoints, hop budget, no faulty intermediates, and that
-        every hop is a biclique edge of H (by reconstruction).
+        Checks endpoints, hop budget, and no faulty intermediates;
+        raises :class:`InvariantViolation` (so the checks survive
+        ``python -O``) on the first broken guarantee.
         """
-        assert path[0] == u and path[-1] == v
-        assert len(path) - 1 <= self.k, f"{len(path) - 1} hops exceed k={self.k}"
-        assert not (set(path) & faults), "path visits a faulty point"
+        check(bool(path), f"empty path returned for ({u}, {v})")
+        check(
+            path[0] == u and path[-1] == v,
+            f"path endpoints {path[0]}, {path[-1]} differ from query ({u}, {v})",
+        )
+        check(len(path) - 1 <= self.k, f"{len(path) - 1} hops exceed k={self.k}")
+        check(not (set(path) & set(faults)), "path visits a faulty point")
         weight = sum(
             self.metric.distance(a, b) for a, b in zip(path, path[1:])
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric, sample_pairs
 from ..metrics.tree_metric import TreeMetric
@@ -83,12 +84,14 @@ class CoverTree:
         return below
 
     def check_dominating(self, metric: Metric, pairs: Sequence[Tuple[int, int]]) -> None:
-        """Assert domination (δ_T >= δ_X) on the given pairs."""
+        """Check domination (δ_T >= δ_X) on the given pairs; raises
+        :class:`~repro.errors.InvariantViolation` on violation."""
         for p, q in pairs:
             td = self.tree_distance(p, q)
             md = metric.distance(p, q)
-            assert td >= md - 1e-6 * max(1.0, md), (
-                f"tree distance {td} below metric distance {md} for ({p}, {q})"
+            check(
+                td >= md - 1e-6 * max(1.0, md),
+                f"tree distance {td} below metric distance {md} for ({p}, {q})",
             )
 
 
@@ -152,10 +155,11 @@ class TreeCover:
         pairs: Optional[Sequence[Tuple[int, int]]] = None,
         sample: int = 300,
     ) -> None:
-        """Assert domination and stretch <= gamma on sampled pairs."""
+        """Check domination and stretch <= gamma on sampled pairs;
+        raises :class:`~repro.errors.InvariantViolation` on violation."""
         if pairs is None:
             pairs = sample_pairs(self.metric.n, sample)
         for cover_tree in self.trees:
             cover_tree.check_dominating(self.metric, pairs)
         worst, _ = self.measured_stretch(pairs)
-        assert worst <= gamma + 1e-6, f"cover stretch {worst} exceeds gamma {gamma}"
+        check(worst <= gamma + 1e-6, f"cover stretch {worst} exceeds gamma {gamma}")

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from scipy.spatial import cKDTree
 
+from ..errors import InvariantViolation, check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric
 from ..metrics.doubling import NetHierarchy
@@ -67,18 +68,22 @@ class PairingCover:
         return len(self.sets)
 
     def verify(self, metric: Metric, eps: float) -> None:
-        """Assert properties (1) and (2) of Definition 4.2."""
+        """Check properties (1) and (2) of Definition 4.2; raises
+        :class:`~repro.errors.InvariantViolation` on violation."""
         radius = pairing_radius(eps, self.level, 2.0 ** (self.level + 1))
         for pairs in self.sets:
             partner: Dict[int, int] = {}
             for x, y in pairs:
                 for end, other in ((x, y), (y, x)):
                     if end in partner and partner[end] != other:
-                        raise AssertionError(
+                        raise InvariantViolation(
                             f"point {end} paired twice in one set (level {self.level})"
                         )
                     partner[end] = other
-                assert metric.distance(x, y) <= radius + 1e-9, "pair too far apart"
+                check(
+                    metric.distance(x, y) <= radius + 1e-9,
+                    f"pair ({x}, {y}) too far apart at level {self.level}",
+                )
 
 
 def covering_radius(metric: Metric, hierarchy: NetHierarchy, level: int) -> float:

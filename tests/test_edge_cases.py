@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import MetricNavigator, TreeNavigator
+from repro.errors import MetricValidationError
 from repro.graphs import Graph, Tree, path_tree, random_tree
 from repro.metrics import (
     EuclideanMetric,
@@ -68,7 +69,7 @@ class TestDegenerateMetrics:
             def distance(self, u, v):
                 return 1.0 if u < v else 2.0 if u > v else 0.0
 
-        with pytest.raises(AssertionError):
+        with pytest.raises(MetricValidationError):
             check_metric_axioms(Broken(5), trials=300)
 
     def test_axiom_checker_catches_triangle_violation(self):
@@ -77,7 +78,7 @@ class TestDegenerateMetrics:
             [1.0, 0.0, 1.0],
             [10.0, 1.0, 0.0],
         ])
-        with pytest.raises(AssertionError):
+        with pytest.raises(MetricValidationError):
             check_metric_axioms(MatrixMetric(matrix), trials=500)
 
 

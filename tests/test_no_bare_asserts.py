@@ -1,0 +1,30 @@
+"""No correctness check in ``src/`` may rely on a bare ``assert``.
+
+``python -O`` strips assert statements, so every guarantee-enforcing
+check in the library proper must raise a real exception
+(:mod:`repro.errors`).  This test walks the AST of every module under
+``src/`` and fails on any ``assert`` statement, keeping the invariant
+from regressing.  (Tests themselves are exempt: pytest's assertion
+rewriting keeps them meaningful even under ``-O``.)
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).resolve().parent
+
+
+def test_src_contains_no_assert_statements():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                offenders.append(f"{path.relative_to(SRC)}:{node.lineno}")
+    assert not offenders, (
+        "assert statements vanish under `python -O`; raise "
+        "repro.errors.InvariantViolation (via errors.check) instead:\n  "
+        + "\n  ".join(offenders)
+    )

@@ -1,0 +1,339 @@
+"""Resilience subsystem: injectors, chaos harness, graceful degradation.
+
+Seeded property tests for Theorem 4.2's contract under every fault
+model — for all ``|F| <= f`` the FT paths must have at most ``k`` hops,
+avoid ``F``, and weigh no more than the robust replacement bound of the
+candidate trees (the measured γ of Theorem 4.1) — plus the edge cases
+of ``find_path`` and the typed-exception / degraded-result semantics.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import (
+    FaultBudgetExceeded,
+    InvariantViolation,
+    MetricValidationError,
+    ReproError,
+)
+from repro.metrics import Metric, random_points
+from repro.resilience import (
+    AdversarialInjector,
+    ChaosHarness,
+    CrashRecoverySchedule,
+    DegradedResult,
+    RandomInjector,
+    RegionalInjector,
+    find_path_degraded,
+    make_injector,
+    route_degraded,
+    validate_metric,
+    validation_enabled,
+)
+from repro.routing import FaultTolerantRoutingScheme
+from repro.spanners import FaultTolerantSpanner
+from repro.treecover import robust_tree_cover
+
+N = 48
+F = 2
+K = 4
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return random_points(N, dim=2, seed=11)
+
+
+@pytest.fixture(scope="module")
+def cover(metric):
+    return robust_tree_cover(metric, eps=0.45)
+
+
+@pytest.fixture(scope="module")
+def spanner(metric, cover):
+    return FaultTolerantSpanner(metric, f=F, k=K, cover=cover)
+
+
+@pytest.fixture(scope="module")
+def router(metric, cover):
+    return FaultTolerantRoutingScheme(metric, f=F, cover=cover, seed=11)
+
+
+@pytest.fixture(scope="module")
+def harness(spanner, router):
+    return ChaosHarness(spanner, router, queries=8, seed=11)
+
+
+def _all_injectors(metric, spanner):
+    return [
+        RandomInjector(metric.n, seed=4),
+        RegionalInjector(metric, seed=4),
+        AdversarialInjector(spanner, probe_pairs=40, seed=4),
+    ]
+
+
+class TestWithinBudgetContract:
+    """For every injector and every |F| <= f: <= k hops, F avoided,
+    weight within the measured robust replacement bound."""
+
+    def test_every_injector_every_size(self, metric, spanner, harness):
+        import random
+
+        rng = random.Random(2)
+        for injector in _all_injectors(metric, spanner):
+            for size in range(F + 1):
+                faults = injector.sample(size)
+                assert len(faults) == size
+                for _ in range(6):
+                    u, v = rng.sample(
+                        [p for p in range(N) if p not in faults], 2
+                    )
+                    path = spanner.find_path(u, v, faults)
+                    assert path[0] == u and path[-1] == v
+                    assert len(path) - 1 <= K
+                    assert not set(path) & faults
+                    weight = sum(
+                        metric.distance(a, b) for a, b in zip(path, path[1:])
+                    )
+                    assert weight <= harness.pair_bound(u, v) * (1 + 1e-9)
+
+    def test_harness_sweep_enforces_and_counts(self, metric, spanner, harness):
+        for injector in _all_injectors(metric, spanner):
+            report = harness.sweep(injector, sizes=[0, 1, F, F + 2])
+            # 3 within-budget sizes x 8 queries x (navigation + routing)
+            assert report.invariants_checked == 3 * 8 * 2
+            assert report.navigation_rate(0) == 1.0
+            assert report.navigation_rate(F) == 1.0
+            assert report.routing_rate(F) == 1.0
+            table = report.format_table()
+            assert injector.name in table and "> f" in table
+
+
+class TestFindPathEdgeCases:
+    def test_f_zero_no_faults(self, metric, cover):
+        spanner = FaultTolerantSpanner(metric, f=0, k=K, cover=cover)
+        path = spanner.find_path(3, 40)
+        assert path[0] == 3 and path[-1] == 40 and len(path) - 1 <= K
+
+    def test_f_zero_any_fault_exceeds_budget(self, metric, cover):
+        spanner = FaultTolerantSpanner(metric, f=0, k=K, cover=cover)
+        with pytest.raises(FaultBudgetExceeded):
+            spanner.find_path(3, 40, {7})
+
+    def test_exactly_f_faults_accepted(self, spanner):
+        faults = {5, 9}
+        assert len(faults) == spanner.f
+        path = spanner.find_path(0, 30, faults)
+        assert not set(path) & faults
+
+    def test_one_past_budget_raises_with_context(self, spanner):
+        faults = {5, 9, 13}
+        with pytest.raises(FaultBudgetExceeded) as info:
+            spanner.find_path(0, 30, faults)
+        assert info.value.f == F
+        assert info.value.faults == frozenset(faults)
+        assert isinstance(info.value, ValueError)  # legacy compatibility
+        assert isinstance(info.value, ReproError)
+
+    def test_faulty_endpoint_rejected(self, spanner):
+        with pytest.raises(ValueError):
+            spanner.find_path(5, 30, {5})
+
+    def test_candidates_beyond_tree_count(self, spanner):
+        zeta = len(spanner.cover.trees)
+        assert spanner.candidate_trees(0, 1, zeta + 100) == \
+            spanner.candidate_trees(0, 1, zeta)
+        path = spanner.find_path(0, 30, {5, 9}, candidates=zeta + 100)
+        assert path[0] == 0 and path[-1] == 30 and len(path) - 1 <= K
+
+    def test_candidates_clamped_to_one(self, spanner):
+        assert len(spanner.candidate_trees(0, 1, 0)) == 1
+        assert len(spanner.candidate_trees(0, 1, -3)) == 1
+
+    def test_fault_covering_whole_pool_falls_back_to_endpoint(self, spanner):
+        """Kill every non-endpoint member of an on-path replica pool:
+        the undersized-pool endpoint fallback must still deliver."""
+        exercised = 0
+        for u in range(0, N, 7):
+            for v in range(3, N, 11):
+                if u == v:
+                    continue
+                for t in spanner.candidate_trees(u, v, 3):
+                    cover_tree = spanner.cover.trees[t]
+                    vertex_path = spanner.navigators[t].find_path(
+                        cover_tree.vertex_of_point[u],
+                        cover_tree.vertex_of_point[v],
+                    )
+                    for x in vertex_path[1:-1]:
+                        pool = spanner.replicas[t][x]
+                        others = [p for p in pool if p not in (u, v)]
+                        if not (u in pool or v in pool):
+                            continue
+                        if not 0 < len(others) <= spanner.f:
+                            continue
+                        faults = set(others)
+                        path = spanner._path_in_tree(t, u, v, faults)
+                        assert path[0] == u and path[-1] == v
+                        assert not set(path) & faults
+                        assert len(path) - 1 <= K
+                        exercised += 1
+        assert exercised > 0, "no pool-kill scenario found; widen the scan"
+
+    def test_verify_path_raises_not_asserts(self, spanner):
+        with pytest.raises(InvariantViolation):
+            spanner.verify_path(0, 30, set(), [0, 1])  # wrong endpoint
+        with pytest.raises(InvariantViolation):
+            spanner.verify_path(0, 30, {1}, [0, 1, 30])  # faulty midpoint
+        assert isinstance(InvariantViolation("x"), AssertionError)
+
+
+class TestInjectors:
+    def test_deterministic_and_sized(self, metric, spanner):
+        for injector in _all_injectors(metric, spanner):
+            for size in (0, 1, 3, 10):
+                first = injector.sample(size)
+                assert first == injector.sample(size)
+                assert len(first) == size
+            assert len(injector.sample(N + 50)) == N
+
+    def test_regional_is_a_metric_ball(self, metric):
+        injector = RegionalInjector(metric, seed=4)
+        faults = injector.sample(6)
+        assert injector.center in faults
+        radius = max(metric.distance(injector.center, p) for p in faults)
+        for p in range(N):
+            if metric.distance(injector.center, p) < radius:
+                assert p in faults or metric.distance(
+                    injector.center, p
+                ) == radius
+
+    def test_adversarial_ranks_pools_first(self, spanner):
+        injector = AdversarialInjector(spanner, probe_pairs=40, seed=4)
+        assert injector.pools, "probing found no hot replica pools"
+        hottest = set(injector.pools[0])
+        assert hottest <= injector.sample(len(hottest))
+
+    def test_crash_schedule_churns_at_constant_size(self, metric):
+        base = RandomInjector(metric.n, seed=4)
+        schedule = CrashRecoverySchedule(base, size=6, steps=5, seed=4)
+        steps = list(schedule)
+        assert len(steps) == len(schedule) == 5
+        assert all(len(s) == 6 for s in steps)
+        assert any(a != b for a, b in zip(steps, steps[1:]))
+
+    def test_factory(self, metric, spanner):
+        assert make_injector("random", metric).name == "random"
+        assert make_injector("regional", metric).name == "regional"
+        assert make_injector("adversarial", metric, spanner).name == "adversarial"
+        with pytest.raises(ValueError):
+            make_injector("adversarial", metric)  # needs the spanner
+        with pytest.raises(ValueError):
+            make_injector("byzantine", metric)
+
+
+class TestGracefulDegradation:
+    def test_within_budget_is_strict(self, spanner):
+        result = find_path_degraded(spanner, 0, 30, {5, 9})
+        assert result.ok and not result.over_budget
+        assert result.hops <= K and result.weight < math.inf
+
+    def test_over_budget_never_raises(self, metric, spanner):
+        faults = RandomInjector(metric.n, seed=8).sample(4 * (F + 1))
+        live = [p for p in range(N) if p not in faults]
+        for u, v in zip(live[:10], live[10:20]):
+            result = find_path_degraded(spanner, u, v, faults)
+            assert isinstance(result, DegradedResult)
+            assert result.over_budget and result.degraded
+            if result.delivered:
+                assert result.path[0] == u and result.path[-1] == v
+                assert not set(result.path) & faults
+            else:
+                assert result.reason
+
+    def test_faulty_endpoint_degrades_instead_of_raising(self, spanner):
+        result = find_path_degraded(spanner, 5, 30, {5})
+        assert not result.delivered and result.degraded
+        assert "endpoint" in result.reason
+
+    def test_trivial_query(self, spanner):
+        result = find_path_degraded(spanner, 7, 7, {1, 2, 3, 4})
+        assert result.delivered and result.hops == 0
+
+    def test_route_degraded_over_budget(self, metric, router):
+        faults = RandomInjector(metric.n, seed=8).sample(4 * (F + 1))
+        live = [p for p in range(N) if p not in faults]
+        for u, v in zip(live[:10], live[10:20]):
+            result = route_degraded(router, u, v, faults)
+            assert isinstance(result, DegradedResult)
+            assert result.over_budget
+            if result.delivered:
+                assert result.path[0] == u and result.path[-1] == v
+
+    def test_route_degraded_within_budget(self, router):
+        result = route_degraded(router, 0, 30, {5, 9})
+        assert result.delivered and result.hops <= 2
+
+
+class TestValidationMode:
+    def test_validate_flag_accepts_sound_metric(self, metric, cover):
+        spanner = FaultTolerantSpanner(
+            metric, f=1, k=K, cover=cover, validate=True
+        )
+        assert spanner.find_path(0, 30)
+
+    def test_validate_metric_rejects_asymmetry(self):
+        class Broken(Metric):
+            def distance(self, u, v):
+                return 1.0 if u < v else 2.0 if u > v else 0.0
+
+        with pytest.raises(MetricValidationError):
+            validate_metric(Broken(6))
+
+    def test_env_var_toggles(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert not validation_enabled()
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        assert validation_enabled()
+        monkeypatch.setenv("REPRO_VALIDATE", "off")
+        assert not validation_enabled()
+
+
+class TestChaosCli:
+    def test_chaos_command_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "chaos", "--n", "40", "--f", "1", "--k", "3", "--queries", "4",
+            "--scenario", "random", "--sizes", "0,1,3", "--no-routing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "survival" in out and "| 3 | > f |" in out
+        assert "within-budget queries satisfied" in out
+
+
+@pytest.mark.chaos
+class TestAdversaryBeatsRandom:
+    """The acceptance comparison: at equal over-budget |F| the white-box
+    adversary degrades delivery at least as much as random faults, and
+    strictly more somewhere along the curve."""
+
+    def test_adversarial_dominates_random(self, metric, spanner, harness):
+        sizes = [2 * (F + 1), 4 * (F + 1), 6 * (F + 1)]
+        rnd = harness.sweep(RandomInjector(metric.n, seed=11), sizes)
+        adv = harness.sweep(
+            AdversarialInjector(spanner, probe_pairs=120, seed=11), sizes
+        )
+        nav_pairs = [
+            (a.delivery_rate, r.delivery_rate)
+            for a, r in zip(adv.navigation, rnd.navigation)
+        ]
+        route_pairs = [
+            (a.delivery_rate, r.delivery_rate)
+            for a, r in zip(adv.routing, rnd.routing)
+        ]
+        deficit = sum(r - a for a, r in nav_pairs + route_pairs)
+        assert deficit > 0, (
+            f"adversary no worse than random: nav {nav_pairs}, "
+            f"routing {route_pairs}"
+        )
