@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Smoke the benchmark-regression harness end to end: run a tiny-n
+# `python -m repro bench --quick`, then validate the emitted
+# BENCH_tree_covers.json / BENCH_navigation.json against the schema
+# contract (repro.bench.validate_bench_json).  Fast enough for CI;
+# the full-size >= 3x gate lives in tests/test_bench_harness.py
+# behind the `bench` pytest marker.
+#
+# Usage: scripts/bench_smoke.sh [out_dir]
+set -eu
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-$(mktemp -d)}"
+
+PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 \
+    --out-dir "$OUT_DIR"
+
+PYTHONPATH=src python - "$OUT_DIR" <<'EOF'
+import json
+import sys
+
+from repro.bench import validate_bench_json
+
+out_dir = sys.argv[1]
+for name in ("BENCH_tree_covers.json", "BENCH_navigation.json"):
+    path = f"{out_dir}/{name}"
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_bench_json(payload)
+    print(f"{path}: schema {payload['schema']} OK "
+          f"({len(payload['results'])} results)")
+EOF
+
+echo "bench smoke passed"

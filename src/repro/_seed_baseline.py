@@ -1,0 +1,386 @@
+"""Frozen pre-vectorization reference implementations, for benchmarking.
+
+These are verbatim-behavior copies of the construction paths as they
+existed before the batch distance-kernel layer (one scalar
+``metric.distance`` / ``metric.ball`` call at a time).  The regression
+harness (:mod:`repro.bench`) times them against the current vectorized
+paths on identical inputs, so every ``python -m repro bench`` run
+reports an honest before/after comparison instead of trusting numbers
+recorded once in a document.
+
+The classes here are intentionally *not* subclasses of
+:class:`~repro.metrics.euclidean.EuclideanMetric`: the optimized code
+dispatches on ``isinstance``/``supports_batch``, and the baseline must
+never take those fast paths.
+
+Nothing outside benchmarks and parity tests should import this module.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .graphs.tree import Tree
+from .metrics.base import Metric
+from .treecover.base import CoverTree, TreeCover
+
+__all__ = [
+    "SeedEuclideanMetric",
+    "seed_greedy_net",
+    "seed_scale_levels",
+    "SeedNetHierarchy",
+    "seed_ckr_partition",
+    "SeedPartitionHierarchy",
+    "seed_build_hst",
+    "seed_robust_tree_cover",
+]
+
+
+class SeedEuclideanMetric(Metric):
+    """The seed Euclidean metric: per-call numpy norm, scalar kernels only."""
+
+    supports_batch = False
+
+    def __init__(self, points: np.ndarray):
+        self.points = np.asarray(points, dtype=float)
+        super().__init__(len(self.points))
+        self._kdtree: Optional[cKDTree] = None
+
+    @property
+    def kdtree(self) -> cKDTree:
+        if self._kdtree is None:
+            self._kdtree = cKDTree(self.points)
+        return self._kdtree
+
+    def distance(self, u: int, v: int) -> float:
+        return float(np.linalg.norm(self.points[u] - self.points[v]))
+
+    def distances_from(self, u: int) -> np.ndarray:
+        return np.linalg.norm(self.points - self.points[u], axis=1)
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        return sorted(self.kdtree.query_ball_point(self.points[center], radius))
+
+
+def seed_greedy_net(metric: Metric, candidates: Sequence[int], radius: float) -> List[int]:
+    """The seed greedy net: one python-level ball query per net point."""
+    candidate_set = set(candidates)
+    covered: Set[int] = set()
+    net: List[int] = []
+    for p in candidates:
+        if p in covered:
+            continue
+        net.append(p)
+        for q in metric.ball(p, radius):
+            if q in candidate_set:
+                covered.add(q)
+    return net
+
+
+def seed_scale_levels(metric: SeedEuclideanMetric) -> Tuple[int, int]:
+    dist, _ = metric.kdtree.query(metric.points, k=2)
+    d_min = float(np.min(dist[:, 1]))
+    lo = metric.points.min(axis=0)
+    hi = metric.points.max(axis=0)
+    d_max = float(np.linalg.norm(hi - lo))
+    if d_min == 0:
+        raise ValueError("metric has duplicate points or a single point")
+    i_min = math.floor(math.log2(d_min)) - 1
+    i_max = math.ceil(math.log2(max(d_max, d_min))) + 1
+    return i_min, i_max
+
+
+class SeedNetHierarchy:
+    """The seed net hierarchy (scalar greedy net per level)."""
+
+    def __init__(
+        self,
+        metric: SeedEuclideanMetric,
+        i_min: Optional[int] = None,
+        i_max: Optional[int] = None,
+    ):
+        self.metric = metric
+        if i_min is None or i_max is None:
+            lo, hi = seed_scale_levels(metric)
+            i_min = lo if i_min is None else i_min
+            i_max = hi if i_max is None else i_max
+        self.i_min = i_min
+        self.i_max = i_max
+        self.nets: Dict[int, List[int]] = {}
+        self._kdtrees: Dict[int, cKDTree] = {}
+
+        current = list(range(metric.n))
+        self.nets[i_min] = current
+        for i in range(i_min + 1, i_max + 1):
+            current = seed_greedy_net(metric, current, 2.0**i)
+            self.nets[i] = current
+
+    def net(self, i: int) -> List[int]:
+        return self.nets[min(max(i, self.i_min), self.i_max)]
+
+    def net_points_within(self, i: int, point: int, radius: float) -> List[int]:
+        level = min(max(i, self.i_min), self.i_max)
+        tree = self._kdtrees.get(level)
+        if tree is None:
+            tree = cKDTree(self.metric.points[self.nets[level]])
+            self._kdtrees[level] = tree
+        hits = tree.query_ball_point(self.metric.points[point], radius)
+        net = self.nets[level]
+        return [net[j] for j in hits]
+
+
+# ----------------------------------------------------------------------
+# Seed HST construction
+
+
+def seed_ckr_partition(
+    metric: Metric, members: Sequence[int], scale: float, rng: random.Random
+) -> List[List[int]]:
+    """The seed CKR decomposition: a full distance row per center."""
+    member_array = np.asarray(sorted(members), dtype=np.int64)
+    radius = rng.uniform(scale / 4.0, scale / 2.0)
+    order = list(range(len(member_array)))
+    rng.shuffle(order)
+    owner = np.full(len(member_array), -1, dtype=np.int64)
+    remaining = len(member_array)
+    for rank, position in enumerate(order):
+        if remaining == 0:
+            break
+        center = int(member_array[position])
+        dist = metric.distances_from(center)[member_array]
+        take = (owner == -1) & (dist <= radius)
+        owner[take] = rank
+        remaining -= int(take.sum())
+    clusters: dict = {}
+    for index, own in enumerate(owner):
+        clusters.setdefault(int(own), []).append(int(member_array[index]))
+    return list(clusters.values())
+
+
+class _SeedHierarchyNode:
+    __slots__ = ("members", "scale", "children", "rep")
+
+    def __init__(self, members: List[int], scale: float):
+        self.members = members
+        self.scale = scale
+        self.children: List["_SeedHierarchyNode"] = []
+        self.rep = members[0]
+
+
+class SeedPartitionHierarchy:
+    """The seed partition hierarchy: per-point padding rows."""
+
+    def __init__(self, metric: Metric, alpha: float, rng: random.Random):
+        self.metric = metric
+        self.alpha = alpha
+        far = max(range(metric.n), key=lambda v: metric.distance(0, v))
+        diameter = 2.0 * metric.distance(0, far)
+        top_scale = 2.0 ** math.ceil(math.log2(max(diameter, 1e-12)))
+        self.root = _SeedHierarchyNode(list(range(metric.n)), top_scale)
+        self.padded: Set[int] = set(range(metric.n))
+        self._build(self.root, rng)
+
+    def _build(self, node: _SeedHierarchyNode, rng: random.Random) -> None:
+        if len(node.members) == 1:
+            return
+        clusters = seed_ckr_partition(self.metric, node.members, node.scale, rng)
+        cluster_of = {}
+        for index, cluster in enumerate(clusters):
+            for v in cluster:
+                cluster_of[v] = index
+        pad_radius = node.scale / self.alpha
+        member_array = np.asarray(node.members, dtype=np.int64)
+        cluster_ids = np.asarray([cluster_of[int(v)] for v in member_array])
+        for v in node.members:
+            if v not in self.padded:
+                continue
+            dist = self.metric.distances_from(v)[member_array]
+            cut = (dist <= pad_radius) & (cluster_ids != cluster_of[v])
+            if bool(cut.any()):
+                self.padded.discard(v)
+        for cluster in clusters:
+            child = _SeedHierarchyNode(cluster, node.scale / 2.0)
+            node.children.append(child)
+            self._build(child, rng)
+
+    def to_cover_tree(self) -> CoverTree:
+        parents: List[int] = []
+        weights: List[float] = []
+        reps: List[int] = []
+        vertex_of_point = [-1] * self.metric.n
+
+        def visit(node: _SeedHierarchyNode, parent_id: int) -> None:
+            node_id = len(parents)
+            parents.append(parent_id)
+            weights.append(node.scale * 4.0 if parent_id != -1 else 0.0)
+            reps.append(node.rep)
+            if len(node.members) == 1:
+                vertex_of_point[node.members[0]] = node_id
+            for child in node.children:
+                visit(child, node_id)
+
+        visit(self.root, -1)
+        return CoverTree(Tree(parents, weights), vertex_of_point, reps)
+
+
+def seed_build_hst(metric: Metric, alpha: float, seed: int = 0):
+    rng = random.Random(seed)
+    hierarchy = SeedPartitionHierarchy(metric, alpha, rng)
+    return hierarchy.to_cover_tree(), hierarchy.padded
+
+
+# ----------------------------------------------------------------------
+# Seed robust tree cover (Theorem 4.1)
+
+
+def _seed_covering_radius(
+    metric: SeedEuclideanMetric, hierarchy: SeedNetHierarchy, level: int
+) -> float:
+    net = hierarchy.nets[level]
+    if len(net) == metric.n:
+        return 0.0
+    tree = cKDTree(metric.points[net])
+    dist, _ = tree.query(metric.points)
+    return float(dist.max())
+
+
+def _seed_pairing_radius(eps: float, level: int, cov: float) -> float:
+    return (0.5 / eps) * 2.0**level + 2.0 * cov + 1e-9
+
+
+def _seed_build_pairing_covers(
+    metric: SeedEuclideanMetric, hierarchy: SeedNetHierarchy, eps: float
+) -> Dict[int, List[List[Tuple[int, int]]]]:
+    covers: Dict[int, List[List[Tuple[int, int]]]] = {}
+    for i in range(hierarchy.i_min, hierarchy.i_max + 1):
+        net = hierarchy.nets[i]
+        cov = _seed_covering_radius(metric, hierarchy, i)
+        pair_radius = _seed_pairing_radius(eps, i, cov)
+        separation = 2.0 * pair_radius + 10.0 * 2.0**i
+
+        pairs_at_level: List[Tuple[int, int]] = []
+        for x in net:
+            for y in hierarchy.net_points_within(i, x, pair_radius):
+                if y > x:
+                    pairs_at_level.append((x, y))
+        pairs_at_level.sort(key=lambda xy: (metric.distance(*xy), xy))
+
+        sets: List[List[Tuple[int, int]]] = []
+        endpoint_sets: Dict[int, set] = {}
+        for x, y in pairs_at_level:
+            blocked = set()
+            for end in (x, y):
+                for z in hierarchy.net_points_within(i, end, separation):
+                    blocked |= endpoint_sets.get(z, set())
+            index = 0
+            while index in blocked:
+                index += 1
+            if index == len(sets):
+                sets.append([])
+            sets[index].append((x, y))
+            for end in (x, y):
+                endpoint_sets.setdefault(end, set()).add(index)
+        covers[i] = sets
+    return covers
+
+
+class _SeedForestBuilder:
+    def __init__(self, n: int):
+        self.parent_node: List[int] = [-1] * n
+        self.rep: List[int] = list(range(n))
+        self._uf: List[int] = list(range(n))
+        self._root_node: List[int] = list(range(n))
+
+    def find(self, p: int) -> int:
+        while self._uf[p] != p:
+            self._uf[p] = self._uf[self._uf[p]]
+            p = self._uf[p]
+        return p
+
+    def root_of(self, p: int) -> int:
+        return self._root_node[self.find(p)]
+
+    def merge(self, points: Sequence[int], rep: int) -> None:
+        leaders = {self.find(p) for p in points}
+        if len(leaders) <= 1:
+            return
+        roots = {self._root_node[leader] for leader in leaders}
+        node = len(self.parent_node)
+        self.parent_node.append(-1)
+        self.rep.append(rep)
+        for r in roots:
+            self.parent_node[r] = node
+        leader_list = list(leaders)
+        head = leader_list[0]
+        for other in leader_list[1:]:
+            self._uf[other] = head
+        self._root_node[head] = node
+
+    def finish(self, metric: Metric, n: int) -> CoverTree:
+        roots = sorted({self.root_of(p) for p in range(n)})
+        if len(roots) > 1:
+            node = len(self.parent_node)
+            self.parent_node.append(-1)
+            self.rep.append(self.rep[roots[0]])
+            for r in roots:
+                self.parent_node[r] = node
+        weights = [0.0] * len(self.parent_node)
+        for v, p in enumerate(self.parent_node):
+            if p != -1:
+                weights[v] = metric.distance(self.rep[p], self.rep[v])
+        tree = Tree(self.parent_node, weights)
+        return CoverTree(tree, list(range(n)), self.rep)
+
+
+def seed_robust_tree_cover(metric: SeedEuclideanMetric, eps: float = 0.5) -> TreeCover:
+    """The seed Theorem 4.1 construction: scalar merges and edge weights."""
+    lo, hi = seed_scale_levels(metric)
+    lo -= math.ceil(math.log2(1.0 / eps)) + 2
+    hierarchy = SeedNetHierarchy(metric, i_min=lo, i_max=hi)
+    covers = _seed_build_pairing_covers(metric, hierarchy, eps)
+    phases = math.ceil(math.log2(1.0 / eps)) + 2
+    ratio = 2.0**-phases
+    gather = (2.0 + 0.5 * ratio / eps) / (1.0 - 4.0 * ratio) + 0.5
+
+    cache: Dict[Tuple[int, int, float], List[int]] = {}
+
+    def near(level: int, point: int, radius: float) -> List[int]:
+        key = (level, point, radius)
+        hit = cache.get(key)
+        if hit is None:
+            hit = hierarchy.net_points_within(level, point, radius)
+            cache[key] = hit
+        return hit
+
+    sets_per_phase = [0] * phases
+    for i, sets in covers.items():
+        phase = (i - (hierarchy.i_min + 1)) % phases
+        sets_per_phase[phase] = max(sets_per_phase[phase], len(sets))
+
+    trees: List[CoverTree] = []
+    top = hierarchy.i_max + phases
+    for p in range(phases):
+        for j in range(max(sets_per_phase[p], 1)):
+            builder = _SeedForestBuilder(metric.n)
+            for i in range(hierarchy.i_min + 1, top + 1):
+                if (i - (hierarchy.i_min + 1)) % phases != p % phases:
+                    continue
+                lower = i - phases
+                sets = covers.get(i)
+                if sets is not None and j < len(sets):
+                    for x, y in sets[j]:
+                        gathered = [x, y]
+                        gathered.extend(near(lower, x, gather * 2.0**i))
+                        gathered.extend(near(lower, y, gather * 2.0**i))
+                        builder.merge(gathered, rep=x)
+                for z in hierarchy.net(min(i, hierarchy.i_max)):
+                    gathered = [z]
+                    gathered.extend(near(lower, z, 2.0 * 2.0**i))
+                    builder.merge(gathered, rep=z)
+            trees.append(builder.finish(metric, metric.n))
+    return TreeCover(metric, trees)

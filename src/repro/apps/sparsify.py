@@ -23,8 +23,8 @@ __all__ = ["sparsify", "sparsify_report"]
 def sparsify(graph: Graph, navigator: MetricNavigator) -> Graph:
     """Replace each edge of ``graph`` by its k-hop navigated path."""
     out = Graph(graph.n)
-    for u, v, _ in graph.edges():
-        path = navigator.find_path(u, v)
+    edge_list = [(u, v) for u, v, _ in graph.edges()]
+    for path, _ in navigator.find_paths(edge_list):
         for a, b in zip(path, path[1:]):
             out.add_edge(a, b, navigator.metric.distance(a, b))
     return out

@@ -39,10 +39,9 @@ def approximate_spt(
             dist[v] = dist[u] + weight
             parent[v] = u
 
-    for v in range(n):
-        if v == root:
-            continue
-        path = navigator.find_path(root, v)
+    targets = [v for v in range(n) if v != root]
+    paths = navigator.find_paths([(root, v) for v in targets])
+    for path, _ in paths:
         for a, b in zip(path, path[1:]):
             relax(a, b)
     return parent, dist

@@ -1,0 +1,336 @@
+"""Benchmark-regression harness (``python -m repro bench``).
+
+Times the vectorized construction and query paths against the frozen
+pre-vectorization implementations in :mod:`repro._seed_baseline` on
+identical inputs, and emits schema-stable JSON artifacts:
+
+* ``BENCH_tree_covers.json`` — construction time of the net hierarchy,
+  the CKR/HST hierarchy, and the Theorem 4.1 robust tree cover, each
+  with its seed-baseline time and speedup, plus output invariants
+  (ζ, measured stretch) so a regression in either speed or quality is
+  visible in version control diffs.
+* ``BENCH_navigation.json`` — navigator build time, scalar query
+  p50/p99 latency, and batched :meth:`MetricNavigator.find_paths`
+  per-query latency, plus spanner edge counts.
+
+Schema stability contract: the ``schema`` field names the payload
+version (``repro.bench.tree_covers/v1``, ``repro.bench.navigation/v1``).
+Consumers may rely on the keys checked by :func:`validate_bench_json`;
+anything else (the ``detail`` dicts, ``meta``) is informational and may
+grow without a version bump.  Removing or retyping a checked key
+requires bumping the version suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy
+
+from . import __version__
+from ._seed_baseline import (
+    SeedEuclideanMetric,
+    SeedNetHierarchy,
+    seed_build_hst,
+    seed_robust_tree_cover,
+)
+from .core.metric_navigator import MetricNavigator
+from .metrics.base import sample_pairs
+from .metrics.doubling import NetHierarchy
+from .metrics.euclidean import random_points
+from .treecover.dumbbell import robust_tree_cover
+from .treecover.hst import build_hst
+
+__all__ = [
+    "TREE_COVERS_SCHEMA",
+    "NAVIGATION_SCHEMA",
+    "bench_tree_covers",
+    "bench_navigation",
+    "validate_bench_json",
+    "write_bench_files",
+]
+
+TREE_COVERS_SCHEMA = "repro.bench.tree_covers/v1"
+NAVIGATION_SCHEMA = "repro.bench.navigation/v1"
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = math.inf
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _meta() -> Dict[str, str]:
+    return {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def _result(
+    name: str, n: int, seconds: float, seed_seconds: Optional[float], detail: Dict
+) -> Dict:
+    out = {
+        "name": name,
+        "n": n,
+        "seconds": round(seconds, 6),
+        "seed_seconds": None if seed_seconds is None else round(seed_seconds, 6),
+        "speedup": (
+            None
+            if seed_seconds is None or seconds <= 0
+            else round(seed_seconds / seconds, 3)
+        ),
+        "detail": detail,
+    }
+    return out
+
+
+def bench_tree_covers(
+    n: int = 2000,
+    dim: int = 2,
+    seed: int = 1,
+    eps: float = 0.5,
+    alpha: float = 8.0,
+    repeats: int = 3,
+    robust_repeats: int = 1,
+    include_baseline: bool = True,
+    stretch_sample: int = 300,
+) -> Dict:
+    """Construction benchmarks on ``random_points(n, dim)``.
+
+    The baseline runs re-execute the frozen seed implementations on the
+    same points, so the reported speedups are measured in this process,
+    on this machine — not copied from a past run.  ``robust_repeats``
+    is separate because the seed Theorem 4.1 construction is by far the
+    slowest entry (minutes at n=2000).
+    """
+    metric = random_points(n, dim=dim, seed=seed)
+    seed_metric = SeedEuclideanMetric(metric.points) if include_baseline else None
+    results: List[Dict] = []
+
+    secs, hierarchy = _best_of(lambda: NetHierarchy(metric), repeats)
+    base = (
+        _best_of(lambda: SeedNetHierarchy(seed_metric), repeats)[0]
+        if include_baseline
+        else None
+    )
+    results.append(
+        _result(
+            "net_hierarchy",
+            n,
+            secs,
+            base,
+            {"levels": hierarchy.i_max - hierarchy.i_min + 1},
+        )
+    )
+
+    secs, (hst, padded) = _best_of(lambda: build_hst(metric, alpha, seed=0), repeats)
+    base = (
+        _best_of(lambda: seed_build_hst(seed_metric, alpha, seed=0), repeats)[0]
+        if include_baseline
+        else None
+    )
+    results.append(
+        _result(
+            "hst",
+            n,
+            secs,
+            base,
+            {"alpha": alpha, "vertices": hst.tree.n, "padded": len(padded)},
+        )
+    )
+
+    secs, cover = _best_of(lambda: robust_tree_cover(metric, eps=eps), robust_repeats)
+    detail: Dict = {"eps": eps, "zeta": cover.size}
+    if include_baseline:
+        base, seed_cover = _best_of(
+            lambda: seed_robust_tree_cover(seed_metric, eps=eps), robust_repeats
+        )
+        detail["zeta_seed"] = seed_cover.size
+    else:
+        base = None
+    worst, mean = cover.measured_stretch(
+        sample_pairs(n, stretch_sample, seed=seed)
+    )
+    detail["stretch_max"] = round(worst, 4)
+    detail["stretch_mean"] = round(mean, 4)
+    results.append(_result("robust_cover", n, secs, base, detail))
+
+    return {
+        "schema": TREE_COVERS_SCHEMA,
+        "config": {
+            "n": n,
+            "dim": dim,
+            "seed": seed,
+            "eps": eps,
+            "alpha": alpha,
+            "repeats": repeats,
+            "robust_repeats": robust_repeats,
+            "include_baseline": include_baseline,
+        },
+        "results": results,
+        "meta": _meta(),
+    }
+
+
+def bench_navigation(
+    n: int = 600,
+    dim: int = 2,
+    seed: int = 1,
+    eps: float = 0.5,
+    k: int = 3,
+    queries: int = 400,
+) -> Dict:
+    """Navigator construction and query-latency benchmarks."""
+    metric = random_points(n, dim=dim, seed=seed)
+    cover = robust_tree_cover(metric, eps=eps)
+    results: List[Dict] = []
+
+    start = time.perf_counter()
+    navigator = MetricNavigator(metric, cover, k)
+    build = time.perf_counter() - start
+    results.append(
+        _result(
+            "navigator_build",
+            n,
+            build,
+            None,
+            {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
+        )
+    )
+
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(queries)]
+    pairs = [(u, v) for u, v in pairs if u != v]
+
+    lat_us: List[float] = []
+    start_all = time.perf_counter()
+    for u, v in pairs:
+        start = time.perf_counter()
+        navigator.find_path(u, v)
+        lat_us.append((time.perf_counter() - start) * 1e6)
+    scalar_total = time.perf_counter() - start_all
+    lat = np.asarray(lat_us)
+    results.append(
+        _result(
+            "query_scalar",
+            n,
+            scalar_total,
+            None,
+            {
+                "queries": len(pairs),
+                "p50_us": round(float(np.percentile(lat, 50)), 2),
+                "p99_us": round(float(np.percentile(lat, 99)), 2),
+            },
+        )
+    )
+
+    start = time.perf_counter()
+    navigator.find_paths(pairs)
+    batch_total = time.perf_counter() - start
+    results.append(
+        _result(
+            "query_batch",
+            n,
+            batch_total,
+            scalar_total,
+            {
+                "queries": len(pairs),
+                "per_query_us": round(batch_total / max(1, len(pairs)) * 1e6, 2),
+            },
+        )
+    )
+
+    return {
+        "schema": NAVIGATION_SCHEMA,
+        "config": {
+            "n": n,
+            "dim": dim,
+            "seed": seed,
+            "eps": eps,
+            "k": k,
+            "queries": queries,
+        },
+        "results": results,
+        "meta": _meta(),
+    }
+
+
+def validate_bench_json(payload: Dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` honors the bench schema.
+
+    Checks the stability contract consumers rely on: schema id, config
+    and meta dicts, and per-result ``name``/``n``/``seconds`` (plus
+    optional numeric ``seed_seconds``/``speedup`` and a ``detail``
+    dict).  Used by tests and ``scripts/bench_smoke.sh``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema not in (TREE_COVERS_SCHEMA, NAVIGATION_SCHEMA):
+        raise ValueError(f"unknown bench schema: {schema!r}")
+    for key in ("config", "meta"):
+        if not isinstance(payload.get(key), dict):
+            raise ValueError(f"bench payload field {key!r} must be an object")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("bench payload must carry a non-empty results list")
+    for entry in results:
+        if not isinstance(entry, dict):
+            raise ValueError("each result must be an object")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            raise ValueError("each result needs a non-empty string name")
+        if not isinstance(entry.get("n"), int) or entry["n"] <= 0:
+            raise ValueError(f"result {entry.get('name')}: n must be a positive int")
+        seconds = entry.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ValueError(
+                f"result {entry.get('name')}: seconds must be non-negative"
+            )
+        for optional in ("seed_seconds", "speedup"):
+            value = entry.get(optional)
+            if value is not None and not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"result {entry.get('name')}: {optional} must be numeric or null"
+                )
+        if "detail" in entry and not isinstance(entry["detail"], dict):
+            raise ValueError(f"result {entry.get('name')}: detail must be an object")
+
+
+def write_bench_files(
+    out_dir: str,
+    tree_payload: Optional[Dict] = None,
+    nav_payload: Optional[Dict] = None,
+) -> List[str]:
+    """Validate and write the BENCH_*.json artifacts; returns the paths."""
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths: List[str] = []
+    for payload, filename in (
+        (tree_payload, "BENCH_tree_covers.json"),
+        (nav_payload, "BENCH_navigation.json"),
+    ):
+        if payload is None:
+            continue
+        validate_bench_json(payload)
+        path = os.path.join(out_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        paths.append(path)
+    return paths

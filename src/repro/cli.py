@@ -180,6 +180,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import bench_navigation, bench_tree_covers, write_bench_files
+
+    if args.quick:
+        n = args.n or 400
+        nav_n = args.nav_n or 200
+        robust_repeats = 1
+    else:
+        n = args.n or 2000
+        nav_n = args.nav_n or 600
+        robust_repeats = args.robust_repeats
+    print(f"tree-cover construction benchmarks (n={n}, "
+          f"baseline={'on' if not args.no_baseline else 'off'}) ...")
+    tree_payload = bench_tree_covers(
+        n=n,
+        seed=args.seed,
+        repeats=args.repeats,
+        robust_repeats=robust_repeats,
+        include_baseline=not args.no_baseline,
+    )
+    for entry in tree_payload["results"]:
+        speed = (
+            f"{entry['speedup']:.2f}x vs seed {entry['seed_seconds']:.3f}s"
+            if entry["speedup"] is not None
+            else "no baseline"
+        )
+        print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({speed})")
+    print(f"navigation benchmarks (n={nav_n}) ...")
+    nav_payload = bench_navigation(n=nav_n, seed=args.seed)
+    for entry in nav_payload["results"]:
+        detail = entry["detail"]
+        extra = ", ".join(
+            f"{key}={value}" for key, value in detail.items()
+            if key in ("p50_us", "p99_us", "per_query_us", "edges", "zeta")
+        )
+        print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({extra})")
+    paths = write_bench_files(args.out_dir, tree_payload, nav_payload)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_info(_: argparse.Namespace) -> int:
     print(f"repro {__version__} — bounded hop-diameter spanner navigation "
           "(PODC 2022 reproduction)")
@@ -238,6 +280,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-routing", action="store_true",
                        help="skip the FT routing survival curve")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark-regression harness; emits BENCH_*.json artifacts",
+    )
+    bench.add_argument("--n", type=int, default=0,
+                       help="points for construction benches (default 2000)")
+    bench.add_argument("--nav-n", type=int, default=0,
+                       help="points for navigation benches (default 600)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats (best-of) for cheap constructions")
+    bench.add_argument("--robust-repeats", type=int, default=1,
+                       help="timing repeats for the robust cover")
+    bench.add_argument("--quick", action="store_true",
+                       help="small instances (n=400) for smoke testing")
+    bench.add_argument("--no-baseline", action="store_true",
+                       help="skip the frozen seed-implementation baselines")
+    bench.add_argument("--out-dir", type=str, default=".",
+                       help="directory for BENCH_*.json (default: cwd)")
+    bench.set_defaults(func=cmd_bench)
 
     info = sub.add_parser("info", help="version and subsystem inventory")
     info.set_defaults(func=cmd_info)

@@ -12,7 +12,9 @@ metric points through the vertices' representative points, is a
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import check
 from ..graphs.graph import Graph
@@ -72,6 +74,46 @@ class MetricNavigator:
         )
         points = dedup_path([cover_tree.rep_point[x] for x in vertex_path])
         return points, index
+
+    def find_paths(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[List[int], int]]:
+        """Batched :meth:`find_path_with_tree` over many pairs.
+
+        Tree selection — the O(ζ)-scan that dominates query time for
+        non-Ramsey covers — runs once for all pairs through
+        :meth:`TreeCover.best_trees` (one vectorized LCA batch per
+        tree); only the O(k) tree navigation remains per pair.  Returns
+        ``(point_path, tree_index)`` per pair, in input order.
+        """
+        pairs = list(pairs)
+        results: List[Optional[Tuple[List[int], int]]] = [None] * len(pairs)
+        nontrivial: List[Tuple[int, int, int]] = []
+        for t, (u, v) in enumerate(pairs):
+            if u == v:
+                results[t] = ([u], -1)
+            else:
+                nontrivial.append((t, u, v))
+        best = self.cover.best_trees([(u, v) for _, u, v in nontrivial])
+        for (t, u, v), (index, _) in zip(nontrivial, best):
+            cover_tree = self.cover.trees[index]
+            vertex_path = self.navigators[index].find_path(
+                cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
+            )
+            points = dedup_path([cover_tree.rep_point[x] for x in vertex_path])
+            results[t] = (points, index)
+        return results  # type: ignore[return-value]
+
+    def approx_distances(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Batched :meth:`approx_distance` (one LCA sweep per tree)."""
+        pairs = list(pairs)
+        out = np.zeros(len(pairs))
+        nontrivial = [t for t, (u, v) in enumerate(pairs) if u != v]
+        if nontrivial:
+            best = self.cover.best_trees([pairs[t] for t in nontrivial])
+            for t, (_, d) in zip(nontrivial, best):
+                out[t] = d
+        return out
 
     def approx_distance(self, u: int, v: int) -> float:
         """A γ-approximate distance without reporting the path.

@@ -70,6 +70,13 @@ class LcaIndex:
         self._table = table.tolist()
         self._tour_depth = tour_depth.tolist()
         self._tour_list = tour
+        # numpy mirrors for the batched queries (lca_many/distance_many);
+        # the scalar path keeps the plain lists above.
+        self._table_np = table
+        self._tour_depth_np = tour_depth
+        self._tour_np = self._tour
+        self._first_np = np.asarray(first, dtype=np.int64)
+        self._wdepth_np: "np.ndarray | None" = None
 
     def lca(self, u: int, v: int) -> int:
         """Lowest common ancestor of ``u`` and ``v`` in O(1)."""
@@ -90,6 +97,34 @@ class LcaIndex:
         wdepth = self.tree.weighted_depths()
         w = self.lca(u, v)
         return wdepth[u] + wdepth[v] - 2.0 * wdepth[w]
+
+    def lca_many(self, us: "np.ndarray", vs: "np.ndarray") -> np.ndarray:
+        """Vectorized :meth:`lca` over aligned id arrays."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        lo = self._first_np[us]
+        hi = self._first_np[vs]
+        swap = lo > hi
+        lo2 = np.where(swap, hi, lo)
+        hi2 = np.where(swap, lo, hi)
+        length = hi2 - lo2 + 1
+        # floor(log2) of a positive int64; exact for all lengths < 2^53.
+        j = np.floor(np.log2(length)).astype(np.int64)
+        a = self._table_np[j, lo2]
+        b = self._table_np[j, hi2 - (np.int64(1) << j) + 1]
+        depth = self._tour_depth_np
+        best = np.where(depth[a] <= depth[b], a, b)
+        return self._tour_np[best]
+
+    def distance_many(self, us: "np.ndarray", vs: "np.ndarray") -> np.ndarray:
+        """Vectorized :meth:`distance` over aligned id arrays."""
+        if self._wdepth_np is None:
+            self._wdepth_np = np.asarray(self.tree.weighted_depths(), dtype=float)
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        w = self.lca_many(us, vs)
+        wdepth = self._wdepth_np
+        return wdepth[us] + wdepth[vs] - 2.0 * wdepth[w]
 
     def is_ancestor(self, a: int, v: int) -> bool:
         """True iff ``a`` is an ancestor of ``v``, in O(1)."""

@@ -34,9 +34,19 @@ class Tree:
     weights:
         ``weights[v]`` is the weight of the edge ``(parents[v], v)``; the
         root's entry is ignored.  Defaults to unit weights.
+    validate:
+        When False, skips the O(n) connectivity check.  Only for
+        internal builders whose parent arrays are trees by construction
+        (e.g. the robust-cover forest assembly, which creates thousands
+        of trees); external callers should keep the default.
     """
 
-    def __init__(self, parents: Sequence[int], weights: Optional[Sequence[float]] = None):
+    def __init__(
+        self,
+        parents: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+        validate: bool = True,
+    ):
         self.parents: List[int] = list(parents)
         n = len(self.parents)
         if n == 0:
@@ -52,17 +62,12 @@ class Tree:
         self.weights: List[float] = [float(w) for w in weights]
         self.weights[self.root] = 0.0
 
-        self.children: List[List[int]] = [[] for _ in range(n)]
-        for v, p in enumerate(self.parents):
-            if p != -1:
-                if not 0 <= p < n:
-                    raise ValueError(f"parent {p} of vertex {v} out of range")
-                self.children[p].append(v)
-
+        self._children: Optional[List[List[int]]] = None
         self._order: Optional[List[int]] = None
         self._depth: Optional[List[int]] = None
         self._wdepth: Optional[List[float]] = None
-        self._validate_connected()
+        if validate:
+            self._validate_connected()
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -78,6 +83,25 @@ class Tree:
     def _validate_connected(self) -> None:
         if len(self.preorder()) != self.n:
             raise ValueError("parent array does not describe a connected tree")
+
+    @property
+    def children(self) -> List[List[int]]:
+        """Child lists per vertex; built lazily on first access.
+
+        Tree covers create thousands of trees whose child lists are only
+        needed if the tree is actually navigated, so the O(n) build is
+        deferred out of the constructor.
+        """
+        if self._children is None:
+            n = self.n
+            children: List[List[int]] = [[] for _ in range(n)]
+            for v, p in enumerate(self.parents):
+                if p != -1:
+                    if not 0 <= p < n:
+                        raise ValueError(f"parent {p} of vertex {v} out of range")
+                    children[p].append(v)
+            self._children = children
+        return self._children
 
     def preorder(self) -> List[int]:
         """Vertices in preorder (root first); cached."""

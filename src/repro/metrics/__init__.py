@@ -4,6 +4,7 @@ from .base import Metric, aspect_ratio, check_metric_axioms, sample_pairs
 from .doubling import NetHierarchy, doubling_constant_estimate, greedy_net, scale_levels
 from .euclidean import EuclideanMetric, clustered_points, grid_points, random_points
 from .general import MatrixMetric, graph_metric, random_graph_metric, random_metric
+from .kernels import CachedMetric
 from .planar import PlanarGraphMetric, delaunay_metric, grid_graph_metric
 from .splittree import FairSplitTree, SplitTreeNode
 from .tree_metric import TreeMetric
@@ -28,6 +29,7 @@ __all__ = [
     "grid_points",
     "random_points",
     "MatrixMetric",
+    "CachedMetric",
     "graph_metric",
     "random_graph_metric",
     "random_metric",

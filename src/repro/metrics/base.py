@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import MetricValidationError, check
 
@@ -21,7 +23,23 @@ class Metric:
 
     Subclasses implement :meth:`distance`.  ``metric(u, v)`` is sugar for
     ``metric.distance(u, v)``.
+
+    Besides the scalar :meth:`distance`, every metric exposes a *batch
+    kernel* layer — :meth:`distances_from`, :meth:`pairwise`,
+    :meth:`pair_distances`, :meth:`ball_many`, :meth:`nearest_many` —
+    with numpy-array results.  The base class implements them on top of
+    the scalar call so every metric supports the batch API; subclasses
+    with a genuinely vectorized implementation (Euclidean via KD-trees,
+    matrix metrics via row slicing, tree metrics via batched LCA,
+    :class:`~repro.metrics.kernels.CachedMetric`) set
+    ``supports_batch = True``, which is what the hot construction paths
+    key their prefetching decisions on.
     """
+
+    #: True when the batch kernels are backed by vectorized code rather
+    #: than a python loop over :meth:`distance`.  Construction paths use
+    #: this to decide whether prefetching whole batches is profitable.
+    supports_batch: bool = False
 
     def __init__(self, n: int):
         if n <= 0:
@@ -41,13 +59,100 @@ class Metric:
         """All unordered pairs of distinct points."""
         return itertools.combinations(range(self.n), 2)
 
+    # ------------------------------------------------------------------
+    # Batch distance kernels
+
+    def distances_from(self, u: int) -> np.ndarray:
+        """Distances from ``u`` to every point, as a length-``n`` array."""
+        d = self.distance
+        return np.fromiter((d(u, v) for v in range(self.n)), dtype=float, count=self.n)
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """The ``(len(rows), len(cols))`` distance matrix between two id lists."""
+        d = self.distance
+        return np.array([[d(u, v) for v in cols] for u in rows], dtype=float)
+
+    def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
+        """Elementwise distances ``[δ(us[0], vs[0]), δ(us[1], vs[1]), ...]``."""
+        if len(us) != len(vs):
+            raise ValueError("us and vs must have equal length")
+        d = self.distance
+        return np.fromiter(
+            (d(u, v) for u, v in zip(us, vs)), dtype=float, count=len(us)
+        )
+
+    def ball_many(
+        self,
+        centers: Sequence[int],
+        radius: float,
+        within: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """:meth:`ball` for many centers at once.
+
+        With ``within``, results are restricted to (and searched among)
+        that candidate id list — the shape the net constructions need.
+        """
+        if within is None:
+            return [self.ball(c, radius) for c in centers]
+        within = list(within)
+        d = self.distance
+        return [[v for v in within if d(c, v) <= radius] for c in centers]
+
+    def nearest_many(
+        self,
+        points: Sequence[int],
+        candidates: Sequence[int],
+        return_distance: bool = False,
+    ):
+        """For each of ``points``, its nearest candidate (first wins ties).
+
+        Returns an int array of candidate ids; with ``return_distance``
+        also the corresponding distance array.
+        """
+        candidates = np.asarray(list(candidates), dtype=np.int64)
+        if candidates.size == 0:
+            raise ValueError("nearest_many needs at least one candidate")
+        points = list(points)
+        ids = np.empty(len(points), dtype=np.int64)
+        dists = np.empty(len(points), dtype=float)
+        chunk = max(1, 1_000_000 // max(1, candidates.size))
+        for start in range(0, len(points), chunk):
+            block = points[start : start + chunk]
+            matrix = self.pairwise(block, candidates)
+            arg = np.argmin(matrix, axis=1)
+            ids[start : start + chunk] = candidates[arg]
+            dists[start : start + chunk] = matrix[np.arange(len(block)), arg]
+        if return_distance:
+            return ids, dists
+        return ids
+
+    # ------------------------------------------------------------------
+    # Scalar neighborhood queries
+
     def ball(self, center: int, radius: float) -> List[int]:
         """Points within ``radius`` of ``center`` (inclusive). O(n)."""
         return [v for v in range(self.n) if self.distance(center, v) <= radius]
 
     def nearest(self, point: int, candidates: Iterable[int]) -> int:
-        """The candidate closest to ``point``."""
-        return min(candidates, key=lambda c: self.distance(point, c))
+        """The candidate closest to ``point`` (first wins ties).
+
+        Dispatches to the vectorized :meth:`nearest_many` kernel when the
+        metric has one; otherwise a plain scalar loop (no per-candidate
+        lambda allocation — this runs in every construction inner loop).
+        """
+        cand = candidates if isinstance(candidates, list) else list(candidates)
+        if not cand:
+            raise ValueError("nearest needs at least one candidate")
+        if self.supports_batch and len(cand) > 4:
+            return int(self.nearest_many([point], cand)[0])
+        d = self.distance
+        best = cand[0]
+        best_d = d(point, best)
+        for c in cand[1:]:
+            dc = d(point, c)
+            if dc < best_d:
+                best, best_d = c, dc
+        return best
 
 
 def check_metric_axioms(metric: Metric, trials: int = 200, seed: int = 0) -> None:

@@ -2,15 +2,18 @@
 
 Low-dimensional Euclidean spaces are the paper's motivating setting; the
 doubling-metric constructions (net hierarchies, robust tree covers) use
-:meth:`EuclideanMetric.neighbors_within` to avoid quadratic scans.
+the KD-tree batch kernels (:meth:`EuclideanMetric.ball_many`,
+:meth:`EuclideanMetric.nearest_many`) to avoid quadratic scans.
 """
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy.spatial import cKDTree
+from scipy.spatial.distance import cdist
 
 from .base import Metric
 
@@ -25,12 +28,18 @@ __all__ = [
 class EuclideanMetric(Metric):
     """The metric induced by an ``(n, d)`` array of points."""
 
+    supports_batch = True
+
     def __init__(self, points: Sequence[Sequence[float]]):
         self.points = np.asarray(points, dtype=float)
         if self.points.ndim != 2:
             raise ValueError("points must be a 2-D array (n, d)")
         super().__init__(len(self.points))
         self.dim = self.points.shape[1]
+        # Plain-python coordinate rows: the scalar distance below runs
+        # millions of times inside decompositions, and a float-list loop
+        # with math.sqrt beats any per-call numpy allocation by ~4x.
+        self._coords: List[List[float]] = self.points.tolist()
         self._kdtree: Optional[cKDTree] = None
 
     @property
@@ -40,11 +49,77 @@ class EuclideanMetric(Metric):
         return self._kdtree
 
     def distance(self, u: int, v: int) -> float:
-        return float(np.linalg.norm(self.points[u] - self.points[v]))
+        pu = self._coords[u]
+        pv = self._coords[v]
+        s = 0.0
+        for a, b in zip(pu, pv):
+            t = a - b
+            s += t * t
+        return math.sqrt(s)
+
+    # ------------------------------------------------------------------
+    # Batch kernels (all C-vectorized)
 
     def distances_from(self, u: int) -> np.ndarray:
         """Vectorized distances from ``u`` to every point."""
         return np.linalg.norm(self.points - self.points[u], axis=1)
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return cdist(self.points[rows], self.points[cols])
+
+    def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
+        if len(us) != len(vs):
+            raise ValueError("us and vs must have equal length")
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        return np.linalg.norm(self.points[us] - self.points[vs], axis=1)
+
+    def ball_many(
+        self,
+        centers: Sequence[int],
+        radius: float,
+        within: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        """Batched KD-tree ball queries (one C call for all centers).
+
+        With ``within``, a KD-tree over just that candidate subset is
+        built, so the work scales with the candidate density rather than
+        the full point set — the shape net constructions sweep.
+        """
+        centers = np.asarray(centers, dtype=np.int64)
+        if within is None:
+            hits = self.kdtree.query_ball_point(
+                self.points[centers], radius, return_sorted=True, workers=-1
+            )
+            return [list(h) for h in hits]
+        within = np.asarray(within, dtype=np.int64)
+        subtree = cKDTree(self.points[within])
+        hits = subtree.query_ball_point(
+            self.points[centers], radius, return_sorted=True, workers=-1
+        )
+        return [within[h].tolist() for h in hits]
+
+    def nearest_many(
+        self,
+        points: Sequence[int],
+        candidates: Sequence[int],
+        return_distance: bool = False,
+    ):
+        candidates = np.asarray(list(candidates), dtype=np.int64)
+        if candidates.size == 0:
+            raise ValueError("nearest_many needs at least one candidate")
+        points = np.asarray(points, dtype=np.int64)
+        subtree = cKDTree(self.points[candidates])
+        dist, idx = subtree.query(self.points[points], k=1)
+        ids = candidates[idx]
+        if return_distance:
+            return ids, np.asarray(dist, dtype=float)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Scalar neighborhood queries
 
     def neighbors_within(self, u: int, radius: float) -> List[int]:
         """Indices of points within ``radius`` of point ``u`` (inclusive)."""

@@ -27,6 +27,8 @@ __all__ = [
 class MatrixMetric(Metric):
     """A metric given by an explicit symmetric distance matrix."""
 
+    supports_batch = True
+
     def __init__(self, matrix: Sequence[Sequence[float]]):
         self.matrix = np.asarray(matrix, dtype=float)
         if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
@@ -38,6 +40,27 @@ class MatrixMetric(Metric):
 
     def distances_from(self, u: int) -> np.ndarray:
         return self.matrix[u]
+
+    def pairwise(self, rows, cols) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        return self.matrix[np.ix_(rows, cols)]
+
+    def pair_distances(self, us, vs) -> np.ndarray:
+        if len(us) != len(vs):
+            raise ValueError("us and vs must have equal length")
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        return self.matrix[us, vs]
+
+    def ball_many(self, centers, radius, within=None) -> List[List[int]]:
+        centers = np.asarray(centers, dtype=np.int64)
+        if within is None:
+            block = self.matrix[centers] <= radius
+            return [np.nonzero(row)[0].tolist() for row in block]
+        within = np.asarray(within, dtype=np.int64)
+        block = self.matrix[np.ix_(centers, within)] <= radius
+        return [within[np.nonzero(row)[0]].tolist() for row in block]
 
     def ball(self, center: int, radius: float) -> List[int]:
         """Vectorized ball query over the matrix row."""

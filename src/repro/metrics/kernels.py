@@ -1,0 +1,125 @@
+"""Opt-in distance-matrix caching for small or expensive metrics.
+
+:class:`CachedMetric` wraps any :class:`~repro.metrics.base.Metric` and
+memoizes its distances in row *blocks*: the first query touching a row
+materializes a ``(block_size, n)`` slab (through the inner metric's
+vectorized kernels when it has them, a scalar loop otherwise) and every
+later scalar or batch query on those rows is a numpy lookup.
+
+This is the right tool for metrics whose scalar ``distance`` is
+expensive and non-vectorizable (shortest-path oracles, API-backed
+distances) fed into construction code that revisits pairs many times
+— e.g. the robust tree cover touches each close pair at several levels.
+It is the *wrong* tool for big Euclidean inputs: the cache is Θ(n²)
+memory, so a hard ``max_points`` guard refuses absurd sizes.  See
+docs/PERFORMANCE.md for the trade-off discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .base import Metric
+
+__all__ = ["CachedMetric"]
+
+
+class CachedMetric(Metric):
+    """Memoizing wrapper exposing the full batch-kernel API.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped metric; only its ``distance`` / batch kernels are
+        consulted, once per row block.
+    block_size:
+        Rows materialized per cache miss.  Larger blocks amortize python
+        overhead; smaller blocks keep memory proportional to the rows
+        actually touched.
+    max_points:
+        Guard against accidental Θ(n²) blowups; raise to opt in anyway.
+    """
+
+    supports_batch = True
+
+    def __init__(self, inner: Metric, block_size: int = 512, max_points: int = 20000):
+        if inner.n > max_points:
+            raise ValueError(
+                f"CachedMetric would need {inner.n}^2 floats "
+                f"({8 * inner.n * inner.n / 1e9:.1f} GB); raise max_points to force"
+            )
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        super().__init__(inner.n)
+        self.inner = inner
+        self.block_size = block_size
+        self._blocks: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Block management
+
+    def _block(self, index: int) -> np.ndarray:
+        slab = self._blocks.get(index)
+        if slab is None:
+            lo = index * self.block_size
+            hi = min(lo + self.block_size, self.n)
+            rows = list(range(lo, hi))
+            if self.inner.supports_batch:
+                slab = np.asarray(
+                    self.inner.pairwise(rows, list(range(self.n))), dtype=float
+                )
+            else:
+                slab = np.vstack([self.inner.distances_from(u) for u in rows])
+            self._blocks[index] = slab
+        return slab
+
+    def row(self, u: int) -> np.ndarray:
+        """The cached distance row of point ``u`` (computed on first use)."""
+        index, offset = divmod(u, self.block_size)
+        return self._block(index)[offset]
+
+    @property
+    def cached_rows(self) -> int:
+        """Number of rows currently materialized (for tests/diagnostics)."""
+        return sum(b.shape[0] for b in self._blocks.values())
+
+    # ------------------------------------------------------------------
+    # Metric interface
+
+    def distance(self, u: int, v: int) -> float:
+        return float(self.row(u)[v])
+
+    def distances_from(self, u: int) -> np.ndarray:
+        return self.row(u)
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        cols = np.asarray(cols, dtype=np.int64)
+        return np.vstack([self.row(u)[cols] for u in rows])
+
+    def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
+        if len(us) != len(vs):
+            raise ValueError("us and vs must have equal length")
+        return np.fromiter(
+            (self.row(u)[v] for u, v in zip(us, vs)), dtype=float, count=len(us)
+        )
+
+    def ball_many(
+        self,
+        centers: Sequence[int],
+        radius: float,
+        within: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        if within is None:
+            return [
+                np.nonzero(self.row(c) <= radius)[0].tolist() for c in centers
+            ]
+        within = np.asarray(within, dtype=np.int64)
+        return [
+            within[np.nonzero(self.row(c)[within] <= radius)[0]].tolist()
+            for c in centers
+        ]
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        return np.nonzero(self.row(center) <= radius)[0].tolist()

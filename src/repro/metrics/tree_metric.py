@@ -1,10 +1,16 @@
 """Tree metrics: the shortest-path metric of an edge-weighted tree.
 
 Tree metrics are the base case of the whole paper (Theorem 1.1).  The
-class precomputes an LCA index so distance queries cost O(1).
+class precomputes an LCA index so distance queries cost O(1); the batch
+kernels ride on the vectorized sparse-table lookups of
+:meth:`~repro.graphs.lca.LcaIndex.distance_many`.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..graphs.lca import LcaIndex
 from ..graphs.tree import Tree
@@ -20,6 +26,8 @@ class TreeMetric(Metric):
     settings (required subset), restrict queries to the required ids.
     """
 
+    supports_batch = True
+
     def __init__(self, tree: Tree):
         super().__init__(tree.n)
         self.tree = tree
@@ -27,6 +35,46 @@ class TreeMetric(Metric):
 
     def distance(self, u: int, v: int) -> float:
         return self._lca.distance(u, v)
+
+    # ------------------------------------------------------------------
+    # Batch kernels (vectorized sparse-table LCA)
+
+    def distances_from(self, u: int) -> np.ndarray:
+        all_ids = np.arange(self.n, dtype=np.int64)
+        return self._lca.distance_many(np.full(self.n, u, dtype=np.int64), all_ids)
+
+    def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
+        if len(us) != len(vs):
+            raise ValueError("us and vs must have equal length")
+        return self._lca.distance_many(
+            np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+        )
+
+    def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        grid_u = np.repeat(rows, len(cols))
+        grid_v = np.tile(cols, len(rows))
+        return self._lca.distance_many(grid_u, grid_v).reshape(len(rows), len(cols))
+
+    def ball_many(
+        self,
+        centers: Sequence[int],
+        radius: float,
+        within: Optional[Sequence[int]] = None,
+    ) -> List[List[int]]:
+        domain = (
+            np.arange(self.n, dtype=np.int64)
+            if within is None
+            else np.asarray(within, dtype=np.int64)
+        )
+        block = self.pairwise(centers, domain) <= radius
+        return [domain[np.nonzero(row)[0]].tolist() for row in block]
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        return np.nonzero(self.distances_from(center) <= radius)[0].tolist()
+
+    # ------------------------------------------------------------------
 
     def lca(self, u: int, v: int) -> int:
         return self._lca.lca(u, v)

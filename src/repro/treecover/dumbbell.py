@@ -35,13 +35,10 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from scipy.spatial import cKDTree
-
 from ..errors import InvariantViolation, check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric
 from ..metrics.doubling import NetHierarchy
-from ..metrics.euclidean import EuclideanMetric
 from .base import CoverTree, TreeCover
 
 __all__ = [
@@ -97,9 +94,8 @@ def covering_radius(metric: Metric, hierarchy: NetHierarchy, level: int) -> floa
     net = hierarchy.nets[level]
     if len(net) == metric.n:
         return 0.0
-    if isinstance(metric, EuclideanMetric):
-        tree = cKDTree(metric.points[net])
-        dist, _ = tree.query(metric.points)
+    if metric.supports_batch:
+        _, dist = metric.nearest_many(range(metric.n), net, return_distance=True)
         return float(dist.max())
     worst = 0.0
     for p in range(metric.n):
@@ -140,12 +136,24 @@ def build_pairing_covers(
         # (the forest property of Lemma 4.3).
         separation = 2.0 * pair_radius + 10.0 * 2.0**i
 
-        pairs_at_level: List[Tuple[int, int]] = []
-        for x in net:
-            for y in hierarchy.net_points_within(i, x, pair_radius):
-                if y > x:
-                    pairs_at_level.append((x, y))
-        pairs_at_level.sort(key=lambda xy: (metric.distance(*xy), xy))
+        near_lists = hierarchy.net_points_within_many(i, net, pair_radius)
+        pairs_at_level: List[Tuple[int, int]] = [
+            (x, y) for x, nbrs in zip(net, near_lists) for y in nbrs if y > x
+        ]
+        if pairs_at_level:
+            dist = metric.pair_distances(
+                [x for x, _ in pairs_at_level], [y for _, y in pairs_at_level]
+            )
+            order = sorted(
+                range(len(pairs_at_level)),
+                key=lambda t: (dist[t], pairs_at_level[t]),
+            )
+            pairs_at_level = [pairs_at_level[t] for t in order]
+
+        # One batched separation sweep for every endpoint in play.
+        endpoints = sorted({v for pair in pairs_at_level for v in pair})
+        sep_lists = hierarchy.net_points_within_many(i, endpoints, separation)
+        sep_near = dict(zip(endpoints, sep_lists))
 
         sets: List[List[Tuple[int, int]]] = []
         # endpoint_sets[v] = indices of sets already using v as an endpoint.
@@ -153,7 +161,7 @@ def build_pairing_covers(
         for x, y in pairs_at_level:
             blocked = set()
             for end in (x, y):
-                for z in hierarchy.net_points_within(i, end, separation):
+                for z in sep_near[end]:
                     blocked |= endpoint_sets.get(z, set())
             index = 0
             while index in blocked:
@@ -175,11 +183,13 @@ class _ForestBuilder:
         self.rep: List[int] = list(range(n))  # representative point per node
         self._uf: List[int] = list(range(n))  # union-find over points
         self._root_node: List[int] = list(range(n))  # comp leader -> root node
+        self._leaders: set = set(range(n))  # live component leaders
 
     def find(self, p: int) -> int:
-        while self._uf[p] != p:
-            self._uf[p] = self._uf[self._uf[p]]
-            p = self._uf[p]
+        uf = self._uf
+        while uf[p] != p:
+            uf[p] = uf[uf[p]]
+            p = uf[p]
         return p
 
     def root_of(self, p: int) -> int:
@@ -187,36 +197,65 @@ class _ForestBuilder:
 
     def merge(self, points: Sequence[int], rep: int) -> None:
         """Put the subtrees containing ``points`` under a new node."""
-        leaders = {self.find(p) for p in points}
-        if len(leaders) <= 1:
+        # Path-halving find, inlined: this loop runs millions of times
+        # per cover and call overhead dominates otherwise.  Most replayed
+        # groups are already connected, so the fast path tracks only the
+        # leaders that differ from the first point's.
+        uf = self._uf
+        p = points[0]
+        while uf[p] != p:
+            uf[p] = uf[uf[p]]
+            p = uf[p]
+        head = p
+        extra = None
+        for p in points[1:]:
+            while uf[p] != p:
+                uf[p] = uf[uf[p]]
+                p = uf[p]
+            if p != head:
+                if extra is None:
+                    extra = {p}
+                else:
+                    extra.add(p)
+        if extra is None:
             return
-        roots = {self._root_node[leader] for leader in leaders}
+        root_node = self._root_node
         node = len(self.parent_node)
         self.parent_node.append(-1)
         self.rep.append(rep)
-        for r in roots:
-            self.parent_node[r] = node
-        leaders = list(leaders)
-        head = leaders[0]
-        for other in leaders[1:]:
-            self._uf[other] = head
-        self._root_node[head] = node
+        parent_node = self.parent_node
+        parent_node[root_node[head]] = node
+        leaders = self._leaders
+        for other in extra:
+            parent_node[root_node[other]] = node
+            uf[other] = head
+            leaders.discard(other)
+        root_node[head] = node
 
     def finish(self, metric: Metric, n: int) -> CoverTree:
         """Close the forest into one tree and emit a CoverTree."""
-        roots = sorted({self.root_of(p) for p in range(n)})
+        root_node = self._root_node
+        roots = sorted({root_node[leader] for leader in self._leaders})
         if len(roots) > 1:
             node = len(self.parent_node)
             self.parent_node.append(-1)
             self.rep.append(self.rep[roots[0]])
             for r in roots:
                 self.parent_node[r] = node
-        weights = [0.0] * len(self.parent_node)
-        for v, p in enumerate(self.parent_node):
-            if p != -1:
-                weights[v] = metric.distance(self.rep[p], self.rep[v])
-        tree = Tree(self.parent_node, weights)
-        return CoverTree(tree, list(range(n)), self.rep)
+        parent_node = self.parent_node
+        rep = self.rep
+        # Edge weights in one batched kernel call instead of one scalar
+        # metric.distance per tree vertex.
+        children = [v for v, p in enumerate(parent_node) if p != -1]
+        weights = [0.0] * len(parent_node)
+        if children:
+            ws = metric.pair_distances(
+                [rep[parent_node[v]] for v in children], [rep[v] for v in children]
+            )
+            for index, v in enumerate(children):
+                weights[v] = float(ws[index])
+        tree = Tree(parent_node, weights, validate=False)
+        return CoverTree(tree, list(range(n)), rep)
 
 
 def robust_tree_cover(
@@ -249,17 +288,6 @@ def robust_tree_cover(
     gather = (2.0 + 0.5 * ratio / eps) / (1.0 - 4.0 * ratio) + 0.5
     num_sets = max((len(c) for c in covers.values()), default=0)
 
-    # Memoized near-net lookups: identical queries repeat across trees.
-    cache: Dict[Tuple[int, int, float], List[int]] = {}
-
-    def near(level: int, point: int, radius: float) -> List[int]:
-        key = (level, point, radius)
-        hit = cache.get(key)
-        if hit is None:
-            hit = hierarchy.net_points_within(level, point, radius)
-            cache[key] = hit
-        return hit
-
     # Per phase, only set indexes that actually occur at some level of
     # that phase need a tree; one extra pure-connectivity tree per phase
     # keeps every point covered even if a phase has no pairing sets.
@@ -268,30 +296,60 @@ def robust_tree_cover(
         phase = (i - (hierarchy.i_min + 1)) % phases
         sets_per_phase[phase] = max(sets_per_phase[phase], len(cover))
 
-    trees: List[CoverTree] = []
+    # Precompute every merge group once, with batched near-net sweeps —
+    # the same groups are replayed against a fresh union-find per tree.
+    # Connectivity groups (Section 4.3: around every current net point,
+    # so each surviving tree is anchored at a net point of the level
+    # just processed) depend only on the level; pair-gather groups on
+    # (level, set index).
     top = hierarchy.i_max + phases
+    conn_groups: Dict[int, List[List[int]]] = {}
+    pair_groups: Dict[int, List[List[List[int]]]] = {}
+    for i in range(hierarchy.i_min + 1, top + 1):
+        lower = i - phases
+        net = hierarchy.net(min(i, hierarchy.i_max))
+        near_conn = hierarchy.net_points_within_many(lower, net, 2.0 * 2.0**i)
+        conn_groups[i] = [
+            group
+            for z, nbrs in zip(net, near_conn)
+            if len(group := list(dict.fromkeys([z] + nbrs))) > 1
+        ]
+        cover = covers.get(i)
+        if cover is None or not cover.sets:
+            continue
+        endpoints = sorted(
+            {v for pairs in cover.sets for pair in pairs for v in pair}
+        )
+        gath_lists = hierarchy.net_points_within_many(
+            lower, endpoints, gather * 2.0**i
+        )
+        gath = dict(zip(endpoints, gath_lists))
+        pair_groups[i] = [
+            [
+                list(dict.fromkeys([x, y] + gath[x] + gath[y]))
+                for x, y in pairs
+            ]
+            for pairs in cover.sets
+        ]
+
+    trees: List[CoverTree] = []
     for p in range(phases):
+        levels = [
+            i
+            for i in range(hierarchy.i_min + 1, top + 1)
+            if (i - (hierarchy.i_min + 1)) % phases == p % phases
+        ]
         for j in range(max(sets_per_phase[p], 1)):
             builder = _ForestBuilder(metric.n)
-            for i in range(hierarchy.i_min + 1, top + 1):
-                if (i - (hierarchy.i_min + 1)) % phases != p % phases:
-                    continue
-                lower = i - phases
+            merge = builder.merge
+            for i in levels:
                 # Pair merges from the j-th pairing set of this level.
-                cover = covers.get(i)
-                if cover is not None and j < len(cover.sets):
-                    for x, y in cover.sets[j]:
-                        gathered = [x, y]
-                        gathered.extend(near(lower, x, gather * 2.0**i))
-                        gathered.extend(near(lower, y, gather * 2.0**i))
-                        builder.merge(gathered, rep=x)
-                # Connectivity merges around every current net point
-                # (Section 4.3), so each surviving tree is anchored at a
-                # net point of the level just processed.
-                for z in hierarchy.net(min(i, hierarchy.i_max)):
-                    gathered = [z]
-                    gathered.extend(near(lower, z, 2.0 * 2.0**i))
-                    builder.merge(gathered, rep=z)
+                groups = pair_groups.get(i)
+                if groups is not None and j < len(groups):
+                    for group in groups[j]:
+                        merge(group, rep=group[0])
+                for group in conn_groups[i]:
+                    merge(group, rep=group[0])
             trees.append(builder.finish(metric, metric.n))
     return TreeCover(metric, trees)
 

@@ -30,6 +30,8 @@ __all__ = ["ckr_partition", "PartitionHierarchy", "build_hst"]
 
 def _distance_rows(metric: Metric, center: int, members: np.ndarray) -> np.ndarray:
     """Distances from ``center`` to each of ``members`` (vectorized if possible)."""
+    if metric.supports_batch:
+        return metric.pairwise([center], members)[0]
     rows = getattr(metric, "distances_from", None)
     if rows is not None:
         return rows(center)[members]
@@ -44,21 +46,26 @@ def ckr_partition(
     A uniformly random radius ``r`` in ``[scale/4, scale/2]`` and a random
     permutation π of the members define the cluster of each point as the
     first π-element within distance ``r`` of it.
+
+    Cluster assignment only ever needs distances from the current center
+    to the *still unassigned* members, so each sweep computes exactly
+    that block through the batch kernel — the dominant cost drops from
+    Θ(centers · members) to roughly the number of assignment attempts.
     """
     member_array = np.asarray(sorted(members), dtype=np.int64)
     radius = rng.uniform(scale / 4.0, scale / 2.0)
     order = list(range(len(member_array)))
     rng.shuffle(order)
     owner = np.full(len(member_array), -1, dtype=np.int64)
-    remaining = len(member_array)
+    unassigned = np.arange(len(member_array))
     for rank, position in enumerate(order):
-        if remaining == 0:
+        if unassigned.size == 0:
             break
         center = int(member_array[position])
-        dist = _distance_rows(metric, center, member_array)
-        take = (owner == -1) & (dist <= radius)
-        owner[take] = rank
-        remaining -= int(take.sum())
+        dist = _distance_rows(metric, center, member_array[unassigned])
+        take = dist <= radius
+        owner[unassigned[take]] = rank
+        unassigned = unassigned[~take]
     clusters: dict = {}
     for index, own in enumerate(owner):
         clusters.setdefault(int(own), []).append(int(member_array[index]))
@@ -96,8 +103,7 @@ class PartitionHierarchy:
         self.metric = metric
         self.alpha = alpha
         if diameter is None:
-            far = max(range(metric.n), key=lambda v: metric.distance(0, v))
-            diameter = 2.0 * metric.distance(0, far)
+            diameter = 2.0 * float(np.max(metric.distances_from(0)))
         top_scale = 2.0 ** math.ceil(math.log2(max(diameter, 1e-12)))
         self.root = _HierarchyNode(list(range(metric.n)), top_scale)
         self.padded: Set[int] = set(range(metric.n))
@@ -112,17 +118,30 @@ class PartitionHierarchy:
             for v in cluster:
                 cluster_of[v] = index
         # Padding check: the scale/alpha ball around a padded point must
-        # stay within its own cluster (vectorized per candidate).
+        # stay within its own cluster.  Checked for all still-padded
+        # members at once via a (chunked) pairwise block.
         pad_radius = node.scale / self.alpha
         member_array = np.asarray(node.members, dtype=np.int64)
         cluster_ids = np.asarray([cluster_of[int(v)] for v in member_array])
-        for v in node.members:
-            if v not in self.padded:
-                continue
-            dist = _distance_rows(self.metric, v, member_array)
-            cut = (dist <= pad_radius) & (cluster_ids != cluster_of[v])
-            if bool(cut.any()):
-                self.padded.discard(v)
+        still_padded = np.asarray(
+            [v for v in node.members if v in self.padded], dtype=np.int64
+        )
+        if still_padded.size:
+            padded_clusters = np.asarray([cluster_of[int(v)] for v in still_padded])
+            chunk = max(1, 2_000_000 // max(1, member_array.size))
+            for start in range(0, still_padded.size, chunk):
+                rows = still_padded[start : start + chunk]
+                if self.metric.supports_batch:
+                    block = self.metric.pairwise(rows, member_array)
+                else:
+                    block = np.vstack(
+                        [_distance_rows(self.metric, int(v), member_array) for v in rows]
+                    )
+                cut = (block <= pad_radius) & (
+                    cluster_ids[None, :] != padded_clusters[start : start + chunk, None]
+                )
+                for v in rows[cut.any(axis=1)]:
+                    self.padded.discard(int(v))
         for cluster in clusters:
             child = _HierarchyNode(cluster, node.scale / 2.0)
             node.children.append(child)

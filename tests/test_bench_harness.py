@@ -1,0 +1,121 @@
+"""The benchmark-regression harness: schema, emission, and (marked) gates.
+
+The unmarked tests run at toy sizes so tier-1 stays fast; the
+``bench``-marked test is the real regression gate at n=2000 (opt in
+with ``-m bench``), asserting the >= 3x construction speedup the
+vectorized kernels are meant to deliver.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import (
+    NAVIGATION_SCHEMA,
+    TREE_COVERS_SCHEMA,
+    bench_navigation,
+    bench_tree_covers,
+    validate_bench_json,
+    write_bench_files,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_tree_payload():
+    return bench_tree_covers(n=60, repeats=1, robust_repeats=1, stretch_sample=40)
+
+
+def test_tree_covers_payload_shape(tiny_tree_payload):
+    payload = tiny_tree_payload
+    validate_bench_json(payload)
+    assert payload["schema"] == TREE_COVERS_SCHEMA
+    names = [entry["name"] for entry in payload["results"]]
+    assert names == ["net_hierarchy", "hst", "robust_cover"]
+    robust = payload["results"][-1]
+    # The baseline must rebuild the same cover: identical zeta, and the
+    # measured stretch must stay a valid (finite, >= 1) cover quality.
+    assert robust["detail"]["zeta"] == robust["detail"]["zeta_seed"]
+    assert 1.0 <= robust["detail"]["stretch_mean"] <= robust["detail"]["stretch_max"]
+    for entry in payload["results"]:
+        assert entry["seed_seconds"] is not None
+        assert entry["speedup"] is not None
+
+
+def test_navigation_payload_shape():
+    payload = bench_navigation(n=50, queries=30)
+    validate_bench_json(payload)
+    assert payload["schema"] == NAVIGATION_SCHEMA
+    names = [entry["name"] for entry in payload["results"]]
+    assert names == ["navigator_build", "query_scalar", "query_batch"]
+    scalar = payload["results"][1]["detail"]
+    assert scalar["p50_us"] <= scalar["p99_us"]
+    assert payload["results"][2]["detail"]["queries"] == scalar["queries"]
+
+
+def test_validate_rejects_malformed_payloads(tiny_tree_payload):
+    good = tiny_tree_payload
+    bad_schema = dict(good, schema="repro.bench.unknown/v9")
+    with pytest.raises(ValueError, match="schema"):
+        validate_bench_json(bad_schema)
+    with pytest.raises(ValueError, match="results"):
+        validate_bench_json(dict(good, results=[]))
+    broken = json.loads(json.dumps(good))
+    broken["results"][0]["seconds"] = "fast"
+    with pytest.raises(ValueError, match="seconds"):
+        validate_bench_json(broken)
+    broken = json.loads(json.dumps(good))
+    del broken["results"][0]["name"]
+    with pytest.raises(ValueError, match="name"):
+        validate_bench_json(broken)
+    with pytest.raises(ValueError, match="config"):
+        validate_bench_json({"schema": TREE_COVERS_SCHEMA, "results": [1]})
+
+
+def test_write_bench_files_roundtrip(tiny_tree_payload, tmp_path):
+    out = tmp_path / "artifacts"
+    paths = write_bench_files(str(out), tiny_tree_payload, None)
+    assert [p.split("/")[-1] for p in paths] == ["BENCH_tree_covers.json"]
+    with open(paths[0], encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    validate_bench_json(loaded)
+    assert loaded == tiny_tree_payload
+
+
+def test_run_experiments_json_flag(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            "benchmarks/run_experiments.py",
+            "--json",
+            "--bench-n",
+            "60",
+            "--out-dir",
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=560,
+    )
+    assert result.returncode == 0, result.stderr
+    for name in ("BENCH_tree_covers.json", "BENCH_navigation.json"):
+        with open(tmp_path / name, encoding="utf-8") as handle:
+            validate_bench_json(json.load(handle))
+
+
+@pytest.mark.bench
+def test_full_size_construction_speedup_gate():
+    """The PR's headline: >= 3x construction speedup at n=2000.
+
+    Covers the doubling-metric robust tree cover and the HST hierarchy
+    against the frozen seed implementations, measured in-process.
+    """
+    payload = bench_tree_covers(n=2000)
+    validate_bench_json(payload)
+    by_name = {entry["name"]: entry for entry in payload["results"]}
+    assert by_name["robust_cover"]["speedup"] >= 3.0
+    assert by_name["hst"]["speedup"] >= 3.0
+    assert by_name["robust_cover"]["detail"]["zeta"] == (
+        by_name["robust_cover"]["detail"]["zeta_seed"]
+    )

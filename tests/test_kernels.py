@@ -1,0 +1,182 @@
+"""Batch distance-kernel parity: vectorized paths == scalar paths.
+
+The construction rewrites (net hierarchies, HSTs, robust covers) are
+only allowed to change *speed*, never *results*.  These tests pin that
+down: every batch kernel must agree with the scalar ``distance`` loop
+on Euclidean, tree, and general matrix metrics, ``CachedMetric`` must
+be transparent, and the vectorized ``greedy_net`` must reproduce the
+frozen seed implementation point for point.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._seed_baseline import (
+    SeedEuclideanMetric,
+    SeedNetHierarchy,
+    seed_greedy_net,
+)
+from repro.graphs import random_tree
+from repro.metrics import (
+    CachedMetric,
+    NetHierarchy,
+    TreeMetric,
+    greedy_net,
+    random_graph_metric,
+    random_points,
+)
+
+
+def _metrics(seed: int):
+    """One metric of each kernel family, on ~40 points."""
+    return [
+        random_points(40, dim=2, seed=seed),
+        random_points(40, dim=5, seed=seed + 1),
+        TreeMetric(random_tree(40, seed=seed)),
+        random_graph_metric(40, seed=seed),
+        CachedMetric(random_points(40, dim=3, seed=seed + 2)),
+    ]
+
+
+def _scalar_row(metric, u, cols):
+    return np.array([metric.distance(u, v) for v in cols])
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_distances_from_matches_scalar(seed):
+    for metric in _metrics(seed):
+        rng = random.Random(seed)
+        u = rng.randrange(metric.n)
+        batch = np.asarray(metric.distances_from(u))
+        scalar = _scalar_row(metric, u, range(metric.n))
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_pairwise_and_pair_distances_match_scalar(seed):
+    for metric in _metrics(seed):
+        rng = random.Random(seed + 7)
+        rows = [rng.randrange(metric.n) for _ in range(6)]
+        cols = [rng.randrange(metric.n) for _ in range(9)]
+        block = np.asarray(metric.pairwise(rows, cols))
+        assert block.shape == (6, 9)
+        for i, u in enumerate(rows):
+            np.testing.assert_allclose(
+                block[i], _scalar_row(metric, u, cols), rtol=1e-9, atol=1e-9
+            )
+        us = [rng.randrange(metric.n) for _ in range(12)]
+        vs = [rng.randrange(metric.n) for _ in range(12)]
+        elementwise = np.asarray(metric.pair_distances(us, vs))
+        expected = np.array([metric.distance(u, v) for u, v in zip(us, vs)])
+        np.testing.assert_allclose(elementwise, expected, rtol=1e-9, atol=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_ball_many_matches_scalar_membership(seed):
+    for metric in _metrics(seed):
+        rng = random.Random(seed + 3)
+        centers = sorted({rng.randrange(metric.n) for _ in range(5)})
+        sample = metric.pairwise(centers, range(metric.n))
+        # Offset the radius away from any realized distance: a point
+        # sitting exactly on the boundary would make the comparison
+        # depend on last-ulp differences between the KD-tree and scalar
+        # float paths rather than on membership logic.
+        radius = float(np.median(np.asarray(sample))) * 1.001 + 0.0012345
+        balls = metric.ball_many(centers, radius)
+        for center, ball in zip(centers, balls):
+            expected = {
+                v for v in range(metric.n) if metric.distance(center, v) <= radius
+            }
+            assert set(ball) == expected
+        within = sorted({rng.randrange(metric.n) for _ in range(15)})
+        restricted = metric.ball_many(centers, radius, within=within)
+        for center, ball in zip(centers, restricted):
+            expected = {v for v in within if metric.distance(center, v) <= radius}
+            assert set(ball) == expected
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=15, deadline=None)
+def test_nearest_and_nearest_many_match_scalar_argmin(seed):
+    for metric in _metrics(seed):
+        rng = random.Random(seed + 11)
+        candidates = sorted({rng.randrange(metric.n) for _ in range(9)})
+        points = [rng.randrange(metric.n) for _ in range(7)]
+        ids, dist = metric.nearest_many(points, candidates, return_distance=True)
+        for p, best, d in zip(points, ids, dist):
+            expected_d = min(metric.distance(p, c) for c in candidates)
+            assert metric.distance(p, int(best)) == pytest.approx(expected_d)
+            assert d == pytest.approx(expected_d)
+            # The scalar entry point must agree on the distance too.
+            chosen = metric.nearest(p, candidates)
+            assert metric.distance(p, chosen) == pytest.approx(expected_d)
+
+
+def test_nearest_rejects_empty_candidates():
+    metric = random_points(10, dim=2, seed=0)
+    with pytest.raises(ValueError):
+        metric.nearest(0, [])
+    with pytest.raises(ValueError):
+        metric.nearest_many([0], [])
+
+
+def test_cached_metric_is_transparent_and_memoizes():
+    inner = random_graph_metric(30, seed=4)
+    cached = CachedMetric(inner, block_size=8)
+    rng = random.Random(5)
+    for _ in range(50):
+        u, v = rng.randrange(30), rng.randrange(30)
+        assert cached.distance(u, v) == pytest.approx(inner.distance(u, v))
+    np.testing.assert_allclose(cached.distances_from(3), inner.distances_from(3))
+    assert cached.cached_rows > 0
+    rows_before = cached.cached_rows
+    cached.distance(3, 7)  # same block: no new slab materialized
+    assert cached.cached_rows == rows_before
+
+
+def test_cached_metric_rejects_oversized_metrics():
+    inner = random_points(64, dim=2, seed=0)
+    with pytest.raises(ValueError):
+        CachedMetric(inner, max_points=63)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=1.0, max_value=400.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_greedy_net_matches_seed_implementation(seed, radius):
+    """The vectorized greedy net is point-for-point the seed's output."""
+    fast = random_points(120, dim=2, seed=seed)
+    slow = SeedEuclideanMetric(fast.points)
+    candidates = list(range(120))
+    assert greedy_net(fast, candidates, radius) == seed_greedy_net(
+        slow, candidates, radius
+    )
+    # Also on a strict subset of candidates (the per-level net shape).
+    subset = candidates[::3]
+    assert greedy_net(fast, subset, radius) == seed_greedy_net(slow, subset, radius)
+
+
+def test_greedy_net_matches_seed_on_matrix_metric():
+    metric = random_graph_metric(60, seed=9)
+    for radius_scale in (0.1, 0.3, 0.7):
+        radius = radius_scale * float(np.max(metric.matrix))
+        assert greedy_net(metric, list(range(60)), radius) == seed_greedy_net(
+            metric, list(range(60)), radius
+        )
+
+
+def test_net_hierarchy_matches_seed_hierarchy():
+    """Whole hierarchies agree level by level with the seed builder."""
+    for seed in (0, 1, 2):
+        fast = random_points(250, dim=2, seed=seed)
+        slow = SeedEuclideanMetric(fast.points)
+        assert NetHierarchy(fast).nets == SeedNetHierarchy(slow).nets
