@@ -1,0 +1,93 @@
+"""Self-verifying checkpoints: audited persistence + automatic recovery.
+
+The expensive artifacts of this reproduction — robust tree covers
+(Theorem 4.1), Solomon 1-spanner navigation state 𝒟_T (Theorem 1.1),
+f-FT spanners with their R(v) replica pools (Theorem 4.2), and routing
+label tables (Section 5) — are persisted here in a format whose every
+load is *verified, then trusted*:
+
+* :mod:`~repro.checkpoint.format` — checkpoint format v2: versioned
+  envelopes, CRC32 per section (one section per cover tree), SHA-256
+  whole-file digest, atomic write-then-rename, backward-compatible
+  loading of the v1 :mod:`repro.io` format;
+* :mod:`~repro.checkpoint.audit` — the structural auditor: tree
+  well-formedness, Table-1 stretch contracts, navigator hop budgets,
+  Theorem-4.2 replica-pool structure, label-only distance agreement;
+* :mod:`~repro.checkpoint.recovery` — per-tree repair, full-rebuild
+  fallback, and :class:`CheckpointService` for
+  ``DegradedResult``-labelled service while recovery runs.
+
+CLI: ``python -m repro checkpoint ...`` (build + save),
+``python -m repro audit ...`` (verify on demand, ``--recover`` to
+repair).  See docs/CHECKPOINTS.md for the format spec and policies.
+"""
+
+from .audit import (
+    AuditReport,
+    CoverContract,
+    audit_cover,
+    audit_cover_tree,
+    audit_ft_spanner,
+    audit_labels,
+    audit_navigator,
+    audit_tree,
+)
+from .format import (
+    CHECKPOINT_FORMAT,
+    make_envelope,
+    open_envelope,
+    peek_envelope,
+    read_checkpoint_file,
+    write_checkpoint_file,
+)
+from .recovery import (
+    CheckpointService,
+    RecoveryReport,
+    TreeRepair,
+    builder_from_meta,
+    recover_cover,
+)
+from .store import (
+    audit_checkpoint,
+    cover_labelings,
+    load_cover_checkpoint,
+    load_ft_checkpoint,
+    load_labels_checkpoint,
+    load_navigator_checkpoint,
+    save_cover_checkpoint,
+    save_ft_checkpoint,
+    save_labels_checkpoint,
+    save_navigator_checkpoint,
+)
+
+__all__ = [
+    "AuditReport",
+    "CoverContract",
+    "audit_cover",
+    "audit_cover_tree",
+    "audit_ft_spanner",
+    "audit_labels",
+    "audit_navigator",
+    "audit_tree",
+    "CHECKPOINT_FORMAT",
+    "make_envelope",
+    "open_envelope",
+    "peek_envelope",
+    "read_checkpoint_file",
+    "write_checkpoint_file",
+    "CheckpointService",
+    "RecoveryReport",
+    "TreeRepair",
+    "builder_from_meta",
+    "recover_cover",
+    "audit_checkpoint",
+    "cover_labelings",
+    "load_cover_checkpoint",
+    "load_ft_checkpoint",
+    "load_labels_checkpoint",
+    "load_navigator_checkpoint",
+    "save_cover_checkpoint",
+    "save_ft_checkpoint",
+    "save_labels_checkpoint",
+    "save_navigator_checkpoint",
+]

@@ -1,0 +1,294 @@
+"""Checkpoint format v2: versioned, checksummed, atomically written.
+
+An envelope (``repro.checkpoint/2``) is a JSON object::
+
+    {
+      "format":   "repro.checkpoint/2",
+      "kind":     "cover" | "navigator" | "ft_spanner" | "routing_labels",
+      "meta":     {...},                     # n, build params, contract
+      "sections": {name: {"crc32": int, "body": {...}}, ...},
+      "digest":   "<sha256 hex over everything above>"
+    }
+
+Every section carries a CRC32 of its canonical JSON encoding, so
+corruption is localized to a *named* section (each cover tree is its
+own section — the granularity the per-tree recovery of
+:mod:`repro.checkpoint.recovery` needs), and the whole file carries a
+SHA-256 digest, so any single-byte change anywhere is detected.  Writes
+go through :func:`repro.io.atomic_write_json` (tempfile +
+``os.replace``), so a crash mid-save never leaves a torn file.
+
+This module is purely about *format* integrity and shape: every failure
+raises :class:`~repro.errors.CheckpointCorruption`.  Whether the decoded
+structure still satisfies the paper's invariants is the job of
+:mod:`repro.checkpoint.audit`.
+
+Backward compatibility: :func:`load_cover_checkpoint` transparently
+accepts the unchecksummed v1 format of :mod:`repro.io`
+(``repro.treecover/1``); v1 files get shape validation and a structural
+audit, just no checksum verification (there is nothing to verify).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CheckpointCorruption
+from ..io import (
+    V1_COVER_FORMAT,
+    atomic_write_json,
+    cover_from_dict,
+    cover_tree_from_dict,
+    tree_to_dict,
+)
+from ..metrics.base import Metric
+from ..treecover.base import CoverTree, TreeCover
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "KINDS",
+    "canonical_bytes",
+    "section_crc",
+    "make_envelope",
+    "open_envelope",
+    "peek_envelope",
+    "read_checkpoint_file",
+    "write_checkpoint_file",
+    "cover_sections",
+    "cover_from_sections",
+    "load_v1_cover",
+    "tree_section_name",
+]
+
+CHECKPOINT_FORMAT = "repro.checkpoint/2"
+KINDS = ("cover", "navigator", "ft_spanner", "routing_labels")
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding and checksums
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Canonical JSON encoding: sorted keys, no whitespace, UTF-8.
+
+    Checksums are computed over this encoding, so they are insensitive
+    to how the surrounding file was pretty-printed and to the
+    tuple-vs-list distinction of the in-memory payload.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def section_crc(body: Any) -> int:
+    return zlib.crc32(canonical_bytes(body)) & 0xFFFFFFFF
+
+
+def _digest(core: Dict[str, Any]) -> str:
+    return hashlib.sha256(canonical_bytes(core)).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Envelope assembly and verification
+
+def make_envelope(
+    kind: str, meta: Dict[str, Any], sections: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Wrap section bodies with per-section CRCs and a file digest."""
+    if kind not in KINDS:
+        raise ValueError(f"unknown checkpoint kind {kind!r}")
+    wrapped = {
+        name: {"crc32": section_crc(body), "body": body}
+        for name, body in sections.items()
+    }
+    core = {
+        "format": CHECKPOINT_FORMAT,
+        "kind": kind,
+        "meta": meta,
+        "sections": wrapped,
+    }
+    return {**core, "digest": _digest(core)}
+
+
+def peek_envelope(
+    data: Any,
+) -> Tuple[str, Dict[str, Any], Dict[str, Any], List[str]]:
+    """Partially verify an envelope, reporting damage instead of raising.
+
+    Returns ``(kind, meta, good_bodies, bad_sections)`` where
+    ``good_bodies`` maps section names whose CRC verified to their
+    bodies, and ``bad_sections`` lists the names that failed (missing
+    crc/body fields count as failed).  The whole-file digest is *not*
+    required to pass — this is the entry point for per-section salvage
+    in the recovery orchestrator.  Raises
+    :class:`~repro.errors.CheckpointCorruption` only when the envelope
+    itself is unusable (not a dict, wrong format tag, unparseable
+    section table).
+    """
+    if not isinstance(data, dict):
+        raise CheckpointCorruption("checkpoint payload is not a JSON object")
+    if data.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointCorruption(
+            f"format tag {data.get('format')!r} is not {CHECKPOINT_FORMAT!r}"
+        )
+    kind = data.get("kind")
+    if kind not in KINDS:
+        raise CheckpointCorruption(f"unknown checkpoint kind {kind!r}")
+    meta = data.get("meta")
+    if not isinstance(meta, dict):
+        raise CheckpointCorruption("meta is not an object")
+    table = data.get("sections")
+    if not isinstance(table, dict) or not table:
+        raise CheckpointCorruption("sections table missing or empty")
+    good: Dict[str, Any] = {}
+    bad: List[str] = []
+    for name, entry in table.items():
+        if (
+            not isinstance(entry, dict)
+            or "body" not in entry
+            or not isinstance(entry.get("crc32"), int)
+            or section_crc(entry["body"]) != entry["crc32"]
+        ):
+            bad.append(name)
+        else:
+            good[name] = entry["body"]
+    return kind, meta, good, sorted(bad)
+
+
+def open_envelope(data: Any) -> Tuple[str, Dict[str, Any], Dict[str, Any]]:
+    """Fully verify an envelope: digest plus every section CRC.
+
+    Returns ``(kind, meta, bodies)``; raises
+    :class:`~repro.errors.CheckpointCorruption` on the first failed
+    check, naming the offending section when the damage is localized.
+    """
+    kind, meta, good, bad = peek_envelope(data)
+    if bad:
+        raise CheckpointCorruption("CRC32 mismatch", section=bad[0])
+    recorded = data.get("digest")
+    core = {key: data[key] for key in ("format", "kind", "meta", "sections")}
+    actual = _digest(core)
+    if recorded != actual:
+        raise CheckpointCorruption(
+            f"file digest mismatch: recorded {recorded!r}, computed {actual!r}"
+        )
+    return kind, meta, good
+
+
+# ----------------------------------------------------------------------
+# File I/O
+
+def write_checkpoint_file(envelope: Dict[str, Any], path: str) -> None:
+    """Atomically persist an envelope (tempfile + ``os.replace``).
+
+    Envelopes are written in *canonical* form — the same encoding the
+    checksums are computed over — so the file has no insignificant
+    whitespace and every single byte is covered by a checksum: any
+    one-byte change either breaks the JSON, trips a CRC/digest, or
+    invalidates the format tag.
+    """
+    atomic_write_json(envelope, path, canonical=True)
+
+
+def read_checkpoint_file(path: str) -> Dict[str, Any]:
+    """Read raw checkpoint JSON; unparseable files raise
+    :class:`~repro.errors.CheckpointCorruption`."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruption(f"cannot read checkpoint {path!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Cover payloads (shared by every checkpoint kind: navigators, FT
+# spanners and routing labels all embed the cover they were built from)
+
+def tree_section_name(index: int) -> str:
+    return f"tree/{index:04d}"
+
+
+def cover_sections(cover: TreeCover) -> Dict[str, Any]:
+    """One section per cover tree plus a ``cover`` header section.
+
+    The per-tree granularity is what makes single-tree corruption
+    detectable — and repairable — without touching the other trees.
+    """
+    sections: Dict[str, Any] = {
+        "cover": {
+            "n": cover.metric.n,
+            "num_trees": cover.size,
+            "home": cover.home,
+        }
+    }
+    for index, cover_tree in enumerate(cover.trees):
+        sections[tree_section_name(index)] = {
+            "tree": tree_to_dict(cover_tree.tree),
+            "vertex_of_point": list(cover_tree.vertex_of_point),
+            "rep_point": list(cover_tree.rep_point),
+        }
+    return sections
+
+
+def _decode_tree_section(body: Any, name: str, n_points: int) -> CoverTree:
+    try:
+        return cover_tree_from_dict(body, n_points)
+    except ValueError as exc:
+        raise CheckpointCorruption(str(exc), section=name) from exc
+
+
+def cover_from_sections(
+    bodies: Dict[str, Any], metric: Metric
+) -> TreeCover:
+    """Reassemble a :class:`TreeCover` from verified section bodies.
+
+    Shape problems (missing sections, length mismatches, out-of-range
+    ids) raise :class:`~repro.errors.CheckpointCorruption` naming the
+    section; the caller is expected to have CRC-verified the bodies
+    already.
+    """
+    header = bodies.get("cover")
+    if not isinstance(header, dict):
+        raise CheckpointCorruption("missing cover header", section="cover")
+    if header.get("n") != metric.n:
+        raise CheckpointCorruption(
+            f"cover was built for {header.get('n')} points, metric has {metric.n}",
+            section="cover",
+        )
+    num_trees = header.get("num_trees")
+    if not isinstance(num_trees, int) or num_trees <= 0:
+        raise CheckpointCorruption(
+            f"bad tree count {num_trees!r}", section="cover"
+        )
+    trees: List[CoverTree] = []
+    for index in range(num_trees):
+        name = tree_section_name(index)
+        if name not in bodies:
+            raise CheckpointCorruption("section missing", section=name)
+        trees.append(_decode_tree_section(bodies[name], name, metric.n))
+    home = header.get("home")
+    if home is not None:
+        if (
+            not isinstance(home, list)
+            or len(home) != metric.n
+            or any(
+                not isinstance(t, int) or not 0 <= t < num_trees for t in home
+            )
+        ):
+            raise CheckpointCorruption("malformed home table", section="cover")
+    return TreeCover(metric, trees, home=home)
+
+
+def load_v1_cover(data: Any, metric: Metric) -> Optional[TreeCover]:
+    """Decode a legacy v1 payload, or return ``None`` if not v1.
+
+    Shape errors in a recognized v1 payload surface as
+    :class:`~repro.errors.CheckpointCorruption` so v1 and v2 loads fail
+    uniformly.
+    """
+    if not isinstance(data, dict) or data.get("format") != V1_COVER_FORMAT:
+        return None
+    try:
+        return cover_from_dict(data, metric)
+    except ValueError as exc:
+        raise CheckpointCorruption(f"legacy v1 cover: {exc}") from exc

@@ -1,0 +1,483 @@
+"""Recovery orchestrator: repair what failed the audit, label the rest.
+
+Loading a damaged checkpoint through :mod:`repro.checkpoint.store`
+raises; production deployments (ROADMAP north star) want the
+alternative this module provides — *recover automatically and say
+exactly what happened*:
+
+1. **Per-tree repair.**  Checkpoints store one section per cover tree,
+   so CRC failures, shape failures and per-tree audit failures are
+   localized to tree indexes.  Only those trees are dropped and rebuilt
+   (from a deterministic reference build of the same metric); the
+   surviving ζ − 1 sections are trusted as-is after their audit, and
+   derived LCA/level-ancestor state is recomputed for swapped trees.
+2. **Full rebuild.**  If the envelope is unreadable, the header section
+   is lost, the tree count changed, or the repaired cover still fails
+   its contract audit, the cover is rebuilt from the metric outright.
+3. **Degraded service.**  :class:`CheckpointService` integrates with
+   :mod:`repro.resilience.degradation`: it starts answering queries
+   from the surviving trees immediately — every answer labelled as a
+   :class:`~repro.resilience.degradation.DegradedResult` with
+   ``degraded=True`` while recovery is pending — and promotes itself to
+   full-guarantee service once :meth:`CheckpointService.recover`
+   finishes and the audit passes.
+
+Every outcome is recorded in a :class:`RecoveryReport`; nothing is
+repaired silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.metric_navigator import MetricNavigator
+from ..errors import CheckpointCorruption, ReproError
+from ..metrics.base import Metric, sample_pairs
+from ..resilience.degradation import DegradedResult
+from ..treecover.base import CoverTree, TreeCover
+from .audit import CoverContract, audit_cover, audit_cover_tree
+from .format import (
+    cover_from_sections,
+    load_v1_cover,
+    peek_envelope,
+    read_checkpoint_file,
+    tree_section_name,
+)
+from .store import save_cover_checkpoint
+
+__all__ = [
+    "CoverBuilder",
+    "TreeRepair",
+    "RecoveryReport",
+    "builder_from_meta",
+    "recover_cover",
+    "CheckpointService",
+]
+
+#: A cover builder: metric in, freshly constructed cover out.
+CoverBuilder = Callable[[Metric], TreeCover]
+
+
+@dataclass
+class TreeRepair:
+    """What happened to one cover tree during recovery."""
+
+    index: int
+    action: str  # "kept" | "rebuilt"
+    reason: str = ""
+
+
+@dataclass
+class RecoveryReport:
+    """The labelled outcome of one recovery attempt.
+
+    ``outcome`` is ``"clean"`` (checkpoint loaded and audited, nothing
+    to repair), ``"per-tree-repair"`` (only the named trees were
+    rebuilt) or ``"full-rebuild"`` (the checkpoint was unusable and the
+    cover was rebuilt from the metric).
+    """
+
+    outcome: str
+    cover: TreeCover
+    repairs: List[TreeRepair] = field(default_factory=list)
+    reason: str = ""
+
+    @property
+    def rebuilt_indexes(self) -> List[int]:
+        return [r.index for r in self.repairs if r.action == "rebuilt"]
+
+    def format_summary(self) -> str:
+        if self.outcome == "clean":
+            return f"recovery: clean load, {self.cover.size} trees audited"
+        if self.outcome == "per-tree-repair":
+            rebuilt = self.rebuilt_indexes
+            return (
+                f"recovery: per-tree repair rebuilt {len(rebuilt)} of "
+                f"{self.cover.size} trees ({rebuilt}); "
+                f"{self.cover.size - len(rebuilt)} kept from checkpoint"
+            )
+        return f"recovery: full rebuild ({self.reason})"
+
+
+def builder_from_meta(meta: Dict[str, Any]) -> Optional[CoverBuilder]:
+    """Reconstruct the cover builder recorded in checkpoint ``meta``.
+
+    Checkpoints written through the CLI carry ``builder`` metadata like
+    ``{"family": "robust", "eps": 0.45}``; this turns it back into a
+    callable so recovery can rebuild without the caller re-supplying
+    construction parameters.  Unknown or missing metadata returns
+    ``None`` (the caller must then pass an explicit builder).
+    """
+    spec = meta.get("builder")
+    if not isinstance(spec, dict):
+        return None
+    family = spec.get("family")
+    if family == "robust":
+        eps = float(spec.get("eps", 0.45))
+        from ..treecover.dumbbell import robust_tree_cover
+
+        return lambda metric: robust_tree_cover(metric, eps=eps)
+    if family == "ramsey":
+        ell = int(spec.get("ell", 2))
+        seed = int(spec.get("seed", 0))
+        from ..treecover.ramsey import ramsey_tree_cover
+
+        return lambda metric: ramsey_tree_cover(metric, ell=ell, seed=seed)
+    if family == "planar":
+        from ..treecover.planar import planar_tree_cover
+
+        return lambda metric: planar_tree_cover(metric)
+    return None
+
+
+def _salvage_sections(
+    path: str, metric: Metric
+) -> Tuple[Dict[str, Any], Dict[str, Any], List[str]]:
+    """Read a v2 envelope leniently: (meta, good bodies, bad sections)."""
+    data = read_checkpoint_file(path)
+    v1 = load_v1_cover(data, metric)  # raises CheckpointCorruption if torn
+    if v1 is not None:
+        # Legacy files have no sections to salvage individually; wrap
+        # the decoded cover as pseudo-sections so repair can still run
+        # per tree on audit failures.
+        bodies: Dict[str, Any] = {
+            "cover": {"n": metric.n, "num_trees": v1.size, "home": v1.home}
+        }
+        for index, cover_tree in enumerate(v1.trees):
+            bodies[tree_section_name(index)] = cover_tree
+        return {}, bodies, []
+    _, meta, good, bad = peek_envelope(data)
+    return meta, good, bad
+
+
+def _audit_one_tree(
+    cover_tree: CoverTree, metric: Metric, pairs
+) -> Optional[str]:
+    """Audit a single tree; returns the failure reason or ``None``."""
+    try:
+        audit_cover_tree(cover_tree, metric)
+        cover_tree.check_dominating(metric, pairs)
+    except ReproError as exc:
+        return str(exc)
+    return None
+
+
+def recover_cover(
+    path: str,
+    metric: Metric,
+    builder: Optional[CoverBuilder] = None,
+    contract: Optional[CoverContract] = None,
+    sample: int = 200,
+    seed: int = 0,
+    resave: bool = False,
+) -> RecoveryReport:
+    """Load a cover checkpoint, repairing or rebuilding as needed.
+
+    Never raises for a damaged file: every failure mode downgrades to
+    per-tree repair, then to a full rebuild via ``builder`` (explicit,
+    or reconstructed from the checkpoint's ``builder`` metadata).  A
+    :class:`ValueError` is raised only when a rebuild is needed and no
+    builder is available.  With ``resave=True`` a repaired/rebuilt
+    cover is written back to ``path`` (atomically) so the next start is
+    clean.
+    """
+    pairs = sample_pairs(metric.n, sample, seed=seed)
+
+    def full_rebuild(reason: str, meta: Dict[str, Any]) -> RecoveryReport:
+        rebuilder = builder if builder is not None else builder_from_meta(meta)
+        if rebuilder is None:
+            raise ValueError(
+                f"checkpoint {path!r} needs a full rebuild ({reason}) "
+                "but no cover builder is available"
+            )
+        cover = rebuilder(metric)
+        audit_cover(cover, contract=contract, pairs=pairs)
+        report = RecoveryReport("full-rebuild", cover, reason=reason)
+        if resave:
+            save_cover_checkpoint(
+                report.cover, path, contract=contract,
+                builder=meta.get("builder"),
+            )
+        return report
+
+    try:
+        meta, bodies, bad_sections = _salvage_sections(path, metric)
+    except CheckpointCorruption as exc:
+        return full_rebuild(f"unreadable checkpoint: {exc}", {})
+
+    if contract is None:
+        # Hold the repaired cover to whatever the checkpoint declared.
+        contract = CoverContract.from_jsonable(meta.get("contract"))
+
+    header = bodies.get("cover")
+    num_trees = header.get("num_trees") if isinstance(header, dict) else None
+    if "cover" in bad_sections or not isinstance(num_trees, int) or num_trees <= 0:
+        return full_rebuild("cover header section lost", meta)
+
+    # Classify every tree: decodable + individually audited, or corrupt.
+    repairs: List[TreeRepair] = []
+    trees: List[Optional[CoverTree]] = []
+    for index in range(num_trees):
+        name = tree_section_name(index)
+        reason = ""
+        cover_tree: Optional[CoverTree] = None
+        if name in bad_sections:
+            reason = "CRC32 mismatch"
+        elif name not in bodies:
+            reason = "section missing"
+        else:
+            body = bodies[name]
+            if isinstance(body, CoverTree):  # salvaged v1 payload
+                cover_tree = body
+            else:
+                try:
+                    cover_tree = cover_from_sections(
+                        {"cover": {"n": metric.n, "num_trees": 1, "home": None},
+                         tree_section_name(0): body},
+                        metric,
+                    ).trees[0]
+                except CheckpointCorruption as exc:
+                    reason = f"shape: {exc}"
+            if cover_tree is not None:
+                audit_failure = _audit_one_tree(cover_tree, metric, pairs)
+                if audit_failure is not None:
+                    cover_tree = None
+                    reason = f"audit: {audit_failure}"
+        trees.append(cover_tree)
+        repairs.append(
+            TreeRepair(index, "kept" if cover_tree is not None else "rebuilt",
+                       reason)
+        )
+
+    corrupted = [r.index for r in repairs if r.action == "rebuilt"]
+    home = header.get("home") if isinstance(header, dict) else None
+    if (
+        home is not None
+        and not (
+            isinstance(home, list)
+            and len(home) == metric.n
+            and all(isinstance(t, int) and 0 <= t < num_trees for t in home)
+        )
+    ):
+        return full_rebuild("home table corrupted", meta)
+
+    if corrupted:
+        if len(corrupted) == num_trees:
+            return full_rebuild("every tree section corrupted", meta)
+        rebuilder = builder if builder is not None else builder_from_meta(meta)
+        if rebuilder is None:
+            raise ValueError(
+                f"checkpoint {path!r} has corrupted trees {corrupted} "
+                "but no cover builder is available for per-tree repair"
+            )
+        reference = rebuilder(metric)
+        if reference.size != num_trees:
+            return full_rebuild(
+                f"reference build has {reference.size} trees, checkpoint "
+                f"had {num_trees}",
+                meta,
+            )
+        for index in corrupted:
+            trees[index] = reference.trees[index]
+
+    cover = TreeCover(metric, list(trees), home=home)
+    for index in corrupted:
+        cover.replace_tree(index, cover.trees[index])  # reset derived state
+    try:
+        audit_cover(cover, contract=contract, pairs=pairs)
+    except ReproError as exc:
+        return full_rebuild(f"repaired cover still fails audit: {exc}", meta)
+
+    outcome = "per-tree-repair" if corrupted else "clean"
+    report = RecoveryReport(outcome, cover, repairs=repairs)
+    if resave and corrupted:
+        save_cover_checkpoint(
+            cover, path, contract=contract, builder=meta.get("builder")
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Degraded service during recovery
+
+class CheckpointService:
+    """Serve navigation queries through (and past) checkpoint recovery.
+
+    The operational wrapper the resilience subsystem plugs into: point
+    it at a cover checkpoint and it *always* comes up —
+
+    * an intact checkpoint yields full-guarantee service immediately;
+    * a damaged one yields **degraded** service from the surviving
+      trees (every query labelled via
+      :class:`~repro.resilience.degradation.DegradedResult`, Ramsey
+      home-tree guarantees suspended) until :meth:`recover` swaps the
+      rebuilt trees in and the audit passes.
+    """
+
+    def __init__(
+        self,
+        metric: Metric,
+        k: int,
+        builder: Optional[CoverBuilder] = None,
+        contract: Optional[CoverContract] = None,
+    ):
+        self.metric = metric
+        self.k = k
+        self.builder = builder
+        self.contract = contract
+        self._path: Optional[str] = None
+        self._navigator: Optional[MetricNavigator] = None
+        self._pending: List[int] = []
+        self._salvaged: List[Optional[CoverTree]] = []
+        self._home: Optional[List[int]] = None
+        self._meta: Dict[str, Any] = {}
+        self.report: Optional[RecoveryReport] = None
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def recovery_pending(self) -> bool:
+        """True while queries are served without the full contract."""
+        return bool(self._pending) or self._navigator is None
+
+    @property
+    def navigator(self) -> Optional[MetricNavigator]:
+        return self._navigator
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self, path: str) -> "CheckpointService":
+        """Bring the service up from a checkpoint, degraded if damaged.
+
+        Unlike :func:`recover_cover`, this does *not* rebuild anything
+        yet: corrupted trees are noted as pending, surviving trees
+        start serving immediately.  Call :meth:`recover` (e.g. from a
+        background worker) to finish.
+        """
+        self._path = path
+        pairs = sample_pairs(self.metric.n, 120, seed=0)
+        try:
+            meta, bodies, bad_sections = _salvage_sections(path, self.metric)
+        except CheckpointCorruption as exc:
+            # Nothing salvageable: no service until recover() rebuilds.
+            self._meta = {}
+            self._salvaged = []
+            self._pending = [-1]
+            self._navigator = None
+            self.report = None
+            self._unusable_reason = str(exc)
+            return self
+        self._meta = meta
+        header = bodies.get("cover")
+        num_trees = header.get("num_trees") if isinstance(header, dict) else None
+        if "cover" in bad_sections or not isinstance(num_trees, int) or num_trees <= 0:
+            self._salvaged = []
+            self._pending = [-1]
+            self._navigator = None
+            self._unusable_reason = "cover header section lost"
+            return self
+        self._home = header.get("home") if isinstance(header, dict) else None
+        salvaged: List[Optional[CoverTree]] = []
+        pending: List[int] = []
+        for index in range(num_trees):
+            name = tree_section_name(index)
+            cover_tree: Optional[CoverTree] = None
+            if name in bodies and name not in bad_sections:
+                body = bodies[name]
+                if isinstance(body, CoverTree):
+                    cover_tree = body
+                else:
+                    try:
+                        cover_tree = cover_from_sections(
+                            {"cover": {"n": self.metric.n, "num_trees": 1,
+                                       "home": None},
+                             tree_section_name(0): body},
+                            self.metric,
+                        ).trees[0]
+                    except CheckpointCorruption:
+                        cover_tree = None
+                if cover_tree is not None and _audit_one_tree(
+                    cover_tree, self.metric, pairs
+                ) is not None:
+                    cover_tree = None
+            if cover_tree is None:
+                pending.append(index)
+            salvaged.append(cover_tree)
+        self._salvaged = salvaged
+        self._pending = pending
+        if not pending:
+            cover = TreeCover(self.metric, list(salvaged), home=self._home)
+            audit_cover(cover, contract=self.contract, pairs=pairs)
+            self._navigator = MetricNavigator(self.metric, cover, self.k)
+            self.report = RecoveryReport(
+                "clean", cover,
+                repairs=[TreeRepair(i, "kept") for i in range(num_trees)],
+            )
+        else:
+            survivors = [t for t in salvaged if t is not None]
+            if survivors:
+                # Partial cover: home table suspended (it indexes the
+                # full tree list), stretch contract not promised.
+                partial = TreeCover(self.metric, survivors, home=None)
+                self._navigator = MetricNavigator(self.metric, partial, self.k)
+            else:
+                self._navigator = None
+        return self
+
+    # -- queries ---------------------------------------------------------
+
+    def query(self, u: int, v: int) -> DegradedResult:
+        """Answer a navigation query at the current service level.
+
+        Full service returns ``degraded=False`` results satisfying the
+        k-hop/stretch contract; during recovery, results are labelled
+        ``degraded=True`` with the reason, and when nothing was
+        salvageable the result is undelivered rather than an exception.
+        """
+        if self._navigator is None:
+            return DegradedResult(
+                u, v, None, delivered=False, degraded=True, over_budget=False,
+                reason=(
+                    "checkpoint unusable, recovery not yet run: "
+                    + getattr(self, "_unusable_reason", "no salvageable trees")
+                ),
+            )
+        path = self._navigator.find_path(u, v)
+        weight = self._navigator.path_weight(path)
+        base = self.metric.distance(u, v)
+        stretch = weight / base if base > 0 else 1.0
+        pending = self.recovery_pending
+        return DegradedResult(
+            u, v, path, delivered=True, degraded=pending, over_budget=False,
+            hops=len(path) - 1, weight=weight, stretch=stretch,
+            reason=(
+                f"recovery in progress: serving from "
+                f"{self._navigator.cover.size} surviving trees, "
+                f"{len(self._pending)} pending rebuild"
+                if pending else ""
+            ),
+        )
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self, resave: bool = False) -> RecoveryReport:
+        """Finish recovery: rebuild pending trees, audit, promote.
+
+        Delegates to :func:`recover_cover` (per-tree repair first, full
+        rebuild as fallback); afterwards :attr:`recovery_pending` is
+        False and :meth:`query` answers with the full contract again.
+        """
+        if self._path is None:
+            raise ValueError("load() a checkpoint before recover()")
+        report = recover_cover(
+            self._path,
+            self.metric,
+            builder=self.builder,
+            contract=self.contract,
+            resave=resave,
+        )
+        self._navigator = MetricNavigator(self.metric, report.cover, self.k)
+        self._pending = []
+        self.report = report
+        return report

@@ -167,6 +167,59 @@ class MetricNavigator:
         return len(self.spanner_edges())
 
     # ------------------------------------------------------------------
+    # Checkpointing
+
+    def aux_fingerprint(self) -> Dict[str, object]:
+        """Fingerprint of the per-tree auxiliary state, for checkpoints.
+
+        The navigation structures 𝒟_T rebuild deterministically from a
+        cover in milliseconds, so checkpoints persist the cover plus
+        this fingerprint — per tree, the 1-spanner edge count and a
+        CRC32 of the canonically encoded sorted edge list — instead of
+        the structures themselves.  On load the rebuilt navigators are
+        checked against it, turning "the cover round-tripped" into "the
+        auxiliary state round-tripped" without storing O(n·α_k(n)·ζ)
+        edges.
+        """
+        import zlib
+
+        from ..checkpoint.format import canonical_bytes
+
+        per_tree = []
+        for navigator in self.navigators:
+            edge_list = sorted(
+                [a, b, w] for (a, b), w in navigator.edges.items()
+            )
+            per_tree.append(
+                {
+                    "edges": len(edge_list),
+                    "crc32": zlib.crc32(canonical_bytes(edge_list)) & 0xFFFFFFFF,
+                }
+            )
+        return {"k": self.k, "per_tree": per_tree}
+
+    def verify_aux_fingerprint(self, fingerprint: Dict[str, object]) -> None:
+        """Check the rebuilt 𝒟_T state against a saved fingerprint;
+        raises :class:`~repro.errors.InvariantViolation` on mismatch."""
+        check(
+            fingerprint.get("k") == self.k,
+            f"navigator was saved with k={fingerprint.get('k')}, "
+            f"rebuilt with k={self.k}",
+        )
+        per_tree = fingerprint.get("per_tree")
+        check(
+            isinstance(per_tree, list) and len(per_tree) == len(self.navigators),
+            "fingerprint covers a different number of trees",
+        )
+        actual = self.aux_fingerprint()["per_tree"]
+        for index, (saved, rebuilt) in enumerate(zip(per_tree, actual)):
+            check(
+                saved == rebuilt,
+                f"tree {index}: rebuilt 1-spanner {rebuilt} differs from "
+                f"saved fingerprint {saved}",
+            )
+
+    # ------------------------------------------------------------------
     # Verification
 
     def verify_query(self, u: int, v: int, gamma: Optional[float] = None) -> None:

@@ -29,6 +29,7 @@ __all__ = [
     "MetricValidationError",
     "FaultBudgetExceeded",
     "InvariantViolation",
+    "CheckpointCorruption",
     "check",
 ]
 
@@ -60,6 +61,32 @@ class FaultBudgetExceeded(ReproError, ValueError):
                 f"{len(self.faults)} faults supplied but the structure "
                 f"only supports f={f}"
             )
+        super().__init__(message)
+
+
+class CheckpointCorruption(ReproError, ValueError):
+    """A persisted artifact failed an integrity check on load.
+
+    Raised by :mod:`repro.checkpoint` for every *format-level* problem:
+    unparseable JSON, an unknown format tag, a per-section CRC32
+    mismatch, a whole-file digest mismatch, or a payload whose shape
+    does not decode into the declared structure.  Semantic problems in
+    a structurally sound payload (a tree that no longer dominates its
+    metric, a blown stretch contract) raise
+    :class:`InvariantViolation` from the auditor instead.  The recovery
+    orchestrator (:mod:`repro.checkpoint.recovery`) catches both and
+    repairs or rebuilds; callers that load directly should treat either
+    as "do not trust this file".
+
+    ``section`` names the first offending checkpoint section when the
+    damage is localized (enables per-tree repair), or is ``None`` when
+    the whole envelope is unusable.
+    """
+
+    def __init__(self, message: str, section: Optional[str] = None):
+        self.section = section
+        if section is not None:
+            message = f"section {section!r}: {message}"
         super().__init__(message)
 
 

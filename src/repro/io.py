@@ -5,11 +5,23 @@ cover of Theorem 4.1 can take seconds to minutes); persisting them lets
 navigators, routing schemes and FT spanners be rebuilt without redoing
 the net-hierarchy work.  Navigators themselves rebuild from a loaded
 cover in milliseconds, so only trees and covers are serialized.
+
+This module is the legacy **v1** format (``repro.treecover/1``):
+plain JSON, no checksums.  The checksummed, audited **v2** format —
+covering navigators, FT spanners and routing labels as well — lives in
+:mod:`repro.checkpoint`, whose loaders also accept v1 files.  Payload
+*shape* is validated here before any tree is constructed, so a
+truncated or hand-edited v1 file fails with a clear :class:`ValueError`
+instead of an ``IndexError`` deep inside LCA navigation; saves are
+atomic (tempfile + ``os.replace``), so a crash mid-save never leaves a
+half-written file behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import IO, Union
 
 from .graphs.tree import Tree
@@ -23,20 +35,55 @@ __all__ = [
     "cover_from_dict",
     "save_cover",
     "load_cover",
+    "atomic_write_json",
 ]
+
+V1_COVER_FORMAT = "repro.treecover/1"
 
 
 def tree_to_dict(tree: Tree) -> dict:
     return {"parents": list(tree.parents), "weights": list(tree.weights)}
 
 
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"malformed cover payload: {message}")
+
+
 def tree_from_dict(data: dict) -> Tree:
-    return Tree(data["parents"], data["weights"])
+    """Build a :class:`Tree`, validating payload shape first.
+
+    Length mismatches, non-numeric entries and negative weights are
+    rejected with a :class:`ValueError` naming the problem; the
+    :class:`Tree` constructor then enforces the single-root/acyclic
+    structure itself.
+    """
+    _require(isinstance(data, dict), "tree entry is not an object")
+    parents = data.get("parents")
+    weights = data.get("weights")
+    _require(isinstance(parents, list) and parents, "missing parents array")
+    _require(isinstance(weights, list), "missing weights array")
+    _require(
+        len(parents) == len(weights),
+        f"{len(parents)} parents but {len(weights)} weights",
+    )
+    n = len(parents)
+    for v, p in enumerate(parents):
+        _require(
+            isinstance(p, int) and -1 <= p < n,
+            f"parent {p!r} of vertex {v} out of range for {n} vertices",
+        )
+    for v, w in enumerate(weights):
+        _require(
+            isinstance(w, (int, float)) and not isinstance(w, bool) and w >= 0,
+            f"weight {w!r} of vertex {v} is not a non-negative number",
+        )
+    return Tree(parents, weights)
 
 
 def cover_to_dict(cover: TreeCover) -> dict:
     return {
-        "format": "repro.treecover/1",
+        "format": V1_COVER_FORMAT,
         "n": cover.metric.n,
         "home": cover.home,
         "trees": [
@@ -50,30 +97,96 @@ def cover_to_dict(cover: TreeCover) -> dict:
     }
 
 
+def cover_tree_from_dict(item: dict, n_points: int) -> CoverTree:
+    """Decode one serialized cover tree after validating its shape."""
+    _require(isinstance(item, dict), "cover tree entry is not an object")
+    tree = tree_from_dict(item.get("tree"))
+    vop = item.get("vertex_of_point")
+    rep = item.get("rep_point")
+    _require(isinstance(vop, list), "missing vertex_of_point array")
+    _require(isinstance(rep, list), "missing rep_point array")
+    _require(
+        len(vop) == n_points,
+        f"vertex_of_point has {len(vop)} entries for {n_points} points",
+    )
+    _require(
+        len(rep) == tree.n,
+        f"rep_point has {len(rep)} entries for {tree.n} tree vertices",
+    )
+    for p, v in enumerate(vop):
+        _require(
+            isinstance(v, int) and 0 <= v < tree.n,
+            f"vertex_of_point[{p}] = {v!r} out of range for {tree.n} vertices",
+        )
+    for v, p in enumerate(rep):
+        _require(
+            isinstance(p, int) and 0 <= p < n_points,
+            f"rep_point[{v}] = {p!r} out of range for {n_points} points",
+        )
+    return CoverTree(tree, vop, rep)
+
+
 def cover_from_dict(data: dict, metric: Metric) -> TreeCover:
-    if data.get("format") != "repro.treecover/1":
+    if not isinstance(data, dict) or data.get("format") != V1_COVER_FORMAT:
         raise ValueError("not a serialized repro tree cover")
-    if data["n"] != metric.n:
+    if data.get("n") != metric.n:
         raise ValueError(
-            f"cover was built for {data['n']} points, metric has {metric.n}"
+            f"cover was built for {data.get('n')} points, metric has {metric.n}"
         )
-    trees = [
-        CoverTree(
-            tree_from_dict(item["tree"]),
-            item["vertex_of_point"],
-            item["rep_point"],
+    raw_trees = data.get("trees")
+    _require(isinstance(raw_trees, list) and raw_trees, "missing trees array")
+    trees = [cover_tree_from_dict(item, metric.n) for item in raw_trees]
+    home = data.get("home")
+    if home is not None:
+        _require(isinstance(home, list), "home is not an array")
+        _require(
+            len(home) == metric.n,
+            f"home has {len(home)} entries for {metric.n} points",
         )
-        for item in data["trees"]
-    ]
-    return TreeCover(metric, trees, home=data["home"])
+        for p, t in enumerate(home):
+            _require(
+                isinstance(t, int) and 0 <= t < len(trees),
+                f"home[{p}] = {t!r} out of range for {len(trees)} trees",
+            )
+    return TreeCover(metric, trees, home=home)
+
+
+def atomic_write_json(payload: dict, path: str, canonical: bool = False) -> None:
+    """Dump JSON to ``path`` atomically: tempfile, fsync, ``os.replace``.
+
+    A crash at any point leaves either the previous file intact or a
+    stray ``.tmp`` file — never a half-written checkpoint under the
+    final name.  With ``canonical=True`` the file is written in
+    canonical form (sorted keys, no insignificant whitespace), so every
+    byte on disk is load-bearing — changing any one of them alters the
+    parsed document.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            if canonical:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            else:
+                json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def save_cover(cover: TreeCover, destination: Union[str, IO]) -> None:
-    """Write a cover as JSON to a path or open file object."""
+    """Write a cover as JSON to a path (atomically) or open file object."""
     payload = cover_to_dict(cover)
     if isinstance(destination, str):
-        with open(destination, "w") as handle:
-            json.dump(payload, handle)
+        atomic_write_json(payload, destination)
     else:
         json.dump(payload, destination)
 

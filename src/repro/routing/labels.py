@@ -25,7 +25,14 @@ from typing import List, Optional, Tuple
 
 from ..graphs.tree import Tree
 
-__all__ = ["HeavyPathLabeling", "lca_key", "label_distance", "label_bits"]
+__all__ = [
+    "HeavyPathLabeling",
+    "lca_key",
+    "label_distance",
+    "label_bits",
+    "label_to_jsonable",
+    "label_from_jsonable",
+]
 
 #: Each label entry: (chain id, exit position within the chain,
 #: weighted depth of the exit vertex).
@@ -132,3 +139,39 @@ def label_bits(label: Label, n: int, float_bits: int = 32) -> int:
     """Size of a label in bits: 2 ids of ⌈log n⌉ bits plus one depth each."""
     id_bits = max(1, (n - 1).bit_length())
     return len(label) * (2 * id_bits + float_bits)
+
+
+def label_to_jsonable(label: Label) -> list:
+    """A label as nested lists, for checkpoint serialization."""
+    return [[chain, pos, depth] for chain, pos, depth in label]
+
+
+def label_from_jsonable(data: object) -> Label:
+    """Decode and shape-validate a serialized label.
+
+    Raises :class:`ValueError` on anything that is not a non-empty list
+    of ``[chain >= 0, position >= 0, finite depth >= 0]`` entries, so a
+    corrupted checkpoint section fails loudly instead of producing
+    wrong label distances.
+    """
+    if not isinstance(data, list) or not data:
+        raise ValueError(f"label is not a non-empty entry list: {data!r}")
+    entries: List[Entry] = []
+    for item in data:
+        if not isinstance(item, list) or len(item) != 3:
+            raise ValueError(f"label entry {item!r} is not a [chain, pos, depth] triple")
+        chain, pos, depth = item
+        if not isinstance(chain, int) or chain < 0:
+            raise ValueError(f"label chain id {chain!r} is not a non-negative int")
+        if not isinstance(pos, int) or pos < 0:
+            raise ValueError(f"label position {pos!r} is not a non-negative int")
+        if (
+            not isinstance(depth, (int, float))
+            or isinstance(depth, bool)
+            or depth != depth  # NaN
+            or depth == float("inf")
+            or depth < 0
+        ):
+            raise ValueError(f"label depth {depth!r} is not a non-negative number")
+        entries.append((chain, pos, float(depth)))
+    return tuple(entries)

@@ -53,6 +53,7 @@ class FaultTolerantSpanner:
         eps: float = 0.4,
         cover: Optional[TreeCover] = None,
         validate: Optional[bool] = None,
+        replicas: Optional[List[List[List[int]]]] = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
@@ -68,16 +69,34 @@ class FaultTolerantSpanner:
         self.f = f
         self.k = k
         self.cover = cover if cover is not None else robust_tree_cover(metric, eps)
+        if replicas is not None and len(replicas) != len(self.cover.trees):
+            raise ValueError(
+                f"{len(replicas)} replica tables supplied for "
+                f"{len(self.cover.trees)} cover trees"
+            )
         self.navigators: List[TreeNavigator] = []
         #: replicas[t][v] = the replica set R(v) of tree t's vertex v.
+        #: Normally derived from the cover (prefixes of the descendant
+        #: lists, Theorem 4.2); checkpoint restores pass the saved pools
+        #: in via ``replicas=`` to skip the recomputation — the loader
+        #: audits them against the theorem's structure instead.
         self.replicas: List[List[List[int]]] = []
-        for cover_tree in self.cover.trees:
+        for index, cover_tree in enumerate(self.cover.trees):
             navigator = TreeNavigator(
                 cover_tree.tree, k, required=cover_tree.vertex_of_point
             )
             self.navigators.append(navigator)
-            below = cover_tree.descendant_points()
-            self.replicas.append([pool[: f + 1] for pool in below])
+            if replicas is not None:
+                pools = replicas[index]
+                if len(pools) != cover_tree.tree.n:
+                    raise ValueError(
+                        f"tree {index}: {len(pools)} replica pools for "
+                        f"{cover_tree.tree.n} vertices"
+                    )
+                self.replicas.append([list(pool) for pool in pools])
+            else:
+                below = cover_tree.descendant_points()
+                self.replicas.append([pool[: f + 1] for pool in below])
         if validate:
             from ..resilience.validation import validate_ft_spanner
 

@@ -58,6 +58,16 @@ class CoverTree:
             self._tree_metric = TreeMetric(self.tree)
         return self._tree_metric
 
+    def reset_derived(self) -> None:
+        """Drop the derived LCA/level-ancestor state so it is recomputed.
+
+        Checkpoint recovery calls this after swapping a repaired tree
+        in: the raw arrays are authoritative, everything derived from
+        them (the sparse-table LCA index inside :class:`TreeMetric`) is
+        rebuilt lazily on next use.
+        """
+        self._tree_metric = None
+
     def tree_distance(self, p: int, q: int) -> float:
         """Distance between two metric points inside this tree (O(1))."""
         return self.tree_metric.distance(self.vertex_of_point[p], self.vertex_of_point[q])
@@ -128,6 +138,18 @@ class TreeCover:
     def size(self) -> int:
         """The number of trees ζ."""
         return len(self.trees)
+
+    def replace_tree(self, index: int, cover_tree: CoverTree) -> None:
+        """Swap one tree of the cover for a freshly built replacement.
+
+        The per-tree repair path of checkpoint recovery: only the
+        corrupted tree is replaced, the other ζ − 1 trees (and the home
+        table, which indexes trees positionally) stay untouched.
+        """
+        if not 0 <= index < len(self.trees):
+            raise IndexError(f"no tree {index} in a cover of {len(self.trees)}")
+        cover_tree.reset_derived()
+        self.trees[index] = cover_tree
 
     def best_tree(self, p: int, q: int) -> Tuple[int, float]:
         """The tree index minimizing the tree distance for the pair.

@@ -68,3 +68,80 @@ class TestCoverRoundTrip:
         metric = random_points(10, dim=2, seed=8)
         with pytest.raises(ValueError):
             cover_from_dict({"format": "something-else"}, metric)
+
+
+class TestPayloadValidation:
+    """Malformed payloads must fail with a clear ValueError naming the
+    problem — never a deep IndexError/KeyError from the middle of a
+    tree traversal."""
+
+    @pytest.fixture()
+    def payload(self):
+        metric = random_points(20, dim=2, seed=9)
+        cover = robust_tree_cover(metric, eps=0.5)
+        return metric, cover_to_dict(cover)
+
+    def test_parents_weights_length_mismatch(self, payload):
+        metric, data = payload
+        data["trees"][0]["tree"]["weights"].append(1.0)
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_parent_index_out_of_range(self, payload):
+        metric, data = payload
+        data["trees"][0]["tree"]["parents"][1] = 10**6
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_negative_weight_rejected(self, payload):
+        metric, data = payload
+        data["trees"][0]["tree"]["weights"][1] = -2.0
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_vertex_of_point_out_of_range(self, payload):
+        metric, data = payload
+        data["trees"][0]["vertex_of_point"][0] = 10**6
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_vertex_of_point_wrong_length(self, payload):
+        metric, data = payload
+        data["trees"][0]["vertex_of_point"].pop()
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_rep_point_wrong_length(self, payload):
+        metric, data = payload
+        data["trees"][0]["rep_point"].pop()
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_rep_point_out_of_range(self, payload):
+        metric, data = payload
+        data["trees"][0]["rep_point"][0] = -5
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_home_out_of_range(self, payload):
+        metric, data = payload
+        data["home"] = [len(data["trees"]) + 7] * metric.n
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+    def test_trees_not_a_list(self, payload):
+        metric, data = payload
+        data["trees"] = {"0": data["trees"][0]}
+        with pytest.raises(ValueError, match="malformed cover payload"):
+            cover_from_dict(data, metric)
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        metric = random_points(15, dim=2, seed=10)
+        cover = robust_tree_cover(metric, eps=0.5)
+        path = str(tmp_path / "cover.json")
+        save_cover(cover, path)
+        save_cover(cover, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cover.json"]
+        assert load_cover(path, metric).size == cover.size
