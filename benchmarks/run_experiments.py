@@ -643,14 +643,19 @@ def main():
                         help="emit BENCH_*.json via repro.bench and exit")
     parser.add_argument("--bench-n", type=int, default=2000,
                         help="points for --json construction benches")
+    parser.add_argument("--bench-nav-n", type=int, default=600,
+                        help="points for --json navigation benches")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for per-tree fan-out "
+                             "(default: REPRO_WORKERS env, else serial)")
     parser.add_argument("--out-dir", type=str, default=".",
                         help="directory for --json artifacts")
     args = parser.parse_args()
     if args.json:
         from repro.bench import bench_navigation, bench_tree_covers, write_bench_files
 
-        tree_payload = bench_tree_covers(n=args.bench_n)
-        nav_payload = bench_navigation()
+        tree_payload = bench_tree_covers(n=args.bench_n, workers=args.workers)
+        nav_payload = bench_navigation(n=args.bench_nav_n, workers=args.workers)
         for path in write_bench_files(args.out_dir, tree_payload, nav_payload):
             print(f"wrote {path}")
         return

@@ -11,7 +11,10 @@ set -eu
 cd "$(dirname "$0")/.."
 OUT_DIR="${1:-$(mktemp -d)}"
 
-PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 \
+# REPRO_WORKERS=2 routes every per-tree build through the process-pool
+# engine, so the smoke also covers the shared-memory shipping path and
+# the workers/parallel_speedup fields of the emitted schemas.
+REPRO_WORKERS=2 PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 \
     --out-dir "$OUT_DIR"
 
 PYTHONPATH=src python - "$OUT_DIR" <<'EOF'

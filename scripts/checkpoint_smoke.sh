@@ -12,6 +12,12 @@ cd "$(dirname "$0")/.."
 WORK_DIR="${1:-$(mktemp -d)}"
 CKPT="$WORK_DIR/cover.ckpt"
 
+# Run the whole pipeline through the process-pool engine: every build,
+# audit and per-tree recovery below fans out across 2 workers, so the
+# smoke covers the parallel paths alongside the checkpoint layers.
+REPRO_WORKERS=2
+export REPRO_WORKERS
+
 PYTHONPATH=src python -m repro checkpoint --family euclidean --n 70 \
     --what cover --out "$CKPT"
 

@@ -384,3 +384,479 @@ def seed_robust_tree_cover(metric: SeedEuclideanMetric, eps: float = 0.5) -> Tre
                     builder.merge(gathered, rep=z)
             trees.append(builder.finish(metric, metric.n))
     return TreeCover(metric, trees)
+
+
+# ----------------------------------------------------------------------
+# Seed navigator (Theorem 1.1 / 1.2 construction as of the pre-parallel
+# engine revision): eager LCA / level-ancestor indexes built per tree
+# and per contracted node, one scalar tree-metric distance per spanner
+# edge, and the original dict-based Prune / Decompose passes.
+
+from collections import deque
+
+from .core.ackermann import alpha_k_prime
+from .errors import InvariantViolation
+from .graphs.lca import LcaIndex
+from .graphs.level_ancestor import LadderLevelAncestor
+
+__all__ += [
+    "SeedTreeIndex",
+    "SeedTreeMetric",
+    "SeedWorkTree",
+    "SeedTreeNavigator",
+    "SeedMetricNavigator",
+]
+
+
+def _seed_dedup(path: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    for v in path:
+        if not out or out[-1] != v:
+            out.append(v)
+    return out
+
+
+class SeedTreeIndex:
+    """The seed LCA/level-ancestor bundle: sparse tables built eagerly."""
+
+    SMALL = 48
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.depth = tree.depths()
+        self._naive = tree.n <= self.SMALL
+        if not self._naive:
+            self._lca = LcaIndex(tree)
+            self._la = LadderLevelAncestor(tree)
+
+    def lca(self, u: int, v: int) -> int:
+        if not self._naive:
+            return self._lca.lca(u, v)
+        parents, depth = self.tree.parents, self.depth
+        while depth[u] > depth[v]:
+            u = parents[u]
+        while depth[v] > depth[u]:
+            v = parents[v]
+        while u != v:
+            u = parents[u]
+            v = parents[v]
+        return u
+
+    def ancestor_at_depth(self, v: int, d: int) -> int:
+        if not self._naive:
+            return self._la.ancestor_at_depth(v, d)
+        parents, depth = self.tree.parents, self.depth
+        if d > depth[v]:
+            raise ValueError("requested depth is below the vertex")
+        while depth[v] > d:
+            v = parents[v]
+        return v
+
+
+class SeedTreeMetric(Metric):
+    """The seed tree metric: LCA index built eagerly at construction."""
+
+    supports_batch = False
+
+    def __init__(self, tree):
+        super().__init__(tree.n)
+        self.tree = tree
+        self._lca = LcaIndex(tree)
+
+    def distance(self, u: int, v: int) -> float:
+        return self._lca.distance(u, v)
+
+
+class SeedWorkTree:
+    """The seed rooted-tree view: children dicts materialized up front."""
+
+    __slots__ = ("parent", "children", "root")
+
+    def __init__(self, parent: Dict[int, int], root: int):
+        self.parent = parent
+        self.root = root
+        self.children: Dict[int, List[int]] = {v: [] for v in parent}
+        for v, p in parent.items():
+            if p != -1:
+                self.children[p].append(v)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def vertices(self):
+        return self.parent.keys()
+
+    def preorder(self) -> List[int]:
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(reversed(self.children[v]))
+        return order
+
+    def postorder(self) -> List[int]:
+        return list(reversed(self.preorder()))
+
+    @classmethod
+    def from_tree(cls, tree) -> "SeedWorkTree":
+        parent = {v: tree.parents[v] for v in range(tree.n)}
+        return cls(parent, tree.root)
+
+
+def _seed_prune(wt: SeedWorkTree, required: Set[int]) -> SeedWorkTree:
+    if not required:
+        raise ValueError("prune needs at least one required vertex")
+    has_req: Dict[int, bool] = {}
+    for v in wt.postorder():
+        flag = v in required
+        for c in wt.children[v]:
+            flag = flag or has_req[c]
+        has_req[v] = flag
+
+    keep: Set[int] = set()
+    for v in wt.vertices():
+        if v in required:
+            keep.add(v)
+            continue
+        busy_children = sum(1 for c in wt.children[v] if has_req[c])
+        if busy_children >= 2:
+            keep.add(v)
+
+    new_parent: Dict[int, int] = {}
+    nearest_kept: Dict[int, int] = {}
+    new_root = -1
+    for v in wt.preorder():
+        p = wt.parent[v]
+        anc = nearest_kept.get(p, -1) if p != -1 else -1
+        if v in keep:
+            new_parent[v] = anc
+            if anc == -1:
+                new_root = v
+            nearest_kept[v] = v
+        else:
+            nearest_kept[v] = anc
+    roots = [v for v, p in new_parent.items() if p == -1]
+    if len(roots) != 1:
+        raise InvariantViolation(f"prune produced {len(roots)} roots")
+    return SeedWorkTree(new_parent, new_root)
+
+
+def _seed_decompose(wt: SeedWorkTree, required: Set[int], ell: int) -> List[int]:
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    cuts: List[int] = []
+    pending: Dict[int, int] = {}
+    for v in wt.postorder():
+        count = 1 if v in required else 0
+        for c in wt.children[v]:
+            count += pending[c]
+        if count > ell:
+            cuts.append(v)
+            count = 0
+        pending[v] = count
+    return cuts
+
+
+def _seed_split_components(wt: SeedWorkTree, cuts: Sequence[int]):
+    cut_set = set(cuts)
+    comp_of: Dict[int, int] = {}
+    components: List[SeedWorkTree] = []
+    borders: List[Set[int]] = []
+    for v in wt.preorder():
+        if v in cut_set:
+            continue
+        p = wt.parent[v]
+        if p == -1 or p in cut_set:
+            index = len(components)
+            parent: Dict[int, int] = {v: -1}
+            comp_of[v] = index
+            stack = [v]
+            while stack:
+                u = stack.pop()
+                for c in wt.children[u]:
+                    if c in cut_set:
+                        continue
+                    parent[c] = u
+                    comp_of[c] = index
+                    stack.append(c)
+            components.append(SeedWorkTree(parent, v))
+            borders.append(set())
+
+    for c in cut_set:
+        p = wt.parent[c]
+        if p != -1 and p not in cut_set:
+            borders[comp_of[p]].add(c)
+        for child in wt.children[c]:
+            if child not in cut_set:
+                borders[comp_of[child]].add(c)
+    return components, borders, comp_of
+
+
+class _SeedPhiNode:
+    __slots__ = (
+        "id", "parent", "level", "is_leaf", "cut_vertices",
+        "base_adjacency", "contracted", "sub_navigator", "child_component",
+    )
+
+    def __init__(self, node_id: int):
+        self.id = node_id
+        self.parent = -1
+        self.level = 0
+        self.is_leaf = False
+        self.cut_vertices: List[int] = []
+        self.base_adjacency: Optional[Dict[int, List[int]]] = None
+        self.contracted: Optional["_SeedContractedTree"] = None
+        self.sub_navigator: Optional["SeedTreeNavigator"] = None
+        self.child_component: Dict[int, int] = {}
+
+
+class _SeedContractedTree:
+    __slots__ = ("index", "node_of_comp", "node_of_cut", "cut_of_node", "depth")
+
+    def __init__(self, wt: SeedWorkTree, cuts: Sequence[int],
+                 comp_of: Dict[int, int], p: int):
+        cut_set = set(cuts)
+        self.node_of_comp: List[int] = list(range(p))
+        self.node_of_cut: Dict[int, int] = {c: p + j for j, c in enumerate(cuts)}
+        self.cut_of_node: Dict[int, int] = {
+            n: c for c, n in self.node_of_cut.items()
+        }
+
+        def contracted_id(v: int) -> int:
+            if v in cut_set:
+                return self.node_of_cut[v]
+            return comp_of[v]
+
+        m = p + len(cuts)
+        parent = [-1] * m
+        seen = [False] * m
+        root_node = contracted_id(wt.root)
+        seen[root_node] = True
+        for v in wt.preorder():
+            pv = wt.parent[v]
+            if pv == -1:
+                continue
+            a, b = contracted_id(pv), contracted_id(v)
+            if a != b and not seen[b]:
+                parent[b] = a
+                seen[b] = True
+        self.index = SeedTreeIndex(Tree(parent))
+        self.depth = self.index.depth
+
+
+class SeedTreeNavigator:
+    """The seed Theorem 1.1 construction + query path."""
+
+    def __init__(
+        self,
+        tree,
+        k: int,
+        required: Optional[Sequence[int]] = None,
+        _worktree: Optional[SeedWorkTree] = None,
+        _metric: Optional[SeedTreeMetric] = None,
+        _edges: Optional[Dict[Tuple[int, int], float]] = None,
+    ):
+        if k < 2:
+            raise ValueError("hop-diameter parameter k must be at least 2")
+        self.tree = tree
+        self.k = k
+        self.metric = _metric if _metric is not None else SeedTreeMetric(tree)
+        if required is None:
+            required = range(tree.n)
+        self.required: Set[int] = set(required)
+        if not self.required:
+            raise ValueError("need at least one required vertex")
+        self.edges: Dict[Tuple[int, int], float] = (
+            _edges if _edges is not None else {}
+        )
+        self._phi_nodes: List[_SeedPhiNode] = []
+        self.home: Dict[int, int] = {}
+        worktree = (
+            _worktree if _worktree is not None else SeedWorkTree.from_tree(tree)
+        )
+        self._preprocess(worktree, set(self.required))
+        self._build_phi_index()
+
+    def _new_phi_node(self) -> _SeedPhiNode:
+        node = _SeedPhiNode(len(self._phi_nodes))
+        self._phi_nodes.append(node)
+        return node
+
+    def _add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        key = (u, v) if u < v else (v, u)
+        if key not in self.edges:
+            self.edges[key] = self.metric.distance(u, v)
+
+    def _preprocess(self, wt: SeedWorkTree, req: Set[int]) -> int:
+        wt = _seed_prune(wt, req)
+        n = len(req)
+        if n <= self.k + 1:
+            return self._handle_base_case(req)
+
+        ell_index = 0 if self.k == 2 else self.k - 2
+        ell = alpha_k_prime(ell_index, n)
+        cuts = _seed_decompose(wt, req, ell)
+        beta = self._new_phi_node()
+        beta.cut_vertices = list(cuts)
+        for c in cuts:
+            self.home[c] = beta.id
+
+        if self.k == 3:
+            for i, a in enumerate(cuts):
+                for b in cuts[i + 1:]:
+                    self._add_edge(a, b)
+        elif self.k >= 4:
+            beta.sub_navigator = SeedTreeNavigator(
+                self.tree,
+                max(2, self.k - 2),
+                required=cuts,
+                _worktree=wt,
+                _metric=self.metric,
+                _edges=self.edges,
+            )
+
+        components, borders, comp_of = _seed_split_components(wt, cuts)
+        comp_required: List[List[int]] = [[] for _ in components]
+        for v in req:
+            if v in comp_of:
+                comp_required[comp_of[v]].append(v)
+        for i, border in enumerate(borders):
+            for c in border:
+                for u in comp_required[i]:
+                    self._add_edge(c, u)
+
+        for i, comp in enumerate(components):
+            if not comp_required[i]:
+                continue
+            child_id = self._preprocess(comp, set(comp_required[i]))
+            self._phi_nodes[child_id].parent = beta.id
+            beta.child_component[child_id] = i
+
+        if self.k >= 3:
+            beta.contracted = _SeedContractedTree(
+                wt, cuts, comp_of, len(components)
+            )
+        return beta.id
+
+    def _handle_base_case(self, req: Set[int]) -> int:
+        leaf = self._new_phi_node()
+        leaf.is_leaf = True
+        ordered = sorted(req)
+        leaf.cut_vertices = ordered
+        adjacency: Dict[int, List[int]] = {u: [] for u in ordered}
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                self._add_edge(a, b)
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+        leaf.base_adjacency = adjacency
+        for u in ordered:
+            self.home[u] = leaf.id
+        return leaf.id
+
+    def _build_phi_index(self) -> None:
+        parents = [node.parent for node in self._phi_nodes]
+        self._phi = SeedTreeIndex(Tree(parents))
+        for node, depth in zip(self._phi_nodes, self._phi.depth):
+            node.level = depth
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def find_path(self, u: int, v: int) -> List[int]:
+        if u not in self.home or v not in self.home:
+            raise KeyError("find_path endpoints must be required vertices")
+        if u == v:
+            return [u]
+        hu = self._phi_nodes[self.home[u]]
+        hv = self._phi_nodes[self.home[v]]
+        if hu.id == hv.id and hu.is_leaf:
+            return self._base_case_bfs(hu, u, v)
+        beta = self._phi_nodes[self._phi.lca(hu.id, hv.id)]
+        if self.k == 2:
+            w = beta.cut_vertices[0]
+            return _seed_dedup([u, w, v])
+
+        contracted = beta.contracted
+        u_node = self._locate_contracted(u, beta)
+        v_node = self._locate_contracted(v, beta)
+        c = contracted.index.lca(u_node, v_node)
+        x_node = self._find_cut(u, u_node, v_node, beta, c)
+        y_node = self._find_cut(v, v_node, u_node, beta, c)
+        x = contracted.cut_of_node[x_node]
+        y = contracted.cut_of_node[y_node]
+        if beta.sub_navigator is None:
+            return _seed_dedup([u, x, y, v])
+        middle = beta.sub_navigator.find_path(x, y)
+        return _seed_dedup([u] + middle + [v])
+
+    def _base_case_bfs(self, leaf: _SeedPhiNode, u: int, v: int) -> List[int]:
+        adjacency = leaf.base_adjacency
+        parent: Dict[int, int] = {u: u}
+        queue = deque([u])
+        while queue:
+            a = queue.popleft()
+            if a == v:
+                path = [v]
+                while path[-1] != u:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            for b in adjacency[a]:
+                if b not in parent:
+                    parent[b] = a
+                    queue.append(b)
+        raise InvariantViolation("base-case subgraph must connect its vertices")
+
+    def _locate_contracted(self, u: int, beta: _SeedPhiNode) -> int:
+        home_id = self.home[u]
+        if home_id == beta.id:
+            return beta.contracted.node_of_cut[u]
+        child = self._phi.ancestor_at_depth(home_id, beta.level + 1)
+        comp = beta.child_component[child]
+        return beta.contracted.node_of_comp[comp]
+
+    def _find_cut(self, u: int, u_node: int, v_node: int,
+                  beta: _SeedPhiNode, c: int) -> int:
+        contracted = beta.contracted
+        if self.home[u] == beta.id:
+            return u_node
+        if u_node == c:
+            return contracted.index.ancestor_at_depth(
+                v_node, contracted.depth[u_node] + 1
+            )
+        return contracted.index.ancestor_at_depth(
+            u_node, contracted.depth[u_node] - 1
+        )
+
+
+class SeedMetricNavigator:
+    """The seed Theorem 1.2 build: one serial eager navigator per tree."""
+
+    def __init__(self, metric: Metric, cover: TreeCover, k: int):
+        self.metric = metric
+        self.cover = cover
+        self.k = k
+        self.navigators: List[SeedTreeNavigator] = []
+        for cover_tree in cover.trees:
+            required = list(cover_tree.vertex_of_point)
+            self.navigators.append(
+                SeedTreeNavigator(cover_tree.tree, k, required=required)
+            )
+
+    def find_path(self, u: int, v: int) -> List[int]:
+        if u == v:
+            return [u]
+        index, _ = self.cover.best_tree(u, v)
+        cover_tree = self.cover.trees[index]
+        vertex_path = self.navigators[index].find_path(
+            cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
+        )
+        return _seed_dedup([cover_tree.rep_point[x] for x in vertex_path])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(nav.num_edges for nav in self.navigators)

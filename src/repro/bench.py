@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import random
 import time
@@ -36,6 +37,7 @@ import scipy
 from . import __version__
 from ._seed_baseline import (
     SeedEuclideanMetric,
+    SeedMetricNavigator,
     SeedNetHierarchy,
     seed_build_hst,
     seed_robust_tree_cover,
@@ -44,6 +46,7 @@ from .core.metric_navigator import MetricNavigator
 from .metrics.base import sample_pairs
 from .metrics.doubling import NetHierarchy
 from .metrics.euclidean import random_points
+from .parallel import resolve_workers
 from .treecover.dumbbell import robust_tree_cover
 from .treecover.hst import build_hst
 
@@ -99,6 +102,36 @@ def _result(
     return out
 
 
+def _timing_workers(workers: Optional[int]) -> int:
+    """Resolve ``workers`` for the *timed* build stages.
+
+    A process pool wider than the machine can only add serialization
+    overhead to a wall-clock measurement, so the timed stages cap the
+    fan-out at ``os.cpu_count()`` and fall back to the serial path on a
+    single-core box.  This is a measurement policy only: the engine's
+    own :func:`repro.parallel.resolve_workers` semantics are unchanged,
+    and the determinism tests still force real pools at any requested
+    width regardless of core count.
+    """
+    resolved = resolve_workers(workers)
+    cores = os.cpu_count() or 1
+    if cores <= 1:
+        return 0
+    return min(resolved, cores)
+
+
+def _parallel_detail(
+    detail: Dict, workers: int, seconds: float, serial_seconds: float
+) -> Dict:
+    """Record the worker count and parallel-vs-serial speedup of a stage."""
+    detail["workers"] = workers
+    detail["serial_seconds"] = round(serial_seconds, 6)
+    detail["parallel_speedup"] = (
+        round(serial_seconds / seconds, 3) if seconds > 0 else None
+    )
+    return detail
+
+
 def bench_tree_covers(
     n: int = 2000,
     dim: int = 2,
@@ -109,6 +142,7 @@ def bench_tree_covers(
     robust_repeats: int = 1,
     include_baseline: bool = True,
     stretch_sample: int = 300,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Construction benchmarks on ``random_points(n, dim)``.
 
@@ -116,9 +150,14 @@ def bench_tree_covers(
     same points, so the reported speedups are measured in this process,
     on this machine — not copied from a past run.  ``robust_repeats``
     is separate because the seed Theorem 4.1 construction is by far the
-    slowest entry (minutes at n=2000).
+    slowest entry (minutes at n=2000).  ``workers`` fans the robust
+    cover's per-tree merges out across processes; when it resolves to a
+    pool, the serial path is timed too and the row's detail records the
+    parallel-vs-serial speedup alongside the seed-baseline speedup.
     """
     metric = random_points(n, dim=dim, seed=seed)
+    requested_workers = resolve_workers(workers)
+    resolved_workers = _timing_workers(workers)
     seed_metric = SeedEuclideanMetric(metric.points) if include_baseline else None
     results: List[Dict] = []
 
@@ -154,8 +193,18 @@ def bench_tree_covers(
         )
     )
 
-    secs, cover = _best_of(lambda: robust_tree_cover(metric, eps=eps), robust_repeats)
-    detail: Dict = {"eps": eps, "zeta": cover.size}
+    secs, cover = _best_of(
+        lambda: robust_tree_cover(metric, eps=eps, workers=resolved_workers),
+        robust_repeats,
+    )
+    serial_secs = secs
+    if resolved_workers > 1:
+        serial_secs, _ = _best_of(
+            lambda: robust_tree_cover(metric, eps=eps, workers=0), robust_repeats
+        )
+    detail: Dict = _parallel_detail(
+        {"eps": eps, "zeta": cover.size}, resolved_workers, secs, serial_secs
+    )
     if include_baseline:
         base, seed_cover = _best_of(
             lambda: seed_robust_tree_cover(seed_metric, eps=eps), robust_repeats
@@ -181,6 +230,8 @@ def bench_tree_covers(
             "repeats": repeats,
             "robust_repeats": robust_repeats,
             "include_baseline": include_baseline,
+            "workers": resolved_workers,
+            "workers_requested": requested_workers,
         },
         "results": results,
         "meta": _meta(),
@@ -194,22 +245,75 @@ def bench_navigation(
     eps: float = 0.5,
     k: int = 3,
     queries: int = 400,
+    include_baseline: bool = True,
+    workers: Optional[int] = None,
 ) -> Dict:
-    """Navigator construction and query-latency benchmarks."""
+    """Navigator construction and query-latency benchmarks.
+
+    Every row carries a seed baseline measured in-process: the robust
+    cover and the navigator build re-run the frozen pre-vectorization
+    implementations (:mod:`repro._seed_baseline` — eager LCA indexes,
+    scalar per-edge distances), and the scalar query loop re-runs on the
+    seed navigator.  ``workers`` fans the cover and navigator builds out
+    across processes; the detail dicts then also record the
+    parallel-vs-serial speedup of each build stage.
+    """
     metric = random_points(n, dim=dim, seed=seed)
-    cover = robust_tree_cover(metric, eps=eps)
+    requested_workers = resolve_workers(workers)
+    resolved_workers = _timing_workers(workers)
     results: List[Dict] = []
 
     start = time.perf_counter()
-    navigator = MetricNavigator(metric, cover, k)
+    cover = robust_tree_cover(metric, eps=eps, workers=resolved_workers)
+    cover_secs = time.perf_counter() - start
+    cover_serial = cover_secs
+    if resolved_workers > 1:
+        start = time.perf_counter()
+        robust_tree_cover(metric, eps=eps, workers=0)
+        cover_serial = time.perf_counter() - start
+    seed_cover_secs = None
+    if include_baseline:
+        seed_metric = SeedEuclideanMetric(metric.points)
+        start = time.perf_counter()
+        seed_robust_tree_cover(seed_metric, eps=eps)
+        seed_cover_secs = time.perf_counter() - start
+    results.append(
+        _result(
+            "robust_cover",
+            n,
+            cover_secs,
+            seed_cover_secs,
+            _parallel_detail(
+                {"eps": eps, "zeta": cover.size},
+                resolved_workers, cover_secs, cover_serial,
+            ),
+        )
+    )
+
+    start = time.perf_counter()
+    navigator = MetricNavigator(metric, cover, k, workers=resolved_workers)
     build = time.perf_counter() - start
+    build_serial = build
+    if resolved_workers > 1:
+        start = time.perf_counter()
+        MetricNavigator(metric, cover, k, workers=0)
+        build_serial = time.perf_counter() - start
+    seed_navigator = None
+    seed_build = None
+    if include_baseline:
+        start = time.perf_counter()
+        seed_navigator = SeedMetricNavigator(metric, cover, k)
+        seed_build = time.perf_counter() - start
     results.append(
         _result(
             "navigator_build",
             n,
             build,
-            None,
-            {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
+            seed_build,
+            _parallel_detail(
+                {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
+                resolved_workers, build, build_serial,
+            ),
         )
     )
 
@@ -224,13 +328,19 @@ def bench_navigation(
         navigator.find_path(u, v)
         lat_us.append((time.perf_counter() - start) * 1e6)
     scalar_total = time.perf_counter() - start_all
+    seed_scalar = None
+    if seed_navigator is not None:
+        start_all = time.perf_counter()
+        for u, v in pairs:
+            seed_navigator.find_path(u, v)
+        seed_scalar = time.perf_counter() - start_all
     lat = np.asarray(lat_us)
     results.append(
         _result(
             "query_scalar",
             n,
             scalar_total,
-            None,
+            seed_scalar,
             {
                 "queries": len(pairs),
                 "p50_us": round(float(np.percentile(lat, 50)), 2),
@@ -264,6 +374,9 @@ def bench_navigation(
             "eps": eps,
             "k": k,
             "queries": queries,
+            "include_baseline": include_baseline,
+            "workers": resolved_workers,
+            "workers_requested": requested_workers,
         },
         "results": results,
         "meta": _meta(),

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import InvariantViolation, check
 from ..metrics.base import Metric, sample_pairs
+from ..parallel import map_per_tree
 from ..treecover.base import CoverTree, TreeCover
 
 __all__ = [
@@ -153,6 +154,20 @@ def audit_cover_tree(cover_tree: CoverTree, metric: Metric) -> None:
         check(0 <= p < n, f"vertex {v} represents out-of-range point {p}")
 
 
+def _audit_cover_tree_task(ctx, index: int) -> bool:
+    """Per-tree fan-out unit: structure plus domination of one tree.
+
+    Verdicts are deterministic — the audit raises for the lowest-index
+    broken tree whatever the worker count, because results (and
+    transported exceptions) merge in input order.
+    """
+    trees, pairs = ctx.payload
+    cover_tree = trees[index]
+    audit_cover_tree(cover_tree, ctx.metric)
+    cover_tree.check_dominating(ctx.metric, pairs)
+    return True
+
+
 def audit_cover(
     cover: TreeCover,
     contract: Optional[CoverContract] = None,
@@ -160,20 +175,26 @@ def audit_cover(
     sample: int = 200,
     seed: int = 0,
     report: Optional[AuditReport] = None,
+    workers: Optional[int] = None,
 ) -> AuditReport:
     """Audit a tree cover: per-tree structure, domination, contract.
 
     Raises :class:`~repro.errors.InvariantViolation` on the first
     broken invariant; returns the report of what was checked otherwise.
+    The per-tree structure/domination checks are independent and fan
+    out across ``workers`` processes.
     """
     if report is None:
         report = AuditReport("cover", cover.metric.n, cover.size)
-    for cover_tree in cover.trees:
-        audit_cover_tree(cover_tree, cover.metric)
-    report.record(f"{cover.size} trees well-formed (roots, cycles, weights, hosts)")
     audit_pairs = _audit_pairs(cover.metric.n, pairs, sample, seed)
-    for cover_tree in cover.trees:
-        cover_tree.check_dominating(cover.metric, audit_pairs)
+    map_per_tree(
+        _audit_cover_tree_task,
+        range(cover.size),
+        workers=workers,
+        metric=cover.metric,
+        payload=(cover.trees, audit_pairs),
+    )
+    report.record(f"{cover.size} trees well-formed (roots, cycles, weights, hosts)")
     report.record(f"domination spot-checked on {len(audit_pairs)} pairs")
     if cover.home is not None:
         check(
@@ -212,6 +233,7 @@ def audit_navigator(
     queries: int = 40,
     seed: int = 0,
     fingerprint: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
 ) -> AuditReport:
     """Audit a :class:`MetricNavigator`: cover + hop-budget compliance.
 
@@ -224,7 +246,9 @@ def audit_navigator(
     report = AuditReport(
         "navigator", navigator.metric.n, navigator.cover.size
     )
-    audit_cover(navigator.cover, contract=contract, seed=seed, report=report)
+    audit_cover(
+        navigator.cover, contract=contract, seed=seed, report=report, workers=workers
+    )
     if fingerprint is not None:
         navigator.verify_aux_fingerprint(fingerprint)
         report.record("per-tree 1-spanner edge fingerprints match saved state")
@@ -248,6 +272,7 @@ def audit_ft_spanner(
     contract: Optional[CoverContract] = None,
     queries: int = 20,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> AuditReport:
     """Audit a :class:`FaultTolerantSpanner` per Theorem 4.2.
 
@@ -259,7 +284,9 @@ def audit_ft_spanner(
     from ..resilience.validation import validate_ft_spanner
 
     report = AuditReport("ft_spanner", spanner.metric.n, spanner.cover.size)
-    audit_cover(spanner.cover, contract=contract, seed=seed, report=report)
+    audit_cover(
+        spanner.cover, contract=contract, seed=seed, report=report, workers=workers
+    )
     validate_ft_spanner(spanner)
     report.record(
         f"replica pools sized/consistent for f={spanner.f} (Theorem 4.2)"

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.metric_navigator import MetricNavigator
 from ..errors import CheckpointCorruption, ReproError
 from ..metrics.base import Metric, sample_pairs
+from ..parallel import map_per_tree
 from ..resilience.degradation import DegradedResult
 from ..treecover.base import CoverTree, TreeCover
 from .audit import CoverContract, audit_cover, audit_cover_tree
@@ -163,6 +164,36 @@ def _audit_one_tree(
     return None
 
 
+def _classify_tree_task(ctx, task) -> Tuple[Optional[CoverTree], str]:
+    """Per-tree fan-out unit: decode + audit one checkpoint section.
+
+    ``task`` is ``(body, reason)`` where a ``None`` body carries a
+    precomputed envelope-level failure reason (CRC mismatch, missing
+    section).  Returns ``(cover_tree, "")`` when the tree survives, or
+    ``(None, reason)`` when it must be rebuilt.
+    """
+    body, reason = task
+    if body is None:
+        return None, reason
+    metric = ctx.metric
+    pairs = ctx.payload
+    if isinstance(body, CoverTree):  # salvaged v1 payload
+        cover_tree = body
+    else:
+        try:
+            cover_tree = cover_from_sections(
+                {"cover": {"n": metric.n, "num_trees": 1, "home": None},
+                 tree_section_name(0): body},
+                metric,
+            ).trees[0]
+        except CheckpointCorruption as exc:
+            return None, f"shape: {exc}"
+    audit_failure = _audit_one_tree(cover_tree, metric, pairs)
+    if audit_failure is not None:
+        return None, f"audit: {audit_failure}"
+    return cover_tree, ""
+
+
 def recover_cover(
     path: str,
     metric: Metric,
@@ -171,6 +202,7 @@ def recover_cover(
     sample: int = 200,
     seed: int = 0,
     resave: bool = False,
+    workers: Optional[int] = None,
 ) -> RecoveryReport:
     """Load a cover checkpoint, repairing or rebuilding as needed.
 
@@ -180,7 +212,8 @@ def recover_cover(
     :class:`ValueError` is raised only when a rebuild is needed and no
     builder is available.  With ``resave=True`` a repaired/rebuilt
     cover is written back to ``path`` (atomically) so the next start is
-    clean.
+    clean.  ``workers`` fans the per-tree decode + audit classification
+    out across processes; the verdicts are identical in every mode.
     """
     pairs = sample_pairs(metric.n, sample, seed=seed)
 
@@ -192,7 +225,7 @@ def recover_cover(
                 "but no cover builder is available"
             )
         cover = rebuilder(metric)
-        audit_cover(cover, contract=contract, pairs=pairs)
+        audit_cover(cover, contract=contract, pairs=pairs, workers=workers)
         report = RecoveryReport("full-rebuild", cover, reason=reason)
         if resave:
             save_cover_checkpoint(
@@ -216,34 +249,23 @@ def recover_cover(
         return full_rebuild("cover header section lost", meta)
 
     # Classify every tree: decodable + individually audited, or corrupt.
-    repairs: List[TreeRepair] = []
-    trees: List[Optional[CoverTree]] = []
+    # Envelope-level failures are resolved here (cheap, needs the bad
+    # section table); decode + audit fan out per tree.
+    tasks: List[Tuple[Any, str]] = []
     for index in range(num_trees):
         name = tree_section_name(index)
-        reason = ""
-        cover_tree: Optional[CoverTree] = None
         if name in bad_sections:
-            reason = "CRC32 mismatch"
+            tasks.append((None, "CRC32 mismatch"))
         elif name not in bodies:
-            reason = "section missing"
+            tasks.append((None, "section missing"))
         else:
-            body = bodies[name]
-            if isinstance(body, CoverTree):  # salvaged v1 payload
-                cover_tree = body
-            else:
-                try:
-                    cover_tree = cover_from_sections(
-                        {"cover": {"n": metric.n, "num_trees": 1, "home": None},
-                         tree_section_name(0): body},
-                        metric,
-                    ).trees[0]
-                except CheckpointCorruption as exc:
-                    reason = f"shape: {exc}"
-            if cover_tree is not None:
-                audit_failure = _audit_one_tree(cover_tree, metric, pairs)
-                if audit_failure is not None:
-                    cover_tree = None
-                    reason = f"audit: {audit_failure}"
+            tasks.append((bodies[name], ""))
+    classified = map_per_tree(
+        _classify_tree_task, tasks, workers=workers, metric=metric, payload=pairs
+    )
+    repairs: List[TreeRepair] = []
+    trees: List[Optional[CoverTree]] = []
+    for index, (cover_tree, reason) in enumerate(classified):
         trees.append(cover_tree)
         repairs.append(
             TreeRepair(index, "kept" if cover_tree is not None else "rebuilt",
@@ -285,7 +307,7 @@ def recover_cover(
     for index in corrupted:
         cover.replace_tree(index, cover.trees[index])  # reset derived state
     try:
-        audit_cover(cover, contract=contract, pairs=pairs)
+        audit_cover(cover, contract=contract, pairs=pairs, workers=workers)
     except ReproError as exc:
         return full_rebuild(f"repaired cover still fails audit: {exc}", meta)
 
@@ -321,11 +343,13 @@ class CheckpointService:
         k: int,
         builder: Optional[CoverBuilder] = None,
         contract: Optional[CoverContract] = None,
+        workers: Optional[int] = None,
     ):
         self.metric = metric
         self.k = k
         self.builder = builder
         self.contract = contract
+        self.workers = workers
         self._path: Optional[str] = None
         self._navigator: Optional[MetricNavigator] = None
         self._pending: List[int] = []
@@ -408,8 +432,12 @@ class CheckpointService:
         self._pending = pending
         if not pending:
             cover = TreeCover(self.metric, list(salvaged), home=self._home)
-            audit_cover(cover, contract=self.contract, pairs=pairs)
-            self._navigator = MetricNavigator(self.metric, cover, self.k)
+            audit_cover(
+                cover, contract=self.contract, pairs=pairs, workers=self.workers
+            )
+            self._navigator = MetricNavigator(
+                self.metric, cover, self.k, workers=self.workers
+            )
             self.report = RecoveryReport(
                 "clean", cover,
                 repairs=[TreeRepair(i, "kept") for i in range(num_trees)],
@@ -420,7 +448,9 @@ class CheckpointService:
                 # Partial cover: home table suspended (it indexes the
                 # full tree list), stretch contract not promised.
                 partial = TreeCover(self.metric, survivors, home=None)
-                self._navigator = MetricNavigator(self.metric, partial, self.k)
+                self._navigator = MetricNavigator(
+                    self.metric, partial, self.k, workers=self.workers
+                )
             else:
                 self._navigator = None
         return self
@@ -476,8 +506,11 @@ class CheckpointService:
             builder=self.builder,
             contract=self.contract,
             resave=resave,
+            workers=self.workers,
         )
-        self._navigator = MetricNavigator(self.metric, report.cover, self.k)
+        self._navigator = MetricNavigator(
+            self.metric, report.cover, self.k, workers=self.workers
+        )
         self._pending = []
         self.report = report
         return report

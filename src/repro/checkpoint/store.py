@@ -350,21 +350,24 @@ def audit_checkpoint(
     path: str,
     metric: Metric,
     contract: Optional[CoverContract] = None,
+    workers: Optional[int] = None,
 ) -> AuditReport:
     """Verify + audit whatever artifact the file holds; returns the report.
 
     Dispatches on the envelope's ``kind`` (legacy v1 files audit as
     covers).  Raises the same typed errors as the ``load_*`` functions.
+    ``workers`` fans the per-tree audit work out across processes.
     """
     data = read_checkpoint_file(path)
     v1 = load_v1_cover(data, metric)
     if v1 is not None:
-        return audit_cover(v1, contract=contract)
+        return audit_cover(v1, contract=contract, workers=workers)
     kind, meta, _ = open_envelope(data)
     if kind == "cover":
         return audit_cover(
             load_cover_checkpoint(path, metric, contract=contract, audit=False),
             contract=_contract_from_meta(meta, contract),
+            workers=workers,
         )
     if kind == "navigator":
         navigator = load_navigator_checkpoint(
@@ -375,16 +378,19 @@ def audit_checkpoint(
             navigator,
             contract=_contract_from_meta(meta, contract),
             fingerprint=bodies.get("aux"),
+            workers=workers,
         )
     if kind == "ft_spanner":
         spanner = load_ft_checkpoint(path, metric, contract=contract, audit=False)
         return audit_ft_spanner(
-            spanner, contract=_contract_from_meta(meta, contract)
+            spanner, contract=_contract_from_meta(meta, contract), workers=workers
         )
     cover, tables = load_labels_checkpoint(
         path, metric, contract=contract, audit=False
     )
-    report = audit_cover(cover, contract=_contract_from_meta(meta, contract))
+    report = audit_cover(
+        cover, contract=_contract_from_meta(meta, contract), workers=workers
+    )
     labels_report = audit_labels(cover, tables)
     report.kind = "routing_labels"
     report.checks.extend(labels_report.checks)

@@ -44,12 +44,21 @@ def _make_metric(family: str, n: int, seed: int) -> Metric:
     raise ValueError(f"unknown metric family {family!r}")
 
 
-def _make_cover(family: str, metric: Metric, eps: float, ell: int, seed: int):
+def _make_cover(family: str, metric: Metric, eps: float, ell: int, seed: int,
+                workers: int = None):
     if family == "euclidean":
-        return robust_tree_cover(metric, eps=eps)
+        return robust_tree_cover(metric, eps=eps, workers=workers)
     if family == "general":
-        return ramsey_tree_cover(metric, ell=ell, seed=seed)
+        return ramsey_tree_cover(metric, ell=ell, seed=seed, workers=workers)
     return planar_tree_cover(metric)
+
+
+def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for per-tree fan-out (default: the "
+             "REPRO_WORKERS env var, else serial; 0/1 serial, -1 per-CPU)",
+    )
 
 
 def cmd_tree(args: argparse.Namespace) -> int:
@@ -113,8 +122,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     metric = _make_metric(args.family, args.n, args.seed)
     start = time.perf_counter()
-    cover = robust_tree_cover(metric, eps=args.eps)
-    spanner = FaultTolerantSpanner(metric, f=args.f, k=args.k, cover=cover)
+    cover = robust_tree_cover(metric, eps=args.eps, workers=args.workers)
+    spanner = FaultTolerantSpanner(
+        metric, f=args.f, k=args.k, cover=cover, workers=args.workers
+    )
     router = None
     if not args.no_routing:
         router = FaultTolerantRoutingScheme(
@@ -245,7 +256,8 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
     metric = _make_metric(args.family, args.n, args.seed)
     start = time.perf_counter()
-    cover = _make_cover(args.family, metric, args.eps, args.ell, args.seed)
+    cover = _make_cover(args.family, metric, args.eps, args.ell, args.seed,
+                        workers=args.workers)
     contract = _declared_contract(args, cover)
     builder = _builder_spec(args)
     if args.what == "cover":
@@ -253,13 +265,13 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
             cover, args.out, contract=contract, builder=builder
         )
     elif args.what == "navigator":
-        navigator = Navigator(metric, cover, args.k)
+        navigator = Navigator(metric, cover, args.k, workers=args.workers)
         envelope = save_navigator_checkpoint(
             navigator, args.out, contract=contract, builder=builder
         )
     elif args.what == "ft":
         spanner = FaultTolerantSpanner(
-            metric, f=args.f, k=args.k, cover=cover
+            metric, f=args.f, k=args.k, cover=cover, workers=args.workers
         )
         envelope = save_ft_checkpoint(
             spanner, args.out, contract=contract, builder=builder
@@ -283,7 +295,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
     metric = _make_metric(args.family, args.n, args.seed)
     try:
-        report = audit_checkpoint(args.checkpoint, metric)
+        report = audit_checkpoint(args.checkpoint, metric, workers=args.workers)
     except (CheckpointCorruption, InvariantViolation) as exc:
         print(f"AUDIT FAILED [{type(exc).__name__}]: {exc}")
         if not args.recover:
@@ -292,9 +304,11 @@ def cmd_audit(args: argparse.Namespace) -> int:
             args.checkpoint,
             metric,
             builder=lambda m: _make_cover(
-                args.family, m, args.eps, args.ell, args.seed
+                args.family, m, args.eps, args.ell, args.seed,
+                workers=args.workers,
             ),
             resave=args.resave,
+            workers=args.workers,
         )
         print(report.format_summary())
         if args.resave:
@@ -323,6 +337,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         robust_repeats=robust_repeats,
         include_baseline=not args.no_baseline,
+        workers=args.workers,
     )
     for entry in tree_payload["results"]:
         speed = (
@@ -332,7 +347,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({speed})")
     print(f"navigation benchmarks (n={nav_n}) ...")
-    nav_payload = bench_navigation(n=nav_n, seed=args.seed)
+    nav_payload = bench_navigation(
+        n=nav_n, seed=args.seed, workers=args.workers,
+        include_baseline=not args.no_baseline,
+    )
     for entry in nav_payload["results"]:
         detail = entry["detail"]
         extra = ", ".join(
@@ -405,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the FT routing survival curve")
     chaos.add_argument("--no-checkpoint", action="store_true",
                        help="skip the save/reload/audit checkpoint round-trip")
+    _add_workers_flag(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     ckpt = sub.add_parser(
@@ -427,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="cover")
     ckpt.add_argument("--out", type=str, required=True,
                       help="checkpoint file to write (atomically)")
+    _add_workers_flag(ckpt)
     ckpt.set_defaults(func=cmd_checkpoint)
 
     audit = sub.add_parser(
@@ -444,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on failure, run per-tree repair / full rebuild")
     audit.add_argument("--resave", action="store_true",
                        help="with --recover: write the repaired cover back")
+    _add_workers_flag(audit)
     audit.set_defaults(func=cmd_audit)
 
     bench = sub.add_parser(
@@ -465,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the frozen seed-implementation baselines")
     bench.add_argument("--out-dir", type=str, default=".",
                        help="directory for BENCH_*.json (default: cwd)")
+    _add_workers_flag(bench)
     bench.set_defaults(func=cmd_bench)
 
     info = sub.add_parser("info", help="version and subsystem inventory")

@@ -20,7 +20,9 @@ translation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import InvariantViolation
 
 __all__ = [
     "WorkTree",
@@ -28,6 +30,10 @@ __all__ = [
     "decompose",
     "decompose_centroid",
     "split_components",
+    "PackedTree",
+    "prune_packed",
+    "decompose_packed",
+    "split_packed",
 ]
 
 
@@ -38,15 +44,27 @@ class WorkTree:
     traversals are deterministic.
     """
 
-    __slots__ = ("parent", "children", "root")
+    __slots__ = ("parent", "children", "root", "_order")
 
-    def __init__(self, parent: Dict[int, int], root: int):
+    def __init__(
+        self,
+        parent: Dict[int, int],
+        root: int,
+        children: Optional[Dict[int, List[int]]] = None,
+    ):
         self.parent = parent
         self.root = root
-        self.children: Dict[int, List[int]] = {v: [] for v in parent}
-        for v, p in parent.items():
-            if p != -1:
-                self.children[p].append(v)
+        if children is None:
+            children = {v: [] for v in parent}
+            for v, p in parent.items():
+                if p != -1:
+                    children[p].append(v)
+        # Callers constructing both maps in one traversal (prune,
+        # split_components) pass children directly; the recursion builds
+        # hundreds of thousands of small WorkTrees, so skipping the
+        # re-derivation pass is measurable.
+        self.children = children
+        self._order: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self.parent)
@@ -55,13 +73,19 @@ class WorkTree:
         return self.parent.keys()
 
     def preorder(self) -> List[int]:
-        order: List[int] = []
-        stack = [self.root]
-        while stack:
-            v = stack.pop()
-            order.append(v)
-            stack.extend(reversed(self.children[v]))
-        return order
+        # Memoized: a WorkTree is never mutated after construction, and
+        # each recursion node walks the same pruned tree three times
+        # (decompose, split_components, the contracted tree).  Callers
+        # must not mutate the returned list.
+        if self._order is None:
+            order: List[int] = []
+            stack = [self.root]
+            while stack:
+                v = stack.pop()
+                order.append(v)
+                stack.extend(reversed(self.children[v]))
+            self._order = order
+        return self._order
 
     def postorder(self) -> List[int]:
         return list(reversed(self.preorder()))
@@ -85,44 +109,50 @@ def prune(wt: WorkTree, required: Set[int]) -> WorkTree:
     """
     if not required:
         raise ValueError("prune needs at least one required vertex")
-    # has_req[v]: does the subtree of v contain a required vertex?
-    has_req: Dict[int, bool] = {}
-    for v in wt.postorder():
-        flag = v in required
-        for c in wt.children[v]:
-            flag = flag or has_req[c]
-        has_req[v] = flag
-
-    keep: Set[int] = set()
-    for v in wt.vertices():
-        if v in required:
-            keep.add(v)
-            continue
-        busy_children = sum(1 for c in wt.children[v] if has_req[c])
-        if busy_children >= 2:
-            keep.add(v)
+    order = wt.preorder()
+    parent_of = wt.parent
+    # busy[v]: number of children subtrees of v containing a required
+    # vertex.  Kept vertices are the required ones plus every v with
+    # busy[v] >= 2 (the branching vertices of the Steiner closure).
+    busy: Dict[int, int] = {}
+    busy_get = busy.get
+    for v in reversed(order):
+        if v in required or busy_get(v, 0) > 0:
+            p = parent_of[v]
+            if p != -1:
+                busy[p] = busy_get(p, 0) + 1
 
     # Preorder pass threading the nearest kept ancestor downward.
     new_parent: Dict[int, int] = {}
+    new_children: Dict[int, List[int]] = {}
     nearest_kept: Dict[int, int] = {}
+    new_order: List[int] = []
     new_root = -1
-    for v in wt.preorder():
-        p = wt.parent[v]
-        anc = nearest_kept.get(p, -1) if p != -1 else -1
-        if v in keep:
+    root_count = 0
+    for v in order:
+        p = parent_of[v]
+        anc = nearest_kept[p] if p != -1 else -1
+        if v in required or busy_get(v, 0) >= 2:
             new_parent[v] = anc
+            new_children[v] = []
+            new_order.append(v)
             if anc == -1:
                 new_root = v
+                root_count += 1
+            else:
+                new_children[anc].append(v)
             nearest_kept[v] = v
         else:
             nearest_kept[v] = anc
     # Exactly one kept vertex has no kept ancestor: the closure root.
-    roots = [v for v, p in new_parent.items() if p == -1]
-    if len(roots) != 1:
-        from ..errors import InvariantViolation
-
-        raise InvariantViolation(f"prune produced {len(roots)} roots")
-    return WorkTree(new_parent, new_root)
+    if root_count != 1:
+        raise InvariantViolation(f"prune produced {root_count} roots")
+    result = WorkTree(new_parent, new_root, new_children)
+    # The kept vertices in input preorder ARE the pruned tree's preorder
+    # (subtrees stay contiguous and children attach in discovery order),
+    # so the traversal the consumers would redo is seeded here.
+    result._order = new_order
+    return result
 
 
 def decompose(wt: WorkTree, required: Set[int], ell: int) -> List[int]:
@@ -136,9 +166,10 @@ def decompose(wt: WorkTree, required: Set[int], ell: int) -> List[int]:
         raise ValueError("ell must be at least 1")
     cuts: List[int] = []
     pending: Dict[int, int] = {}
-    for v in wt.postorder():
+    children = wt.children
+    for v in reversed(wt.preorder()):
         count = 1 if v in required else 0
-        for c in wt.children[v]:
+        for c in children[v]:
             count += pending[c]
         if count > ell:
             cuts.append(v)
@@ -187,6 +218,7 @@ def split_components(
     comp_of: Dict[int, int] = {}
     components: List[WorkTree] = []
     borders: List[Set[int]] = []
+    wt_children = wt.children
     for v in wt.preorder():
         if v in cut_set:
             continue
@@ -195,17 +227,26 @@ def split_components(
             # v starts a new component; collect its subtree, stopping at cuts.
             index = len(components)
             parent: Dict[int, int] = {v: -1}
+            children: Dict[int, List[int]] = {}
             comp_of[v] = index
             stack = [v]
+            order: List[int] = []
+            # Pushing children reversed makes the pop sequence the
+            # component's preorder, which seeds the WorkTree's memoized
+            # traversal for free (the recursion re-walks each component
+            # immediately in prune/decompose).
             while stack:
                 u = stack.pop()
-                for c in wt.children[u]:
-                    if c in cut_set:
-                        continue
+                order.append(u)
+                kept = [c for c in wt_children[u] if c not in cut_set]
+                children[u] = kept
+                for c in kept:
                     parent[c] = u
                     comp_of[c] = index
-                    stack.append(c)
-            components.append(WorkTree(parent, v))
+                stack.extend(reversed(kept))
+            component = WorkTree(parent, v, children)
+            component._order = order
+            components.append(component)
             borders.append(set())
 
     for c in cut_set:
@@ -216,3 +257,174 @@ def split_components(
             if child not in cut_set:
                 borders[comp_of[child]].add(c)
     return components, borders, comp_of
+
+
+# ----------------------------------------------------------------------
+# Packed fast path.
+#
+# Every tree Algorithm 1's recursion manipulates is derived from the
+# input tree by operations that preserve ancestor order and the relative
+# order of siblings; consequently the vertices of each derived tree,
+# listed in the *original* preorder, are exactly that tree's own
+# preorder.  PackedTree exploits this: a tree is two parallel arrays
+# indexed by preorder position, and prune / decompose / split /
+# contraction all become single array passes with no per-vertex dict
+# hashing and no explicit stack traversals.  The WorkTree API above is
+# the reference implementation — kept for external callers, the tests
+# that pin its semantics, and the centroid-cut ablation — while the
+# navigator's hot path (TreeNavigator._preprocess) runs on PackedTree.
+# The two implementations are equivalent by the invariants noted at each
+# function below (and the navigation test suites compare the resulting
+# spanners path-for-path against the frozen seed implementation).
+
+
+class PackedTree:
+    """A rooted tree stored as preorder-position arrays.
+
+    ``ids[j]`` is the original vertex id at preorder position ``j``;
+    ``parent[j]`` is the preorder *position* of its parent, ``-1`` for
+    the root.  The root always sits at position 0, and positions are in
+    preorder by construction, so a plain ``range(len(ids))`` loop visits
+    parents before children and ``range(len(ids) - 1, -1, -1)`` visits
+    children before parents.
+    """
+
+    __slots__ = ("ids", "parent")
+
+    def __init__(self, ids: List[int], parent: List[int]):
+        self.ids = ids
+        self.parent = parent
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_tree(cls, tree) -> "PackedTree":
+        """Pack a :class:`repro.graphs.tree.Tree`."""
+        order = tree.preorder()
+        pos = [0] * tree.n
+        for j, v in enumerate(order):
+            pos[v] = j
+        parents = tree.parents
+        parent = [-1 if parents[v] == -1 else pos[parents[v]] for v in order]
+        return cls(order, parent)
+
+
+def prune_packed(pt: PackedTree, required: Set[int]) -> PackedTree:
+    """:func:`prune` on a :class:`PackedTree` (same semantics).
+
+    The kept vertices in the input's preorder are the pruned tree's
+    preorder (subtrees stay contiguous, children attach in discovery
+    order), so one reverse pass computes the busy counts and one forward
+    pass emits the result.
+    """
+    if not required:
+        raise ValueError("prune needs at least one required vertex")
+    ids = pt.ids
+    parent = pt.parent
+    m = len(ids)
+    req_flag = [v in required for v in ids]
+    # busy[j]: number of children subtrees holding a required vertex.
+    busy = [0] * m
+    for j in range(m - 1, 0, -1):
+        if req_flag[j] or busy[j]:
+            busy[parent[j]] += 1
+    new_ids: List[int] = []
+    new_parent: List[int] = []
+    # nearest[j]: position *in the output* of the nearest kept ancestor
+    # of j (inclusive), threaded downward in preorder.
+    nearest = [-1] * m
+    root_count = 0
+    for j in range(m):
+        p = parent[j]
+        anc = nearest[p] if p != -1 else -1
+        if req_flag[j] or busy[j] >= 2:
+            if anc == -1:
+                root_count += 1
+            nearest[j] = len(new_ids)
+            new_parent.append(anc)
+            new_ids.append(ids[j])
+        else:
+            nearest[j] = anc
+    if root_count != 1:
+        raise InvariantViolation(f"prune produced {root_count} roots")
+    return PackedTree(new_ids, new_parent)
+
+
+def decompose_packed(pt: PackedTree, required: Set[int], ell: int) -> List[int]:
+    """:func:`decompose` on a :class:`PackedTree`.
+
+    Returns cut *positions* (into ``pt``), in the same reverse-preorder
+    order the reference implementation reports cut vertices.
+    """
+    if ell < 1:
+        raise ValueError("ell must be at least 1")
+    ids = pt.ids
+    parent = pt.parent
+    m = len(ids)
+    pending = [0] * m
+    cuts: List[int] = []
+    for j in range(m - 1, -1, -1):
+        count = pending[j] + (1 if ids[j] in required else 0)
+        if count > ell:
+            cuts.append(j)
+        elif j:
+            # A cut contributes 0 upward; others pass their count on.
+            pending[parent[j]] += count
+    return cuts
+
+
+def split_packed(
+    pt: PackedTree, cut_positions: Sequence[int]
+) -> Tuple[List[List[int]], List[List[int]], List[Set[int]], List[int]]:
+    """:func:`split_components` on a :class:`PackedTree`.
+
+    Returns ``(comps_ids, comps_parent, borders, comp_of)``: the raw
+    ``ids``/``parent`` arrays of each component (zip a pair into a
+    :class:`PackedTree` only if the component actually recurses — most
+    are base cases that never look at their tree again), the border cut
+    vertices per component as original ids, and ``comp_of`` indexed by
+    *position* in ``pt`` (``-1`` for cut vertices).  Global preorder
+    restricted to one component is that component's preorder, so a
+    single forward pass assembles every component simultaneously: a
+    non-cut vertex whose parent is absent (root) or cut starts a new
+    component — matching the reference implementation's discovery order
+    — and every other vertex appends itself to its parent's component.
+    """
+    ids = pt.ids
+    parent = pt.parent
+    m = len(ids)
+    cut_flag = bytearray(m)
+    for j in cut_positions:
+        cut_flag[j] = 1
+    comp_of = [-1] * m
+    # local[j]: position of j within its component's arrays.
+    local = [0] * m
+    comps_ids: List[List[int]] = []
+    comps_parent: List[List[int]] = []
+    borders: List[Set[int]] = []
+    for j in range(m):
+        if cut_flag[j]:
+            continue
+        p = parent[j]
+        if p == -1 or cut_flag[p]:
+            index = len(comps_ids)
+            comp_of[j] = index
+            comps_ids.append([ids[j]])
+            comps_parent.append([-1])
+            borders.append({ids[p]} if p != -1 else set())
+        else:
+            index = comp_of[p]
+            comp_of[j] = index
+            comp = comps_ids[index]
+            local[j] = len(comp)
+            comp.append(ids[j])
+            comps_parent[index].append(local[p])
+    # Cut vertices bordering a component from below (their parent is a
+    # component vertex); the from-above direction was collected when the
+    # component roots were created.
+    for j in cut_positions:
+        p = parent[j]
+        if p != -1 and not cut_flag[p]:
+            borders[comp_of[p]].add(ids[j])
+    return comps_ids, comps_parent, borders, comp_of

@@ -19,10 +19,29 @@ import numpy as np
 from ..errors import check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
+from ..parallel import map_per_tree
 from ..treecover.base import TreeCover
 from .navigation import TreeNavigator, dedup_path
 
 __all__ = ["MetricNavigator"]
+
+
+def _build_tree_navigator(ctx, index: int) -> TreeNavigator:
+    """Per-tree fan-out unit: build the 𝒟_T structure of one cover tree.
+
+    Module-level so it crosses the worker boundary by reference; the
+    cover trees and ``k`` ride the worker context.  Sharing the cover
+    tree's :class:`TreeMetric` means the LCA index built for the batch
+    edge-weight fill is the same one later distance queries reuse.
+    """
+    trees, k = ctx.payload
+    cover_tree = trees[index]
+    return TreeNavigator(
+        cover_tree.tree,
+        k,
+        required=list(cover_tree.vertex_of_point),
+        _metric=cover_tree.tree_metric,
+    )
 
 
 class MetricNavigator:
@@ -38,18 +57,28 @@ class MetricNavigator:
     k:
         Hop-diameter parameter (>= 2) passed to every per-tree
         navigator.
+    workers:
+        Worker processes for the per-tree 𝒟_T builds (the trees of a
+        cover are independent).  ``None`` defers to ``REPRO_WORKERS``,
+        0/1 builds serially; results are identical either way.
     """
 
-    def __init__(self, metric: Metric, cover: TreeCover, k: int):
+    def __init__(
+        self,
+        metric: Metric,
+        cover: TreeCover,
+        k: int,
+        workers: Optional[int] = None,
+    ):
         self.metric = metric
         self.cover = cover
         self.k = k
-        self.navigators: List[TreeNavigator] = []
-        for cover_tree in cover.trees:
-            required = list(cover_tree.vertex_of_point)
-            self.navigators.append(
-                TreeNavigator(cover_tree.tree, k, required=required)
-            )
+        self.navigators: List[TreeNavigator] = map_per_tree(
+            _build_tree_navigator,
+            range(len(cover.trees)),
+            workers=workers,
+            payload=(cover.trees, k),
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -46,7 +46,12 @@ from ..graphs.index import TreeIndex
 from ..graphs.tree import Tree
 from ..metrics.tree_metric import TreeMetric
 from .ackermann import alpha_k_prime
-from .decompose import WorkTree, decompose, prune, split_components
+from .decompose import (
+    PackedTree,
+    decompose_packed,
+    prune_packed,
+    split_packed,
+)
 
 __all__ = ["TreeNavigator", "dedup_path"]
 
@@ -83,7 +88,8 @@ class _PhiNode:
         # Inner vertices: the cut vertices CV (internal node) or the
         # required vertices of the base case (leaf).
         self.cut_vertices: List[int] = []
-        # Leaf only: adjacency of the base-case subgraph of G_T.
+        # Leaf only: adjacency of the base-case subgraph of G_T; None
+        # means the implicit clique on ``cut_vertices``.
         self.base_adjacency: Optional[Dict[int, List[int]]] = None
         # Internal, k >= 3 only: the contracted tree 𝒯_β.
         self.contracted: Optional[_ContractedTree] = None
@@ -103,36 +109,78 @@ class _ContractedTree:
     𝒯_β connected (hence a tree) when ``Decompose`` cuts neighbours.
     """
 
-    __slots__ = ("index", "node_of_comp", "node_of_cut", "cut_of_node", "depth")
+    __slots__ = (
+        "index",
+        "depth",
+        "cuts",
+        "p",
+        "_node_of_cut",
+        "_cut_of_node",
+        "_node_of_comp",
+    )
 
-    def __init__(self, wt: WorkTree, cuts: Sequence[int], comp_of: Dict[int, int], p: int):
-        cut_set = set(cuts)
-        self.node_of_comp: List[int] = list(range(p))
-        self.node_of_cut: Dict[int, int] = {
-            c: p + j for j, c in enumerate(cuts)
-        }
-        self.cut_of_node: Dict[int, int] = {n: c for c, n in self.node_of_cut.items()}
+    def __init__(
+        self,
+        pt: PackedTree,
+        cut_positions: Sequence[int],
+        comp_of: Sequence[int],
+        p: int,
+    ):
+        ids = pt.ids
+        tree_parent = pt.parent
+        # The query-side lookup dicts (node_of_cut and friends) are
+        # derived lazily from these two fields: one contracted tree
+        # exists per internal recursion node but only the handful a path
+        # lookup routes through ever get queried.
+        self.cuts: List[int] = [ids[j] for j in cut_positions]
+        self.p = p
+        self._node_of_cut: Optional[Dict[int, int]] = None
+        self._cut_of_node: Optional[Dict[int, int]] = None
+        self._node_of_comp: Optional[List[int]] = None
 
-        def contracted_id(v: int) -> int:
-            if v in cut_set:
-                return self.node_of_cut[v]
-            return comp_of[v]
+        # Contracted id per position: component index for component
+        # vertices, p + rank for cut vertices.
+        cid = list(comp_of)
+        for t, j in enumerate(cut_positions):
+            cid[j] = p + t
 
-        m = p + len(cuts)
+        m = p + len(cut_positions)
         parent = [-1] * m
+        depth = [0] * m
         seen = [False] * m
-        root_node = contracted_id(wt.root)
-        seen[root_node] = True
-        for v in wt.preorder():
-            pv = wt.parent[v]
-            if pv == -1:
-                continue
-            a, b = contracted_id(pv), contracted_id(v)
+        seen[cid[0]] = True
+        # Preorder visits a contracted node's first vertex after its
+        # contracted parent's first vertex, so depth[a] is final by the
+        # time b hangs below it — one pass yields parents and depths.
+        for j in range(1, len(ids)):
+            a = cid[tree_parent[j]]
+            b = cid[j]
             if a != b and not seen[b]:
                 parent[b] = a
+                depth[b] = depth[a] + 1
                 seen[b] = True
-        self.index = TreeIndex(Tree(parent))
+        # Built from a traversal of wt, a tree by construction — skip
+        # the O(m) connectivity validation (one 𝒯_β per recursion node).
+        self.index = TreeIndex(Tree(parent, validate=False), depth=depth)
         self.depth = self.index.depth
+
+    @property
+    def node_of_cut(self) -> Dict[int, int]:
+        if self._node_of_cut is None:
+            self._node_of_cut = {c: self.p + t for t, c in enumerate(self.cuts)}
+        return self._node_of_cut
+
+    @property
+    def cut_of_node(self) -> Dict[int, int]:
+        if self._cut_of_node is None:
+            self._cut_of_node = {self.p + t: c for t, c in enumerate(self.cuts)}
+        return self._cut_of_node
+
+    @property
+    def node_of_comp(self) -> List[int]:
+        if self._node_of_comp is None:
+            self._node_of_comp = list(range(self.p))
+        return self._node_of_comp
 
     def is_cut_node(self, node: int) -> bool:
         return node in self.cut_of_node
@@ -163,7 +211,7 @@ class TreeNavigator:
         k: int,
         required: Optional[Sequence[int]] = None,
         decrement: int = 2,
-        _worktree: Optional[WorkTree] = None,
+        _worktree: Optional[PackedTree] = None,
         _metric: Optional[TreeMetric] = None,
         _edges: Optional[Dict[Tuple[int, int], float]] = None,
     ):
@@ -194,9 +242,11 @@ class TreeNavigator:
         self._phi_nodes: List[_PhiNode] = []
         self.home: Dict[int, int] = {}
 
-        worktree = _worktree if _worktree is not None else WorkTree.from_tree(tree)
+        worktree = _worktree if _worktree is not None else PackedTree.from_tree(tree)
         self._preprocess(worktree, set(self.required))
         self._build_phi_index()
+        if self._is_root_navigator:
+            self._fill_edge_weights()
 
     # ------------------------------------------------------------------
     # Preprocessing (Algorithm 1)
@@ -207,26 +257,51 @@ class TreeNavigator:
         return node
 
     def _add_edge(self, u: int, v: int) -> None:
+        # Weights are left as placeholders during the recursion — nothing
+        # reads them until construction finishes — and are filled by one
+        # vectorized LCA batch in _fill_edge_weights.  Scalar per-edge
+        # distance calls used to dominate the build.
         if u == v:
             return
         key = (u, v) if u < v else (v, u)
         if key not in self.edges:
-            self.edges[key] = self.metric.distance(u, v)
+            self.edges[key] = -1.0
 
-    def _preprocess(self, wt: WorkTree, req: Set[int]) -> int:
+    def _fill_edge_weights(self) -> None:
+        """Resolve every placeholder edge weight in one batch query.
+
+        Sub-navigators (E' interconnections) share the root's edge dict,
+        so a single pass over ``self.edges`` at the root covers the whole
+        recursion.
+        """
+        if not self.edges:
+            return
+        keys = list(self.edges.keys())
+        weights = self.metric.pair_distances(
+            [key[0] for key in keys], [key[1] for key in keys]
+        )
+        self.edges.update(zip(keys, weights.tolist()))
+
+    def _preprocess(self, wt: PackedTree, req: Set[int]) -> int:
         """Recursive construction; returns the id of this call's Φ node."""
-        wt = prune(wt, req)
         n = len(req)
         if n <= self.k + 1:
+            # The base case connects the required vertices directly and
+            # never looks at the tree, so the Steiner pruning would be
+            # pure waste here — and the vast majority of recursion calls
+            # land in this branch.
             return self._handle_base_case(req)
+        wt = prune_packed(wt, req)
+        ids = wt.ids
 
         # k = 2 always needs a single (centroid) cut; deeper budgets size
         # their components by the interconnection recursion's parameter.
         ell_index = 0 if self.k == 2 else self.k - self.decrement
         ell = alpha_k_prime(ell_index, n)
-        cuts = decompose(wt, req, ell)
+        cut_positions = decompose_packed(wt, req, ell)
+        cuts = [ids[j] for j in cut_positions]
         beta = self._new_phi_node()
-        beta.cut_vertices = list(cuts)
+        beta.cut_vertices = cuts
         for c in cuts:
             self.home[c] = beta.id
 
@@ -247,42 +322,74 @@ class TreeNavigator:
             )
 
         # E'': each cut vertex to the required vertices it borders.
-        components, borders, comp_of = split_components(wt, cuts)
-        comp_required: List[List[int]] = [[] for _ in components]
+        comps_ids, comps_parent, borders, comp_of = split_packed(wt, cut_positions)
+        pos_of = {v: j for j, v in enumerate(ids)}
+        comp_required: List[List[int]] = [[] for _ in comps_ids]
         for v in req:
-            if v in comp_of:
-                comp_required[comp_of[v]].append(v)
+            index = comp_of[pos_of[v]]
+            if index >= 0:
+                comp_required[index].append(v)
+        edges = self.edges
         for i, border in enumerate(borders):
+            required_here = comp_required[i]
             for c in border:
-                for u in comp_required[i]:
-                    self._add_edge(c, u)
+                # c is a cut vertex and u a non-cut component vertex, so
+                # the u == c guard of _add_edge is unnecessary (inlined:
+                # this loop inserts the bulk of the spanner edges).
+                for u in required_here:
+                    key = (c, u) if c < u else (u, c)
+                    if key not in edges:
+                        edges[key] = -1.0
 
         # Recurse on components that still carry required vertices.
-        for i, comp in enumerate(components):
-            if not comp_required[i]:
+        # Base cases are dispatched directly: they never look at the
+        # component's tree, so its PackedTree is only materialized for
+        # components large enough to recurse (a small minority).
+        base_bound = self.k + 1
+        phi_nodes = self._phi_nodes
+        for i, creq in enumerate(comp_required):
+            if not creq:
                 continue
-            child_id = self._preprocess(comp, set(comp_required[i]))
-            self._phi_nodes[child_id].parent = beta.id
+            if len(creq) <= base_bound:
+                child_id = self._handle_base_case(creq)
+            else:
+                child_id = self._preprocess(
+                    PackedTree(comps_ids[i], comps_parent[i]), set(creq)
+                )
+            phi_nodes[child_id].parent = beta.id
             beta.child_component[child_id] = i
 
         if self.k >= 3:
-            beta.contracted = _ContractedTree(wt, cuts, comp_of, len(components))
+            beta.contracted = _ContractedTree(
+                wt, cut_positions, comp_of, len(comps_ids)
+            )
         return beta.id
 
-    def _handle_base_case(self, req: Set[int]) -> int:
+    def _handle_base_case(self, req: Sequence[int]) -> int:
         leaf = self._new_phi_node()
         leaf.is_leaf = True
+        if len(req) == 1:
+            # Singleton components are common and need neither edges nor
+            # the sort below.
+            (u,) = req
+            leaf.cut_vertices = [u]
+            self.home[u] = leaf.id
+            return leaf.id
         ordered = sorted(req)
         leaf.cut_vertices = ordered
-        adjacency: Dict[int, List[int]] = {u: [] for u in ordered}
+        edges = self.edges
         for i, a in enumerate(ordered):
+            # ordered is sorted, so a < b and the key needs no swap
+            # (_add_edge inlined — the recursion bottoms out here
+            # hundreds of thousands of times per cover).
             for b in ordered[i + 1 :]:
-                self._add_edge(a, b)
-                adjacency[a].append(b)
-                adjacency[b].append(a)
-        leaf.base_adjacency = adjacency
+                if (a, b) not in edges:
+                    edges[(a, b)] = -1.0
+        # base_adjacency stays None: the subgraph is the clique on
+        # ``ordered``, so adjacency is implicit (see _base_case_bfs).
+        home = self.home
         for u in ordered:
-            self.home[u] = leaf.id
+            home[u] = leaf.id
         return leaf.id
 
     def _build_phi_index(self) -> None:
@@ -290,7 +397,7 @@ class TreeNavigator:
         # The recursion may create several parentless nodes only when the
         # whole call was a single base case; Φ always has one root here
         # because _preprocess links every child it spawns.
-        self._phi = TreeIndex(Tree(parents))
+        self._phi = TreeIndex(Tree(parents, validate=False))
         for node, depth in zip(self._phi_nodes, self._phi.depth):
             node.level = depth
 
@@ -368,6 +475,11 @@ class TreeNavigator:
     def _base_case_bfs(self, leaf: _PhiNode, u: int, v: int) -> List[int]:
         """BFS restricted to the base-case subgraph (line 3 of Algorithm 2)."""
         adjacency = leaf.base_adjacency
+        if adjacency is None:
+            # _handle_base_case connects the leaf's required vertices as
+            # a clique without materializing the adjacency, so the BFS
+            # always terminates at the direct edge.
+            return [u, v]
         parent: Dict[int, int] = {u: u}
         queue = deque([u])
         while queue:

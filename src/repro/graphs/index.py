@@ -21,16 +21,30 @@ class TreeIndex:
 
     SMALL = 48
 
-    def __init__(self, tree: Tree):
+    def __init__(self, tree: Tree, depth: "list[int] | None" = None):
+        # Builders that already know the depths (e.g. the contracted
+        # trees, whose construction walks parents before children) pass
+        # them in and skip the traversal in tree.depths().
         self.tree = tree
-        self.depth = tree.depths()
+        self.depth = tree.depths() if depth is None else depth
         self._naive = tree.n <= self.SMALL
-        if not self._naive:
-            self._lca = LcaIndex(tree)
-            self._la = LadderLevelAncestor(tree)
+        # The sparse-table indexes are built lazily on the first query:
+        # navigator construction creates one TreeIndex per recursion
+        # node but only queries the ones a path lookup later routes
+        # through, so eager builds dominate build time for nothing.
+        self._lca: "LcaIndex | None" = None
+        self._la: "LadderLevelAncestor | None" = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_lca"] = None
+        state["_la"] = None
+        return state
 
     def lca(self, u: int, v: int) -> int:
         if not self._naive:
+            if self._lca is None:
+                self._lca = LcaIndex(self.tree)
             return self._lca.lca(u, v)
         parents, depth = self.tree.parents, self.depth
         while depth[u] > depth[v]:
@@ -44,6 +58,8 @@ class TreeIndex:
 
     def ancestor_at_depth(self, v: int, d: int) -> int:
         if not self._naive:
+            if self._la is None:
+                self._la = LadderLevelAncestor(self.tree)
             return self._la.ancestor_at_depth(v, d)
         parents, depth = self.tree.parents, self.depth
         if d > depth[v]:

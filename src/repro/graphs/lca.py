@@ -29,24 +29,39 @@ class LcaIndex:
     def __init__(self, tree: Tree):
         self.tree = tree
         n = tree.n
-        # Euler tour: sequence of vertices as a DFS enters/returns to them.
+        # Euler tour: sequence of vertices as a DFS enters/returns to them
+        # (standard tour of length 2n - 1).  The walk climbs parent
+        # pointers instead of keeping a (vertex, child) stack and tracks
+        # the depth inline, so no tuples are allocated and tree.depths()
+        # never runs — this constructor is called once per cover tree.
         tour: List[int] = []
+        tour_depth_list: List[int] = []
         first = [-1] * n
-        depth = tree.depths()
-        stack: List[tuple] = [(tree.root, 0)]
-        # Iterative DFS that appends the current vertex each time control
-        # returns to it (standard Euler tour of length 2n - 1).
-        while stack:
-            v, child_index = stack.pop()
+        next_child = [0] * n
+        children = tree.children
+        parents = tree.parents
+        root = tree.root
+        v = root
+        d = 0
+        while True:
             if first[v] == -1:
                 first[v] = len(tour)
             tour.append(v)
-            if child_index < len(tree.children[v]):
-                stack.append((v, child_index + 1))
-                stack.append((tree.children[v][child_index], 0))
+            tour_depth_list.append(d)
+            index = next_child[v]
+            ch = children[v]
+            if index < len(ch):
+                next_child[v] = index + 1
+                v = ch[index]
+                d += 1
+            else:
+                if v == root:
+                    break
+                v = parents[v]
+                d -= 1
         self._first = first
         self._tour = np.asarray(tour, dtype=np.int64)
-        tour_depth = np.asarray([depth[v] for v in tour], dtype=np.int64)
+        tour_depth = np.asarray(tour_depth_list, dtype=np.int64)
 
         m = len(tour)
         levels = max(1, m.bit_length())

@@ -72,6 +72,18 @@ class Tree:
     # ------------------------------------------------------------------
     # Basic properties
 
+    def __getstate__(self):
+        # Only the parent and weight arrays are authoritative; child
+        # lists, traversal orders and depth tables are derived caches
+        # that can quadruple the pickle (worker boundary, checkpoints).
+        # Drop them and let the receiving side rebuild lazily.
+        state = dict(self.__dict__)
+        state["_children"] = None
+        state["_order"] = None
+        state["_depth"] = None
+        state["_wdepth"] = None
+        return state
+
     def __len__(self) -> int:
         return len(self.parents)
 
@@ -106,7 +118,9 @@ class Tree:
     def preorder(self) -> List[int]:
         """Vertices in preorder (root first); cached."""
         if self._order is None:
+            children = self.children
             order: List[int] = []
+            append = order.append
             stack = [self.root]
             seen = [False] * self.n
             while stack:
@@ -114,8 +128,10 @@ class Tree:
                 if seen[v]:
                     raise ValueError("cycle detected in parent array")
                 seen[v] = True
-                order.append(v)
-                stack.extend(reversed(self.children[v]))
+                append(v)
+                cs = children[v]
+                if cs:
+                    stack.extend(reversed(cs))
             self._order = order
         return self._order
 

@@ -1,9 +1,13 @@
 """Tree metrics: the shortest-path metric of an edge-weighted tree.
 
 Tree metrics are the base case of the whole paper (Theorem 1.1).  The
-class precomputes an LCA index so distance queries cost O(1); the batch
+class carries an LCA index so distance queries cost O(1); the batch
 kernels ride on the vectorized sparse-table lookups of
-:meth:`~repro.graphs.lca.LcaIndex.distance_many`.
+:meth:`~repro.graphs.lca.LcaIndex.distance_many`.  The index is built
+lazily on the first query: cover builders create thousands of tree
+metrics whose distances are only ever taken in bulk later (or never),
+and the Euler-tour sparse table is the dominant cost of constructing
+one.
 """
 
 from __future__ import annotations
@@ -31,7 +35,21 @@ class TreeMetric(Metric):
     def __init__(self, tree: Tree):
         super().__init__(tree.n)
         self.tree = tree
-        self._lca = LcaIndex(tree)
+        self._lca_index: Optional[LcaIndex] = None
+
+    @property
+    def _lca(self) -> LcaIndex:
+        if self._lca_index is None:
+            self._lca_index = LcaIndex(self.tree)
+        return self._lca_index
+
+    def __getstate__(self):
+        # The sparse table is pure derived state and dwarfs the tree
+        # arrays; rebuild it lazily on the other side of the pickle
+        # (worker boundary, checkpoint) instead of shipping it.
+        state = dict(self.__dict__)
+        state["_lca_index"] = None
+        return state
 
     def distance(self, u: int, v: int) -> float:
         return self._lca.distance(u, v)

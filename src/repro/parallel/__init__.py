@@ -1,0 +1,37 @@
+"""Process-pool execution engine for per-tree fan-out.
+
+A tree cover is a bag of independent trees: Theorem 1.2 builds Solomon's
+1-spanner and the navigation structure 𝒟_T per tree, Theorem 4.1 builds
+each robust-cover tree from its own pairing, and Theorem 4.2 derives the
+replica pools R(v) per tree.  This package fans that per-tree work out
+across worker processes and merges the results deterministically (input
+order), shipping point coordinates and distance matrices through
+``multiprocessing.shared_memory`` instead of pickling the metric per
+task.
+
+Worker-count resolution (one knob everywhere):
+
+- ``workers=`` argument on the builder APIs wins,
+- then ``--workers`` on the CLI (which just forwards the argument),
+- then the ``REPRO_WORKERS`` environment variable,
+- default 0 — serial, no pool, no subprocess machinery at all.
+
+``workers=0`` and ``workers=1`` both mean serial; negative means "one
+per CPU".  Metrics that cannot be shipped to a subprocess fall back to a
+thread pool (same semantics, shared address space) and, if the pool
+machinery itself fails, to the serial path — results are identical in
+every mode.
+"""
+
+from .engine import ENV_WORKERS, derive_seed, map_per_tree, resolve_workers
+from .sharedmem import SharedArray, export_metric, import_metric
+
+__all__ = [
+    "ENV_WORKERS",
+    "SharedArray",
+    "derive_seed",
+    "export_metric",
+    "import_metric",
+    "map_per_tree",
+    "resolve_workers",
+]

@@ -1,0 +1,221 @@
+"""The process-pool fan-out engine.
+
+:func:`map_per_tree` is the single execution primitive every parallel
+build path goes through: run a top-level function ``fn(ctx, item)`` over
+a list of per-tree work items and return the results **in input order**
+(the deterministic merge — serial and parallel runs produce identical
+output by construction, because each item's result depends only on the
+item and the shared read-only context).
+
+Shipping strategy, in order of preference:
+
+1. **Process pool** — the metric goes through shared memory
+   (:mod:`.sharedmem`), the remaining context rides fork inheritance
+   when the platform forks (free, works for unpicklable objects) or the
+   pool initializer's pickled ``initargs`` under spawn.
+2. **Thread pool** — when the context or a work item cannot cross a
+   process boundary (unpicklable metric under spawn, closures, ...).
+   Same semantics, shared address space, GIL-bound.
+3. **Serial** — ``workers<=1``, a single work item, or any failure of
+   the pool machinery itself.  Exceptions raised by ``fn`` are *not*
+   machinery failures: they re-raise in the parent, first-item-first,
+   exactly like a serial loop.
+
+Worker processes refuse to open nested pools (``resolve_workers``
+returns 0 inside a worker), so a parallel cover build inside a parallel
+bench sweep degrades to serial instead of forking a process storm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, NamedTuple, Optional
+
+from .sharedmem import export_metric, import_metric
+
+__all__ = [
+    "ENV_WORKERS",
+    "WorkerContext",
+    "derive_seed",
+    "map_per_tree",
+    "resolve_workers",
+]
+
+
+def derive_seed(master: int, index: int) -> int:
+    """A per-task seed derived stably from a master seed.
+
+    Randomized constructions that fan per-tree draws out to workers
+    cannot share one RNG stream; deriving task ``index``'s seed through
+    a keyed hash keeps every draw independent of both the worker count
+    and the consumption order.  ``hashlib`` rather than ``hash()``:
+    string hashing is salted per process (PYTHONHASHSEED) and would
+    break cross-process determinism.
+    """
+    digest = hashlib.blake2b(
+        f"{master}:{index}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+#: Environment default for the worker count; the ``workers=`` argument
+#: (and the CLI ``--workers`` flag, which forwards it) takes precedence.
+ENV_WORKERS = "REPRO_WORKERS"
+
+# Set inside worker processes (env var so both fork and spawn children
+# see it) to forbid nested pools.
+_IN_WORKER_ENV = "_REPRO_IN_WORKER"
+
+
+class WorkerContext(NamedTuple):
+    """Read-only context shared by every task of one :func:`map_per_tree`."""
+
+    metric: Any  # a Metric, or None for metric-free work
+    payload: Any  # arbitrary extra state (trees, group tables, ...)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    ``workers`` wins when given; otherwise the ``REPRO_WORKERS``
+    environment variable; otherwise 0.  Values 0 and 1 mean serial,
+    negative means one worker per CPU.  Inside a worker process the
+    answer is always 0 (no nested pools).
+    """
+    if os.environ.get(_IN_WORKER_ENV) == "1":
+        return 0
+    if workers is None:
+        raw = os.environ.get(ENV_WORKERS, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            return 0
+    if workers < 0:
+        workers = os.cpu_count() or 1
+    return 0 if workers <= 1 else int(workers)
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing.  Context travels to workers one of two ways:
+#   fork  — the parent stores it in _FORK_SHIP right before creating the
+#           pool; forked children inherit the binding (no pickling).
+#   spawn — the initializer receives it pickled via initargs.
+# Either way the worker materializes it into _WORKER_CTX once and every
+# task reuses it; the metric spec is resolved through sharedmem, so the
+# big arrays are mapped, not copied.
+
+_FORK_SHIP: Any = None
+_WORKER_FN: Optional[Callable] = None
+_WORKER_CTX: Optional[WorkerContext] = None
+
+_FORK_TOKEN = "__fork_inherit__"
+
+
+def _init_worker(shipment: Any) -> None:
+    global _WORKER_CTX, _WORKER_FN
+    os.environ[_IN_WORKER_ENV] = "1"
+    if shipment == _FORK_TOKEN:
+        shipment = _FORK_SHIP
+    fn, metric_spec, payload = shipment
+    metric = import_metric(metric_spec) if metric_spec is not None else None
+    _WORKER_FN = fn
+    _WORKER_CTX = WorkerContext(metric, payload)
+
+
+def _run_task(item: Any):
+    # Wrap fn's own exceptions so the parent can tell "fn raised" (re-raise,
+    # like a serial loop) from "the pool machinery broke" (fall back).
+    try:
+        return ("ok", _WORKER_FN(_WORKER_CTX, item))
+    except Exception as exc:  # noqa: BLE001 — transported, re-raised in parent
+        return ("err", exc)
+
+
+def _picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:  # noqa: BLE001 — any pickling failure means "no"
+        return False
+
+
+def _serial_map(fn: Callable, ctx: WorkerContext, items: List[Any]) -> List[Any]:
+    return [fn(ctx, item) for item in items]
+
+
+def map_per_tree(
+    fn: Callable[[WorkerContext, Any], Any],
+    items: Iterable[Any],
+    *,
+    workers: Optional[int] = None,
+    metric: Any = None,
+    payload: Any = None,
+) -> List[Any]:
+    """Run ``fn(ctx, item)`` over ``items``, results in input order.
+
+    ``fn`` must be a module-level function (spawn pickles it by
+    reference) and must treat ``ctx`` as read-only: mutations happen in
+    a worker's copy and are silently lost, which would break the
+    serial/parallel equivalence this engine guarantees.
+    """
+    items = list(items)
+    ctx = WorkerContext(metric, payload)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return _serial_map(fn, ctx, items)
+    workers = min(workers, len(items))
+
+    use_fork = mp.get_start_method() == "fork"
+    # Items cross the process boundary always; fn and the context only
+    # need to pickle under spawn.  Checking the first item is enough in
+    # practice (homogeneous work lists) and keeps the precheck O(1).
+    if not _picklable(items[0]) or (
+        not use_fork and not (_picklable(fn) and _picklable(payload) and _picklable(metric))
+    ):
+        return _thread_map(fn, ctx, items, workers)
+
+    global _FORK_SHIP
+    spec, owners = (None, []) if metric is None else export_metric(metric)
+    shipment = (fn, spec, payload)
+    try:
+        if use_fork:
+            _FORK_SHIP = shipment
+            initargs = (_FORK_TOKEN,)
+        else:
+            initargs = (shipment,)
+        chunksize = max(1, len(items) // (4 * workers))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=initargs
+        ) as pool:
+            wrapped = list(pool.map(_run_task, items, chunksize=chunksize))
+    except Exception:  # noqa: BLE001 — pool machinery failure: run serial
+        return _serial_map(fn, ctx, items)
+    finally:
+        _FORK_SHIP = None
+        for owner in owners:
+            owner.close()
+    return _unwrap(wrapped)
+
+
+def _thread_map(
+    fn: Callable, ctx: WorkerContext, items: List[Any], workers: int
+) -> List[Any]:
+    try:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda item: fn(ctx, item), items))
+    except Exception:  # noqa: BLE001 — pool machinery failure: run serial
+        return _serial_map(fn, ctx, items)
+
+
+def _unwrap(wrapped: List[Any]) -> List[Any]:
+    results = []
+    for status, value in wrapped:
+        if status == "err":
+            raise value
+        results.append(value)
+    return results

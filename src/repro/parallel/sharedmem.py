@@ -1,0 +1,117 @@
+"""Zero-copy shipping of metric payloads via ``multiprocessing.shared_memory``.
+
+The two batch-capable metrics are backed by one contiguous float64
+array each — ``EuclideanMetric.points`` (n, d) and
+``MatrixMetric.matrix`` (n, n).  Instead of pickling that array into
+every worker, the parent copies it **once** into a named shared-memory
+segment and sends workers a tiny picklable descriptor
+``("shm", name, shape, dtype)``; each worker maps the segment and
+rebuilds the metric around a zero-copy numpy view.  Metrics without a
+recognized array backing ship as ``("pickle", metric)`` — or by fork
+inheritance when pickling is impossible (see :mod:`.engine`).
+
+Lifecycle: the parent owns the segment (:class:`SharedArray`) and
+unlinks it after the pool shuts down; workers only attach, and their
+mappings die with the worker process.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from ..metrics.base import Metric
+
+__all__ = ["SharedArray", "attach_array", "export_metric", "import_metric"]
+
+
+class SharedArray:
+    """Parent-side owner of one shared-memory numpy array.
+
+    ``descriptor`` is the picklable handle workers use to attach;
+    :meth:`close` releases the mapping and unlinks the segment (call it
+    only after every worker is done, i.e. after pool shutdown).
+    """
+
+    def __init__(self, array: np.ndarray):
+        source = np.ascontiguousarray(array)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+        self.view = np.ndarray(source.shape, dtype=source.dtype, buffer=self._shm.buf)
+        self.view[...] = source
+        self.descriptor: Tuple[str, str, tuple, str] = (
+            "shm",
+            self._shm.name,
+            source.shape,
+            source.dtype.str,
+        )
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (double close is fine)
+            pass
+
+
+# Worker-side attachments, keyed by segment name.  The SharedMemory
+# object must stay referenced for as long as views into it live, and one
+# worker may run many tasks against the same segment — so attach once
+# and cache for the worker's lifetime.
+_ATTACHED: dict = {}
+
+
+def attach_array(descriptor: Tuple[str, str, tuple, str]) -> np.ndarray:
+    """Map a :class:`SharedArray` descriptor into this process (cached)."""
+    _, name, shape, dtype = descriptor
+    entry = _ATTACHED.get(name)
+    if entry is None:
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+        entry = (shm, view)
+        _ATTACHED[name] = entry
+    return entry[1]
+
+
+def export_metric(metric: Metric) -> Tuple[Any, List[SharedArray]]:
+    """Turn a metric into a picklable spec plus owned shared segments.
+
+    Returns ``(spec, owners)``; the caller must ``close()`` every owner
+    after the worker pool has shut down.  Specs:
+
+    - ``("euclidean", descriptor)`` — points array in shared memory,
+    - ``("matrix", descriptor)`` — distance matrix in shared memory,
+    - ``("pickle", metric)`` — anything else, shipped by value.
+    """
+    from ..metrics.euclidean import EuclideanMetric
+    from ..metrics.general import MatrixMetric
+
+    if type(metric) is EuclideanMetric:
+        owner = SharedArray(metric.points)
+        return ("euclidean", owner.descriptor), [owner]
+    if type(metric) is MatrixMetric:
+        owner = SharedArray(metric.matrix)
+        return ("matrix", owner.descriptor), [owner]
+    return ("pickle", metric), []
+
+
+def import_metric(spec: Any) -> Metric:
+    """Rebuild a metric from an :func:`export_metric` spec (worker side).
+
+    The Euclidean/matrix variants wrap a zero-copy view of the shared
+    segment — ``np.asarray`` in the metric constructors preserves the
+    buffer since dtype and layout already match.
+    """
+    kind, payload = spec
+    if kind == "euclidean":
+        from ..metrics.euclidean import EuclideanMetric
+
+        return EuclideanMetric(attach_array(payload))
+    if kind == "matrix":
+        from ..metrics.general import MatrixMetric
+
+        return MatrixMetric(attach_array(payload))
+    if kind == "pickle":
+        return payload
+    raise ValueError(f"unknown metric spec kind {kind!r}")

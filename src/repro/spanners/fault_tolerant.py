@@ -28,10 +28,30 @@ from ..core.navigation import TreeNavigator, dedup_path
 from ..errors import FaultBudgetExceeded, InvariantViolation, check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
+from ..parallel import map_per_tree
 from ..treecover.base import TreeCover
 from ..treecover.dumbbell import robust_tree_cover
 
 __all__ = ["FaultTolerantSpanner"]
+
+
+def _build_ft_tree(ctx, index: int):
+    """Per-tree fan-out unit: navigator K_T plus replica pools R(v).
+
+    Both derive from the cover tree alone, so the trees of the cover can
+    build on independent workers; the replica pools are the ``f + 1``
+    prefixes of the descendant lists (Theorem 4.2).
+    """
+    trees, k, f = ctx.payload
+    cover_tree = trees[index]
+    navigator = TreeNavigator(
+        cover_tree.tree,
+        k,
+        required=cover_tree.vertex_of_point,
+        _metric=cover_tree.tree_metric,
+    )
+    pools = [pool[: f + 1] for pool in cover_tree.descendant_points()]
+    return navigator, pools
 
 
 class FaultTolerantSpanner:
@@ -54,6 +74,7 @@ class FaultTolerantSpanner:
         cover: Optional[TreeCover] = None,
         validate: Optional[bool] = None,
         replicas: Optional[List[List[List[int]]]] = None,
+        workers: Optional[int] = None,
     ):
         if f < 0:
             raise ValueError("f must be non-negative")
@@ -68,13 +89,21 @@ class FaultTolerantSpanner:
         self.metric = metric
         self.f = f
         self.k = k
-        self.cover = cover if cover is not None else robust_tree_cover(metric, eps)
+        self.cover = (
+            cover if cover is not None else robust_tree_cover(metric, eps, workers=workers)
+        )
         if replicas is not None and len(replicas) != len(self.cover.trees):
             raise ValueError(
                 f"{len(replicas)} replica tables supplied for "
                 f"{len(self.cover.trees)} cover trees"
             )
-        self.navigators: List[TreeNavigator] = []
+        built = map_per_tree(
+            _build_ft_tree,
+            range(len(self.cover.trees)),
+            workers=workers,
+            payload=(self.cover.trees, k, f),
+        )
+        self.navigators: List[TreeNavigator] = [navigator for navigator, _ in built]
         #: replicas[t][v] = the replica set R(v) of tree t's vertex v.
         #: Normally derived from the cover (prefixes of the descendant
         #: lists, Theorem 4.2); checkpoint restores pass the saved pools
@@ -82,10 +111,6 @@ class FaultTolerantSpanner:
         #: audits them against the theorem's structure instead.
         self.replicas: List[List[List[int]]] = []
         for index, cover_tree in enumerate(self.cover.trees):
-            navigator = TreeNavigator(
-                cover_tree.tree, k, required=cover_tree.vertex_of_point
-            )
-            self.navigators.append(navigator)
             if replicas is not None:
                 pools = replicas[index]
                 if len(pools) != cover_tree.tree.n:
@@ -95,8 +120,7 @@ class FaultTolerantSpanner:
                     )
                 self.replicas.append([list(pool) for pool in pools])
             else:
-                below = cover_tree.descendant_points()
-                self.replicas.append([pool[: f + 1] for pool in below])
+                self.replicas.append(built[index][1])
         if validate:
             from ..resilience.validation import validate_ft_spanner
 

@@ -58,6 +58,13 @@ class CoverTree:
             self._tree_metric = TreeMetric(self.tree)
         return self._tree_metric
 
+    def __getstate__(self):
+        # LCA state is derived; crossing a pickle boundary (parallel
+        # worker results, checkpoints) ships only the raw arrays.
+        state = dict(self.__dict__)
+        state["_tree_metric"] = None
+        return state
+
     def reset_derived(self) -> None:
         """Drop the derived LCA/level-ancestor state so it is recomputed.
 

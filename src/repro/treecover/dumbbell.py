@@ -39,6 +39,7 @@ from ..errors import InvariantViolation, check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric
 from ..metrics.doubling import NetHierarchy
+from ..parallel import map_per_tree
 from .base import CoverTree, TreeCover
 
 __all__ = [
@@ -258,12 +259,41 @@ class _ForestBuilder:
         return CoverTree(tree, list(range(n)), rep)
 
 
+def _build_robust_tree(ctx, task: Tuple[int, int]) -> CoverTree:
+    """Per-tree fan-out unit: replay one (phase, set-index) merge script.
+
+    The merge groups are precomputed once in the parent (they depend
+    only on the hierarchy); each tree replays its groups against a fresh
+    union-find, so trees build independently and deterministically on
+    any worker.  The metric arrives through shared memory and is only
+    touched by the final batched edge-weight kernel.
+    """
+    p, j = task
+    levels_by_phase, conn_groups, pair_groups, n = ctx.payload
+    builder = _ForestBuilder(n)
+    merge = builder.merge
+    for i in levels_by_phase[p]:
+        groups = pair_groups.get(i)
+        if groups is not None and j < len(groups):
+            for group in groups[j]:
+                merge(group, rep=group[0])
+        for group in conn_groups[i]:
+            merge(group, rep=group[0])
+    return builder.finish(ctx.metric, n)
+
+
 def robust_tree_cover(
     metric: Metric,
     eps: float = 0.5,
     hierarchy: Optional[NetHierarchy] = None,
+    workers: Optional[int] = None,
 ) -> TreeCover:
-    """The robust ``(1 + O(ε), ε^{-O(d)})``-tree cover of Theorem 4.1."""
+    """The robust ``(1 + O(ε), ε^{-O(d)})``-tree cover of Theorem 4.1.
+
+    ``workers`` fans the per-tree forest replays out over a process
+    pool (``None`` defers to ``REPRO_WORKERS``; 0/1 builds serially);
+    the output is identical for any worker count.
+    """
     if not 0 < eps < 1:
         raise ValueError("eps must lie in (0, 1)")
     if hierarchy is None:
@@ -332,25 +362,24 @@ def robust_tree_cover(
             for pairs in cover.sets
         ]
 
-    trees: List[CoverTree] = []
-    for p in range(phases):
-        levels = [
+    levels_by_phase = [
+        [
             i
             for i in range(hierarchy.i_min + 1, top + 1)
             if (i - (hierarchy.i_min + 1)) % phases == p % phases
         ]
-        for j in range(max(sets_per_phase[p], 1)):
-            builder = _ForestBuilder(metric.n)
-            merge = builder.merge
-            for i in levels:
-                # Pair merges from the j-th pairing set of this level.
-                groups = pair_groups.get(i)
-                if groups is not None and j < len(groups):
-                    for group in groups[j]:
-                        merge(group, rep=group[0])
-                for group in conn_groups[i]:
-                    merge(group, rep=group[0])
-            trees.append(builder.finish(metric, metric.n))
+        for p in range(phases)
+    ]
+    tasks = [
+        (p, j) for p in range(phases) for j in range(max(sets_per_phase[p], 1))
+    ]
+    trees: List[CoverTree] = map_per_tree(
+        _build_robust_tree,
+        tasks,
+        workers=workers,
+        metric=metric,
+        payload=(levels_by_phase, conn_groups, pair_groups, metric.n),
+    )
     return TreeCover(metric, trees)
 
 

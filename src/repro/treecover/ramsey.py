@@ -22,10 +22,24 @@ import random
 from typing import List, Optional
 
 from ..metrics.base import Metric
+from ..parallel import derive_seed, map_per_tree, resolve_workers
 from .base import TreeCover
 from .hst import PartitionHierarchy
 
 __all__ = ["ramsey_tree_cover", "few_trees_cover"]
+
+
+def _draw_hierarchy(ctx, task_seed: int):
+    """Per-tree fan-out unit: one CKR partition hierarchy draw.
+
+    Each draw owns an RNG seeded by a value derived from the master
+    seed (see :func:`repro.parallel.derive_seed`), so the sequence of
+    hierarchies is a pure function of the master seed — identical for
+    serial, 2-worker and 8-worker builds.
+    """
+    alpha = ctx.payload
+    hierarchy = PartitionHierarchy(ctx.metric, alpha, random.Random(task_seed))
+    return hierarchy.to_cover_tree(), hierarchy.padded
 
 
 def ramsey_tree_cover(
@@ -33,6 +47,7 @@ def ramsey_tree_cover(
     ell: int = 2,
     seed: int = 0,
     max_iterations: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> TreeCover:
     """A Ramsey tree cover with stretch ``O(ℓ)`` for a general metric.
 
@@ -46,34 +61,52 @@ def ramsey_tree_cover(
         Safety valve; once exceeded, the remaining points are homed to
         the tree where their measured worst stretch is smallest (their
         guarantee then is measured, not provable).
+    workers:
+        Worker processes for the hierarchy draws.  Parallel runs draw
+        speculative batches (one draw per worker) and consume them in
+        iteration order; since draw ``t`` is always seeded by
+        ``derive_seed(seed, t)``, the cover is identical for every
+        worker count — surplus draws past the stopping point are
+        discarded.
     """
     if ell < 1:
         raise ValueError("ell must be at least 1")
-    rng = random.Random(seed)
     alpha = 8.0 * ell
     if max_iterations is None:
         max_iterations = 40 * max(1, round(ell * metric.n ** (1.0 / ell)))
 
+    batch = max(1, resolve_workers(workers))
     trees = []
     home: List[Optional[int]] = [None] * metric.n
     remaining = set(range(metric.n))
     iterations = 0
+    next_draw = 0
     while remaining and iterations < max_iterations:
-        iterations += 1
-        hierarchy = PartitionHierarchy(metric, alpha, rng)
-        newly = remaining & hierarchy.padded
-        if not newly:
-            continue
-        index = len(trees)
-        trees.append(hierarchy.to_cover_tree())
-        for p in newly:
-            home[p] = index
-        remaining -= newly
+        count = min(batch, max_iterations - iterations)
+        seeds = [derive_seed(seed, next_draw + t) for t in range(count)]
+        next_draw += count
+        draws = map_per_tree(
+            _draw_hierarchy, seeds, workers=workers, metric=metric, payload=alpha
+        )
+        for cover_tree, padded in draws:
+            if not remaining:
+                break
+            iterations += 1
+            newly = remaining & padded
+            if not newly:
+                continue
+            index = len(trees)
+            trees.append(cover_tree)
+            for p in newly:
+                home[p] = index
+            remaining -= newly
 
     if remaining:
         # Fallback: home leftover points to their empirically best tree.
         if not trees:
-            hierarchy = PartitionHierarchy(metric, alpha, rng)
+            hierarchy = PartitionHierarchy(
+                metric, alpha, random.Random(derive_seed(seed, next_draw))
+            )
             trees.append(hierarchy.to_cover_tree())
         for p in remaining:
             best_index = 0
@@ -91,7 +124,9 @@ def ramsey_tree_cover(
     return TreeCover(metric, trees, home=[h for h in home])
 
 
-def few_trees_cover(metric: Metric, ell: int, seed: int = 0) -> TreeCover:
+def few_trees_cover(
+    metric: Metric, ell: int, seed: int = 0, workers: Optional[int] = None
+) -> TreeCover:
     """The few-trees tradeoff of Table 1: exactly ``ℓ`` trees.
 
     [BFN19] prove that ``ℓ`` trees suffice for stretch
@@ -100,20 +135,23 @@ def few_trees_cover(metric: Metric, ell: int, seed: int = 0) -> TreeCover:
     padding parameter that makes each point likely padded in at least
     one) and home every point to its empirically best tree.  The stretch
     is measured rather than proven; benches record it against the
-    theoretical curve.
+    theoretical curve.  The ℓ draws are independent (per-draw derived
+    seeds) and fan out across ``workers`` processes.
     """
     if ell < 1:
         raise ValueError("ell must be at least 1")
-    rng = random.Random(seed)
     # With alpha ~ n^{1/ell} the padding probability per hierarchy is a
     # constant, so ell independent draws cover most points.
     alpha = 8.0 * max(1.0, metric.n ** (1.0 / ell))
-    trees = []
-    padded_sets = []
-    for _ in range(ell):
-        hierarchy = PartitionHierarchy(metric, alpha, rng)
-        trees.append(hierarchy.to_cover_tree())
-        padded_sets.append(hierarchy.padded)
+    draws = map_per_tree(
+        _draw_hierarchy,
+        [derive_seed(seed, t) for t in range(ell)],
+        workers=workers,
+        metric=metric,
+        payload=alpha,
+    )
+    trees = [cover_tree for cover_tree, _ in draws]
+    padded_sets = [padded for _, padded in draws]
 
     home: List[int] = []
     for p in range(metric.n):

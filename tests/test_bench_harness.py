@@ -48,10 +48,23 @@ def test_navigation_payload_shape():
     validate_bench_json(payload)
     assert payload["schema"] == NAVIGATION_SCHEMA
     names = [entry["name"] for entry in payload["results"]]
-    assert names == ["navigator_build", "query_scalar", "query_batch"]
-    scalar = payload["results"][1]["detail"]
+    assert names == ["robust_cover", "navigator_build", "query_scalar",
+                     "query_batch"]
+    by_name = {entry["name"]: entry for entry in payload["results"]}
+    # Every row now carries a measured seed baseline (the satellite fix
+    # for the formerly-null seed_seconds/speedup fields).
+    for name in ("robust_cover", "navigator_build", "query_scalar",
+                 "query_batch"):
+        assert by_name[name]["seed_seconds"] is not None
+        assert by_name[name]["speedup"] is not None
+    for name in ("robust_cover", "navigator_build"):
+        detail = by_name[name]["detail"]
+        assert detail["workers"] == 0
+        assert detail["serial_seconds"] is not None
+        assert detail["parallel_speedup"] is not None
+    scalar = by_name["query_scalar"]["detail"]
     assert scalar["p50_us"] <= scalar["p99_us"]
-    assert payload["results"][2]["detail"]["queries"] == scalar["queries"]
+    assert by_name["query_batch"]["detail"]["queries"] == scalar["queries"]
 
 
 def test_validate_rejects_malformed_payloads(tiny_tree_payload):
@@ -90,6 +103,8 @@ def test_run_experiments_json_flag(tmp_path):
             "benchmarks/run_experiments.py",
             "--json",
             "--bench-n",
+            "60",
+            "--bench-nav-n",
             "60",
             "--out-dir",
             str(tmp_path),
