@@ -33,4 +33,44 @@ for name in ("BENCH_tree_covers.json", "BENCH_navigation.json"):
           f"({len(payload['results'])} results)")
 EOF
 
+# Second pass with --trace: the BENCH rows must now embed span trees,
+# and every one of them must validate against the checked-in trace
+# schema (src/repro/observability/trace_schema.json).
+TRACE_DIR="$OUT_DIR/trace"
+PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 --no-baseline \
+    --trace --out-dir "$TRACE_DIR"
+
+PYTHONPATH=src python - "$TRACE_DIR" <<'EOF'
+import json
+import sys
+
+from repro.bench import validate_bench_json
+from repro.observability import trace_document, validate_trace_json
+
+out_dir = sys.argv[1]
+traced_rows = 0
+for name in ("BENCH_tree_covers.json", "BENCH_navigation.json"):
+    path = f"{out_dir}/{name}"
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_bench_json(payload)
+    if not payload["config"].get("trace"):
+        raise SystemExit(f"{path}: config.trace missing from a --trace run")
+    for entry in payload["results"]:
+        if "trace" not in entry:
+            raise SystemExit(f"{path}: result {entry['name']} lacks trace spans")
+        problems = validate_trace_json(
+            trace_document(entry["trace"], payload.get("trace_metrics"))
+        )
+        if problems:
+            raise SystemExit(f"{path}: {entry['name']}: {problems}")
+        traced_rows += 1
+print(f"trace pass OK: {traced_rows} BENCH rows validated against the "
+      "trace schema")
+EOF
+
+# And the report renderer must digest a traced artifact.
+PYTHONPATH=src python -m repro trace-report "$TRACE_DIR/BENCH_navigation.json" \
+    > /dev/null
+
 echo "bench smoke passed"

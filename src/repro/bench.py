@@ -29,6 +29,7 @@ import os
 import platform
 import random
 import time
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -46,6 +47,7 @@ from .core.metric_navigator import MetricNavigator
 from .metrics.base import sample_pairs
 from .metrics.doubling import NetHierarchy
 from .metrics.euclidean import random_points
+from .observability import OBS
 from .parallel import resolve_workers
 from .treecover.dumbbell import robust_tree_cover
 from .treecover.hst import build_hst
@@ -85,7 +87,12 @@ def _meta() -> Dict[str, str]:
 
 
 def _result(
-    name: str, n: int, seconds: float, seed_seconds: Optional[float], detail: Dict
+    name: str,
+    n: int,
+    seconds: float,
+    seed_seconds: Optional[float],
+    detail: Dict,
+    spans: Optional[List[Dict]] = None,
 ) -> Dict:
     out = {
         "name": name,
@@ -99,7 +106,27 @@ def _result(
         ),
         "detail": detail,
     }
+    if spans is not None:
+        out["trace"] = spans
     return out
+
+
+def _trace_context(trace: bool):
+    """Scope tracing on for a traced bench run (and start it clean)."""
+    if not trace:
+        return nullcontext()
+    OBS.clear()
+    return OBS.scoped(True)
+
+
+def _drain_spans(trace: bool) -> Optional[List[Dict]]:
+    """Root spans accumulated since the previous drain, or ``None``.
+
+    Called after each timed stage so the stage's span trees land on its
+    own BENCH row.  Traced runs measure the instrumented code path —
+    timings carry the (small) tracing overhead by design.
+    """
+    return OBS.take_roots() if trace else None
 
 
 def _timing_workers(workers: Optional[int]) -> int:
@@ -143,6 +170,7 @@ def bench_tree_covers(
     include_baseline: bool = True,
     stretch_sample: int = 300,
     workers: Optional[int] = None,
+    trace: bool = False,
 ) -> Dict:
     """Construction benchmarks on ``random_points(n, dim)``.
 
@@ -154,7 +182,30 @@ def bench_tree_covers(
     cover's per-tree merges out across processes; when it resolves to a
     pool, the serial path is timed too and the row's detail records the
     parallel-vs-serial speedup alongside the seed-baseline speedup.
+    With ``trace=True`` observability is scoped on for the run and each
+    row carries the span trees of its timed stage under ``"trace"``
+    (timings then include the tracing overhead by design).
     """
+    with _trace_context(trace):
+        return _bench_tree_covers(
+            n, dim, seed, eps, alpha, repeats, robust_repeats,
+            include_baseline, stretch_sample, workers, trace,
+        )
+
+
+def _bench_tree_covers(
+    n: int,
+    dim: int,
+    seed: int,
+    eps: float,
+    alpha: float,
+    repeats: int,
+    robust_repeats: int,
+    include_baseline: bool,
+    stretch_sample: int,
+    workers: Optional[int],
+    trace: bool,
+) -> Dict:
     metric = random_points(n, dim=dim, seed=seed)
     requested_workers = resolve_workers(workers)
     resolved_workers = _timing_workers(workers)
@@ -174,6 +225,7 @@ def bench_tree_covers(
             secs,
             base,
             {"levels": hierarchy.i_max - hierarchy.i_min + 1},
+            spans=_drain_spans(trace),
         )
     )
 
@@ -190,6 +242,7 @@ def bench_tree_covers(
             secs,
             base,
             {"alpha": alpha, "vertices": hst.tree.n, "padded": len(padded)},
+            spans=_drain_spans(trace),
         )
     )
 
@@ -217,9 +270,11 @@ def bench_tree_covers(
     )
     detail["stretch_max"] = round(worst, 4)
     detail["stretch_mean"] = round(mean, 4)
-    results.append(_result("robust_cover", n, secs, base, detail))
+    results.append(
+        _result("robust_cover", n, secs, base, detail, spans=_drain_spans(trace))
+    )
 
-    return {
+    payload = {
         "schema": TREE_COVERS_SCHEMA,
         "config": {
             "n": n,
@@ -232,10 +287,14 @@ def bench_tree_covers(
             "include_baseline": include_baseline,
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "trace": trace,
         },
         "results": results,
         "meta": _meta(),
     }
+    if trace:
+        payload["trace_metrics"] = OBS.registry.snapshot()
+    return payload
 
 
 def bench_navigation(
@@ -247,6 +306,7 @@ def bench_navigation(
     queries: int = 400,
     include_baseline: bool = True,
     workers: Optional[int] = None,
+    trace: bool = False,
 ) -> Dict:
     """Navigator construction and query-latency benchmarks.
 
@@ -256,8 +316,28 @@ def bench_navigation(
     scalar per-edge distances), and the scalar query loop re-runs on the
     seed navigator.  ``workers`` fans the cover and navigator builds out
     across processes; the detail dicts then also record the
-    parallel-vs-serial speedup of each build stage.
+    parallel-vs-serial speedup of each build stage.  With ``trace=True``
+    observability is scoped on and each row carries its stage's span
+    trees under ``"trace"`` (query stages emit counters, not spans, so
+    their lists may be empty).
     """
+    with _trace_context(trace):
+        return _bench_navigation(
+            n, dim, seed, eps, k, queries, include_baseline, workers, trace
+        )
+
+
+def _bench_navigation(
+    n: int,
+    dim: int,
+    seed: int,
+    eps: float,
+    k: int,
+    queries: int,
+    include_baseline: bool,
+    workers: Optional[int],
+    trace: bool,
+) -> Dict:
     metric = random_points(n, dim=dim, seed=seed)
     requested_workers = resolve_workers(workers)
     resolved_workers = _timing_workers(workers)
@@ -287,6 +367,7 @@ def bench_navigation(
                 {"eps": eps, "zeta": cover.size},
                 resolved_workers, cover_secs, cover_serial,
             ),
+            spans=_drain_spans(trace),
         )
     )
 
@@ -314,6 +395,7 @@ def bench_navigation(
                 {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
                 resolved_workers, build, build_serial,
             ),
+            spans=_drain_spans(trace),
         )
     )
 
@@ -346,6 +428,7 @@ def bench_navigation(
                 "p50_us": round(float(np.percentile(lat, 50)), 2),
                 "p99_us": round(float(np.percentile(lat, 99)), 2),
             },
+            spans=_drain_spans(trace),
         )
     )
 
@@ -362,10 +445,11 @@ def bench_navigation(
                 "queries": len(pairs),
                 "per_query_us": round(batch_total / max(1, len(pairs)) * 1e6, 2),
             },
+            spans=_drain_spans(trace),
         )
     )
 
-    return {
+    payload = {
         "schema": NAVIGATION_SCHEMA,
         "config": {
             "n": n,
@@ -377,10 +461,14 @@ def bench_navigation(
             "include_baseline": include_baseline,
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "trace": trace,
         },
         "results": results,
         "meta": _meta(),
     }
+    if trace:
+        payload["trace_metrics"] = OBS.registry.snapshot()
+    return payload
 
 
 def validate_bench_json(payload: Dict) -> None:
@@ -422,6 +510,10 @@ def validate_bench_json(payload: Dict) -> None:
                 )
         if "detail" in entry and not isinstance(entry["detail"], dict):
             raise ValueError(f"result {entry.get('name')}: detail must be an object")
+        if "trace" in entry and not isinstance(entry["trace"], list):
+            raise ValueError(
+                f"result {entry.get('name')}: trace must be a span list"
+            )
 
 
 def write_bench_files(

@@ -28,14 +28,22 @@ reproducible.
 
 from __future__ import annotations
 
+import functools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import InvariantViolation, check
 from ..metrics.base import Metric, sample_pairs
+from ..observability import OBS, trace
 from ..parallel import map_per_tree
 from ..treecover.base import CoverTree, TreeCover
+
+# Passed check batteries (one per AuditReport.record) and failed audits
+# (the exception re-raises after counting) — what checkpoint loads and
+# recovery sweeps report to dashboards.
+_C_AUDIT_PASSED = OBS.registry.counter("audit.checks_passed")
+_C_AUDIT_FAILED = OBS.registry.counter("audit.failures")
 
 __all__ = [
     "CoverContract",
@@ -89,11 +97,38 @@ class AuditReport:
     checks: List[str] = field(default_factory=list)
 
     def record(self, description: str) -> None:
+        if OBS.enabled:
+            _C_AUDIT_PASSED.inc()
         self.checks.append(description)
 
     def format_lines(self) -> str:
         head = f"audit[{self.kind}] n={self.n} trees={self.num_trees}: all passed"
         return "\n".join([head] + [f"  - {c}" for c in self.checks])
+
+
+def _audited(span_name: str):
+    """Wrap an audit entry point in a span that counts failures.
+
+    The audits raise on the first broken invariant; the wrapper counts
+    the failure (the span itself records the exception text) and
+    re-raises.  Disabled mode short-circuits to the bare function.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            with trace(span_name):
+                try:
+                    return fn(*args, **kwargs)
+                except Exception:
+                    _C_AUDIT_FAILED.inc()
+                    raise
+
+        return wrapper
+
+    return decorate
 
 
 def _audit_pairs(
@@ -168,6 +203,7 @@ def _audit_cover_tree_task(ctx, index: int) -> bool:
     return True
 
 
+@_audited("audit.cover")
 def audit_cover(
     cover: TreeCover,
     contract: Optional[CoverContract] = None,
@@ -227,6 +263,7 @@ def audit_cover(
 # ----------------------------------------------------------------------
 # Navigators
 
+@_audited("audit.navigator")
 def audit_navigator(
     navigator,
     contract: Optional[CoverContract] = None,
@@ -267,6 +304,7 @@ def audit_navigator(
 # ----------------------------------------------------------------------
 # FT spanners
 
+@_audited("audit.ft_spanner")
 def audit_ft_spanner(
     spanner,
     contract: Optional[CoverContract] = None,
@@ -312,6 +350,7 @@ def audit_ft_spanner(
 # ----------------------------------------------------------------------
 # Routing labels
 
+@_audited("audit.labels")
 def audit_labels(
     cover: TreeCover,
     labels_per_tree: List[List[tuple]],

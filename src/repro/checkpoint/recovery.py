@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.metric_navigator import MetricNavigator
 from ..errors import CheckpointCorruption, ReproError
 from ..metrics.base import Metric, sample_pairs
+from ..observability import OBS, trace
 from ..parallel import map_per_tree
 from ..resilience.degradation import DegradedResult
 from ..treecover.base import CoverTree, TreeCover
@@ -58,6 +59,29 @@ __all__ = [
 
 #: A cover builder: metric in, freshly constructed cover out.
 CoverBuilder = Callable[[Metric], TreeCover]
+
+# One counter per RecoveryReport outcome plus per-tree kept/rebuilt
+# totals — the checkpoint-audit-outcome telemetry of the north star.
+_C_OUTCOMES = {
+    "clean": OBS.registry.counter("recovery.outcome.clean"),
+    "per-tree-repair": OBS.registry.counter("recovery.outcome.per_tree_repair"),
+    "full-rebuild": OBS.registry.counter("recovery.outcome.full_rebuild"),
+}
+_C_KEPT = OBS.registry.counter("recovery.trees_kept")
+_C_REBUILT = OBS.registry.counter("recovery.trees_rebuilt")
+_C_SVC_QUERIES = OBS.registry.counter("recovery.service.queries")
+_C_SVC_DEGRADED = OBS.registry.counter("recovery.service.degraded")
+_C_SVC_UNDELIVERED = OBS.registry.counter("recovery.service.undelivered")
+
+
+def _record_report(report: "RecoveryReport") -> "RecoveryReport":
+    if OBS.enabled:
+        counter = _C_OUTCOMES.get(report.outcome)
+        if counter is not None:
+            counter.inc()
+        for repair in report.repairs:
+            (_C_KEPT if repair.action == "kept" else _C_REBUILT).inc()
+    return report
 
 
 @dataclass
@@ -215,6 +239,24 @@ def recover_cover(
     clean.  ``workers`` fans the per-tree decode + audit classification
     out across processes; the verdicts are identical in every mode.
     """
+    with trace("recovery.recover_cover", path=path, n=metric.n):
+        return _record_report(
+            _recover_cover(
+                path, metric, builder, contract, sample, seed, resave, workers
+            )
+        )
+
+
+def _recover_cover(
+    path: str,
+    metric: Metric,
+    builder: Optional[CoverBuilder],
+    contract: Optional[CoverContract],
+    sample: int,
+    seed: int,
+    resave: bool,
+    workers: Optional[int],
+) -> RecoveryReport:
     pairs = sample_pairs(metric.n, sample, seed=seed)
 
     def full_rebuild(reason: str, meta: Dict[str, Any]) -> RecoveryReport:
@@ -438,10 +480,10 @@ class CheckpointService:
             self._navigator = MetricNavigator(
                 self.metric, cover, self.k, workers=self.workers
             )
-            self.report = RecoveryReport(
+            self.report = _record_report(RecoveryReport(
                 "clean", cover,
                 repairs=[TreeRepair(i, "kept") for i in range(num_trees)],
-            )
+            ))
         else:
             survivors = [t for t in salvaged if t is not None]
             if survivors:
@@ -465,7 +507,12 @@ class CheckpointService:
         ``degraded=True`` with the reason, and when nothing was
         salvageable the result is undelivered rather than an exception.
         """
+        obs = OBS.enabled
+        if obs:
+            _C_SVC_QUERIES.inc()
         if self._navigator is None:
+            if obs:
+                _C_SVC_UNDELIVERED.inc()
             return DegradedResult(
                 u, v, None, delivered=False, degraded=True, over_budget=False,
                 reason=(
@@ -478,6 +525,8 @@ class CheckpointService:
         base = self.metric.distance(u, v)
         stretch = weight / base if base > 0 else 1.0
         pending = self.recovery_pending
+        if obs and pending:
+            _C_SVC_DEGRADED.inc()
         return DegradedResult(
             u, v, path, delivered=True, degraded=pending, over_budget=False,
             hops=len(path) - 1, weight=weight, stretch=stretch,

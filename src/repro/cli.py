@@ -8,6 +8,9 @@ Examples::
     python -m repro chaos      --scenario adversarial --f 2 --k 4
     python -m repro checkpoint --family euclidean --n 120 --what ft --out ft.ckpt
     python -m repro audit      --checkpoint ft.ckpt --family euclidean --n 120
+    python -m repro bench --quick --trace
+    python -m repro chaos --trace --trace-out TRACE_chaos.json
+    python -m repro trace-report TRACE_chaos.json
     python -m repro info
 """
 
@@ -59,6 +62,42 @@ def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
         help="worker processes for per-tree fan-out (default: the "
              "REPRO_WORKERS env var, else serial; 0/1 serial, -1 per-CPU)",
     )
+
+
+def _add_trace_flags(cmd: argparse.ArgumentParser, default_out: str) -> None:
+    cmd.add_argument(
+        "--trace", action="store_true",
+        help="enable observability for this run (same as REPRO_TRACE=1) "
+             "and write the span trees + metrics as a trace JSON document",
+    )
+    cmd.add_argument(
+        "--trace-out", type=str, default=default_out,
+        help=f"trace document path for --trace (default: {default_out})",
+    )
+
+
+def _traced_command(args: argparse.Namespace) -> int:
+    """Run ``args.func`` with tracing scoped on, then write the trace
+    document (spans + metrics snapshot) to ``args.trace_out``."""
+    import json
+
+    from .observability import OBS, trace_document, validate_trace_json
+
+    OBS.clear()
+    with OBS.scoped(True):
+        code = args.func(args)
+        doc = trace_document(OBS.take_roots(), OBS.registry.snapshot())
+    errors = validate_trace_json(doc)
+    if errors:
+        for problem in errors:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return code or 1
+    with open(args.trace_out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote trace document {args.trace_out} "
+          f"(render with: python -m repro trace-report {args.trace_out})")
+    return code
 
 
 def cmd_tree(args: argparse.Namespace) -> int:
@@ -338,6 +377,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         robust_repeats=robust_repeats,
         include_baseline=not args.no_baseline,
         workers=args.workers,
+        trace=args.trace,
     )
     for entry in tree_payload["results"]:
         speed = (
@@ -349,7 +389,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"navigation benchmarks (n={nav_n}) ...")
     nav_payload = bench_navigation(
         n=nav_n, seed=args.seed, workers=args.workers,
-        include_baseline=not args.no_baseline,
+        include_baseline=not args.no_baseline, trace=args.trace,
     )
     for entry in nav_payload["results"]:
         detail = entry["detail"]
@@ -361,6 +401,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
     paths = write_bench_files(args.out_dir, tree_payload, nav_payload)
     for path in paths:
         print(f"wrote {path}")
+    if args.trace:
+        print("per-stage span trees embedded in the BENCH rows "
+              "(render with: python -m repro trace-report <file>)")
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import render_trace_report, trace_document, validate_trace_json
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    schema = doc.get("schema", "") if isinstance(doc, dict) else ""
+    if schema.startswith("repro.bench."):
+        # A BENCH_*.json artifact from a traced bench run: render the
+        # span trees embedded per result row, then the run's metrics.
+        rendered = False
+        for entry in doc.get("results", []):
+            spans = entry.get("trace")
+            if not spans:
+                continue
+            rendered = True
+            print(f"## {entry.get('name')}  ({entry.get('seconds')}s)")
+            print(render_trace_report(trace_document(spans)))
+        metrics = doc.get("trace_metrics")
+        if metrics:
+            rendered = True
+            print("## metrics")
+            print(render_trace_report(trace_document([], metrics)))
+        if not rendered:
+            print("no embedded trace data; re-run the bench with --trace",
+                  file=sys.stderr)
+            return 1
+        return 0
+    errors = validate_trace_json(doc)
+    if errors:
+        for problem in errors:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
+    print(render_trace_report(doc), end="")
     return 0
 
 
@@ -424,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-checkpoint", action="store_true",
                        help="skip the save/reload/audit checkpoint round-trip")
     _add_workers_flag(chaos)
+    _add_trace_flags(chaos, "TRACE_chaos.json")
     chaos.set_defaults(func=cmd_chaos)
 
     ckpt = sub.add_parser(
@@ -447,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("--out", type=str, required=True,
                       help="checkpoint file to write (atomically)")
     _add_workers_flag(ckpt)
+    _add_trace_flags(ckpt, "TRACE_checkpoint.json")
     ckpt.set_defaults(func=cmd_checkpoint)
 
     audit = sub.add_parser(
@@ -465,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--resave", action="store_true",
                        help="with --recover: write the repaired cover back")
     _add_workers_flag(audit)
+    _add_trace_flags(audit, "TRACE_audit.json")
     audit.set_defaults(func=cmd_audit)
 
     bench = sub.add_parser(
@@ -486,8 +574,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the frozen seed-implementation baselines")
     bench.add_argument("--out-dir", type=str, default=".",
                        help="directory for BENCH_*.json (default: cwd)")
+    bench.add_argument("--trace", action="store_true",
+                       help="embed per-stage span trees in the BENCH rows "
+                            "(timings then include tracing overhead)")
     _add_workers_flag(bench)
     bench.set_defaults(func=cmd_bench)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="render a trace document (or a traced BENCH_*.json) as text",
+    )
+    trace_report.add_argument("file", type=str,
+                              help="trace JSON document or BENCH_*.json "
+                                   "written by a --trace run")
+    trace_report.set_defaults(func=cmd_trace_report)
 
     info = sub.add_parser("info", help="version and subsystem inventory")
     info.set_defaults(func=cmd_info)
@@ -497,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # --trace on chaos/checkpoint/audit scopes tracing around the whole
+    # command and writes a standalone trace document; bench handles its
+    # own tracing (spans land inside the BENCH rows instead).
+    if getattr(args, "trace", False) and args.func is not cmd_bench:
+        return _traced_command(args)
     return args.func(args)
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InvariantViolation
+from ..observability import OBS
 
 __all__ = [
     "WorkTree",
@@ -35,6 +36,15 @@ __all__ = [
     "decompose_packed",
     "split_packed",
 ]
+
+
+# The packed hot path only (the dict WorkTree is the reference
+# implementation, exercised by tests, not production builds).  Scanned
+# vertex totals expose the recursion's aggregate O(n log n)-ish work.
+_C_PRUNE = OBS.registry.counter("decompose.prune_calls")
+_C_PRUNE_KEPT = OBS.registry.counter("decompose.prune_kept")
+_C_DECOMPOSE = OBS.registry.counter("decompose.calls")
+_C_SCANNED = OBS.registry.counter("decompose.vertices_scanned")
 
 
 class WorkTree:
@@ -348,6 +358,9 @@ def prune_packed(pt: PackedTree, required: Set[int]) -> PackedTree:
             nearest[j] = anc
     if root_count != 1:
         raise InvariantViolation(f"prune produced {root_count} roots")
+    if OBS.enabled:
+        _C_PRUNE.inc()
+        _C_PRUNE_KEPT.inc(len(new_ids))
     return PackedTree(new_ids, new_parent)
 
 
@@ -362,6 +375,9 @@ def decompose_packed(pt: PackedTree, required: Set[int], ell: int) -> List[int]:
     ids = pt.ids
     parent = pt.parent
     m = len(ids)
+    if OBS.enabled:
+        _C_DECOMPOSE.inc()
+        _C_SCANNED.inc(m)
     pending = [0] * m
     cuts: List[int] = []
     for j in range(m - 1, -1, -1):

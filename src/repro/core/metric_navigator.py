@@ -19,11 +19,16 @@ import numpy as np
 from ..errors import check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
+from ..observability import OBS, trace
 from ..parallel import map_per_tree
 from ..treecover.base import TreeCover
 from .navigation import TreeNavigator, dedup_path
 
 __all__ = ["MetricNavigator"]
+
+_C_QUERIES = OBS.registry.counter("navigator.queries")
+_H_HOPS = OBS.registry.histogram("navigator.hops")
+_H_TREE = OBS.registry.histogram("navigator.tree_chosen")
 
 
 def _build_tree_navigator(ctx, index: int) -> TreeNavigator:
@@ -73,12 +78,13 @@ class MetricNavigator:
         self.metric = metric
         self.cover = cover
         self.k = k
-        self.navigators: List[TreeNavigator] = map_per_tree(
-            _build_tree_navigator,
-            range(len(cover.trees)),
-            workers=workers,
-            payload=(cover.trees, k),
-        )
+        with trace("navigator.build", n=metric.n, k=k, trees=len(cover.trees)):
+            self.navigators: List[TreeNavigator] = map_per_tree(
+                _build_tree_navigator,
+                range(len(cover.trees)),
+                workers=workers,
+                payload=(cover.trees, k),
+            )
 
     # ------------------------------------------------------------------
     # Queries
@@ -102,6 +108,10 @@ class MetricNavigator:
             cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
         )
         points = dedup_path([cover_tree.rep_point[x] for x in vertex_path])
+        if OBS.enabled:
+            _C_QUERIES.inc()
+            _H_HOPS.observe(len(points) - 1)
+            _H_TREE.observe(index)
         return points, index
 
     def find_paths(
@@ -124,12 +134,17 @@ class MetricNavigator:
             else:
                 nontrivial.append((t, u, v))
         best = self.cover.best_trees([(u, v) for _, u, v in nontrivial])
+        obs = OBS.enabled
         for (t, u, v), (index, _) in zip(nontrivial, best):
             cover_tree = self.cover.trees[index]
             vertex_path = self.navigators[index].find_path(
                 cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
             )
             points = dedup_path([cover_tree.rep_point[x] for x in vertex_path])
+            if obs:
+                _C_QUERIES.inc()
+                _H_HOPS.observe(len(points) - 1)
+                _H_TREE.observe(index)
             results[t] = (points, index)
         return results  # type: ignore[return-value]
 

@@ -40,11 +40,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from contextlib import nullcontext
+
 from ..errors import InvariantViolation, check
 from ..graphs.graph import Graph
 from ..graphs.index import TreeIndex
 from ..graphs.tree import Tree
 from ..metrics.tree_metric import TreeMetric
+from ..observability import OBS, trace
 from .ackermann import alpha_k_prime
 from .decompose import (
     PackedTree,
@@ -54,6 +57,17 @@ from .decompose import (
 )
 
 __all__ = ["TreeNavigator", "dedup_path"]
+
+# Build-side: recursion shape of Algorithm 1.  Query-side: every
+# find_path (recursive interconnection calls included) bumps queries,
+# and nodes_touched totals the path vertices each level contributes —
+# the empirical stand-in for the O(k) time bound of Theorem 1.1
+# (tests/test_asymptotics.py asserts it grows with k, not n).
+_C_RECURSIONS = OBS.registry.counter("treenav.recursions")
+_C_CUTS = OBS.registry.counter("treenav.cuts")
+_C_BASE_CASES = OBS.registry.counter("treenav.base_cases")
+_C_QUERIES = OBS.registry.counter("treenav.queries")
+_C_NODES = OBS.registry.counter("treenav.nodes_touched")
 
 
 def dedup_path(path: Sequence[int]) -> List[int]:
@@ -243,10 +257,18 @@ class TreeNavigator:
         self.home: Dict[int, int] = {}
 
         worktree = _worktree if _worktree is not None else PackedTree.from_tree(tree)
-        self._preprocess(worktree, set(self.required))
-        self._build_phi_index()
-        if self._is_root_navigator:
-            self._fill_edge_weights()
+        # One span per root navigator only: sub-navigators are part of the
+        # same build and would bloat the trace with one span per recursion.
+        span = (
+            trace("treenav.build", n=tree.n, k=k, required=len(self.required))
+            if self._is_root_navigator
+            else nullcontext()
+        )
+        with span:
+            self._preprocess(worktree, set(self.required))
+            self._build_phi_index()
+            if self._is_root_navigator:
+                self._fill_edge_weights()
 
     # ------------------------------------------------------------------
     # Preprocessing (Algorithm 1)
@@ -300,6 +322,9 @@ class TreeNavigator:
         ell = alpha_k_prime(ell_index, n)
         cut_positions = decompose_packed(wt, req, ell)
         cuts = [ids[j] for j in cut_positions]
+        if OBS.enabled:
+            _C_RECURSIONS.inc()
+            _C_CUTS.inc(len(cuts))
         beta = self._new_phi_node()
         beta.cut_vertices = cuts
         for c in cuts:
@@ -366,6 +391,8 @@ class TreeNavigator:
         return beta.id
 
     def _handle_base_case(self, req: Sequence[int]) -> int:
+        if OBS.enabled:
+            _C_BASE_CASES.inc()
         leaf = self._new_phi_node()
         leaf.is_leaf = True
         if len(req) == 1:
@@ -447,15 +474,25 @@ class TreeNavigator:
         """
         if u not in self.home or v not in self.home:
             raise KeyError("find_path endpoints must be required vertices")
+        obs = OBS.enabled
+        if obs:
+            _C_QUERIES.inc()
         if u == v:
+            if obs:
+                _C_NODES.inc(1)
             return [u]
         hu = self._phi_nodes[self.home[u]]
         hv = self._phi_nodes[self.home[v]]
         if hu.id == hv.id and hu.is_leaf:
-            return self._base_case_bfs(hu, u, v)
+            path = self._base_case_bfs(hu, u, v)
+            if obs:
+                _C_NODES.inc(len(path))
+            return path
         beta = self._phi_nodes[self._phi.lca(hu.id, hv.id)]
         if self.k == 2:
             w = beta.cut_vertices[0]
+            if obs:
+                _C_NODES.inc(3)
             return dedup_path([u, w, v])
 
         contracted = beta.contracted
@@ -468,8 +505,14 @@ class TreeNavigator:
         y = contracted.cut_of_node[y_node]
         if beta.sub_navigator is None:
             # k = 3 with the cut-vertex clique: one direct hop x -> y.
+            if obs:
+                _C_NODES.inc(4)
             return dedup_path([u, x, y, v])
+        # The interconnection recursion counts its own levels; this level
+        # contributes the two endpoints it wraps around the middle.
         middle = beta.sub_navigator.find_path(x, y)
+        if obs:
+            _C_NODES.inc(2)
         return dedup_path([u] + middle + [v])
 
     def _base_case_bfs(self, leaf: _PhiNode, u: int, v: int) -> List[int]:

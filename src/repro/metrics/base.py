@@ -14,8 +14,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import MetricValidationError, check
+from ..observability import OBS
 
 __all__ = ["Metric", "check_metric_axioms", "sample_pairs", "aspect_ratio"]
+
+# Batch requests served by the scalar-loop fallbacks below.  A hot path
+# seeing these grow on a supports_batch metric is dispatching wrong.
+_C_FALLBACK = OBS.registry.counter("kernel.fallback.batch_calls")
 
 
 class Metric:
@@ -64,11 +69,15 @@ class Metric:
 
     def distances_from(self, u: int) -> np.ndarray:
         """Distances from ``u`` to every point, as a length-``n`` array."""
+        if OBS.enabled:
+            _C_FALLBACK.inc()
         d = self.distance
         return np.fromiter((d(u, v) for v in range(self.n)), dtype=float, count=self.n)
 
     def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         """The ``(len(rows), len(cols))`` distance matrix between two id lists."""
+        if OBS.enabled:
+            _C_FALLBACK.inc()
         d = self.distance
         return np.array([[d(u, v) for v in cols] for u in rows], dtype=float)
 
@@ -76,6 +85,8 @@ class Metric:
         """Elementwise distances ``[δ(us[0], vs[0]), δ(us[1], vs[1]), ...]``."""
         if len(us) != len(vs):
             raise ValueError("us and vs must have equal length")
+        if OBS.enabled:
+            _C_FALLBACK.inc()
         d = self.distance
         return np.fromiter(
             (d(u, v) for u, v in zip(us, vs)), dtype=float, count=len(us)

@@ -15,6 +15,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 from scipy.spatial.distance import cdist
 
+from ..observability import OBS
 from .base import Metric
 
 __all__ = [
@@ -23,6 +24,10 @@ __all__ = [
     "clustered_points",
     "grid_points",
 ]
+
+_C_SCALAR = OBS.registry.counter("kernel.euclidean.scalar_calls")
+_C_BATCH = OBS.registry.counter("kernel.euclidean.batch_calls")
+_C_BATCH_VALUES = OBS.registry.counter("kernel.euclidean.batch_values")
 
 
 class EuclideanMetric(Metric):
@@ -49,6 +54,8 @@ class EuclideanMetric(Metric):
         return self._kdtree
 
     def distance(self, u: int, v: int) -> float:
+        if OBS.enabled:
+            _C_SCALAR.inc()
         pu = self._coords[u]
         pv = self._coords[v]
         s = 0.0
@@ -62,11 +69,17 @@ class EuclideanMetric(Metric):
 
     def distances_from(self, u: int) -> np.ndarray:
         """Vectorized distances from ``u`` to every point."""
+        if OBS.enabled:
+            _C_BATCH.inc()
+            _C_BATCH_VALUES.inc(self.n)
         return np.linalg.norm(self.points - self.points[u], axis=1)
 
     def pairwise(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
+        if OBS.enabled:
+            _C_BATCH.inc()
+            _C_BATCH_VALUES.inc(rows.size * cols.size)
         return cdist(self.points[rows], self.points[cols])
 
     def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
@@ -74,6 +87,9 @@ class EuclideanMetric(Metric):
             raise ValueError("us and vs must have equal length")
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
+        if OBS.enabled:
+            _C_BATCH.inc()
+            _C_BATCH_VALUES.inc(us.size)
         return np.linalg.norm(self.points[us] - self.points[vs], axis=1)
 
     def ball_many(

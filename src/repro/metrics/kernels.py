@@ -21,9 +21,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..observability import OBS
 from .base import Metric
 
 __all__ = ["CachedMetric"]
+
+_C_CACHE_HITS = OBS.registry.counter("metric.cache.hits")
+_C_CACHE_MISSES = OBS.registry.counter("metric.cache.misses")
+_C_CACHE_ROWS = OBS.registry.counter("metric.cache.rows_materialized")
 
 
 class CachedMetric(Metric):
@@ -66,6 +71,10 @@ class CachedMetric(Metric):
             lo = index * self.block_size
             hi = min(lo + self.block_size, self.n)
             rows = list(range(lo, hi))
+            # Only a miss reaches the inner metric, so inner-kernel call
+            # counters (kernel.*.{scalar,batch}_calls) bump exactly once
+            # per materialized block — cache hits below never re-count
+            # distance work they did not do.
             if self.inner.supports_batch:
                 slab = np.asarray(
                     self.inner.pairwise(rows, list(range(self.n))), dtype=float
@@ -73,6 +82,11 @@ class CachedMetric(Metric):
             else:
                 slab = np.vstack([self.inner.distances_from(u) for u in rows])
             self._blocks[index] = slab
+            if OBS.enabled:
+                _C_CACHE_MISSES.inc()
+                _C_CACHE_ROWS.inc(hi - lo)
+        elif OBS.enabled:
+            _C_CACHE_HITS.inc()
         return slab
 
     def row(self, u: int) -> np.ndarray:

@@ -18,9 +18,14 @@ import numpy as np
 
 from ..graphs.lca import LcaIndex
 from ..graphs.tree import Tree
+from ..observability import OBS
 from .base import Metric
 
 __all__ = ["TreeMetric"]
+
+_C_SCALAR = OBS.registry.counter("kernel.tree.scalar_calls")
+_C_BATCH = OBS.registry.counter("kernel.tree.batch_calls")
+_C_LCA_BUILDS = OBS.registry.counter("kernel.tree.lca_builds")
 
 
 class TreeMetric(Metric):
@@ -40,6 +45,8 @@ class TreeMetric(Metric):
     @property
     def _lca(self) -> LcaIndex:
         if self._lca_index is None:
+            if OBS.enabled:
+                _C_LCA_BUILDS.inc()
             self._lca_index = LcaIndex(self.tree)
         return self._lca_index
 
@@ -52,6 +59,8 @@ class TreeMetric(Metric):
         return state
 
     def distance(self, u: int, v: int) -> float:
+        if OBS.enabled:
+            _C_SCALAR.inc()
         return self._lca.distance(u, v)
 
     # ------------------------------------------------------------------
@@ -64,6 +73,8 @@ class TreeMetric(Metric):
     def pair_distances(self, us: Sequence[int], vs: Sequence[int]) -> np.ndarray:
         if len(us) != len(vs):
             raise ValueError("us and vs must have equal length")
+        if OBS.enabled:
+            _C_BATCH.inc()
         return self._lca.distance_many(
             np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
         )

@@ -1,0 +1,50 @@
+"""Zero-dependency observability: span tracing, a metrics registry, and
+profiling hooks for the build/query/recovery paths.
+
+Quickstart::
+
+    from repro.observability import OBS, trace
+
+    OBS.enable()                      # or REPRO_TRACE=1 / --trace
+    with trace("workload"):
+        navigator.find_path(u, v, k=4)
+    spans = OBS.take_roots()          # jsonable span trees
+    metrics = OBS.registry.export_json()
+
+See ``docs/OBSERVABILITY.md`` for the span model, the metric-name
+table, and the CLI flags.
+"""
+
+from .metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import (
+    format_span_tree,
+    load_trace_schema,
+    render_trace_report,
+    trace_document,
+    validate_trace_json,
+)
+from .tracing import OBS, TRACE_SCHEMA, Observability, Span, trace
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "Span",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "trace_document",
+    "format_span_tree",
+    "render_trace_report",
+    "load_trace_schema",
+    "validate_trace_json",
+]

@@ -1,0 +1,185 @@
+"""Trace rendering and validation: the ``trace-report`` pretty-printer
+and a dependency-free validator for the checked-in trace schema.
+
+The validator interprets the small JSON-Schema subset used by
+``trace_schema.json`` (type / required / properties /
+additionalProperties / items / minimum / enum / ``$ref`` into
+``#/definitions``) rather than pulling in the ``jsonschema`` package —
+the repo is zero-dependency by charter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .tracing import TRACE_SCHEMA
+
+__all__ = [
+    "trace_document",
+    "format_span_tree",
+    "render_trace_report",
+    "load_trace_schema",
+    "validate_trace_json",
+]
+
+_SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+
+def trace_document(spans: List[Dict[str, Any]],
+                   metrics: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap jsonable span trees (from ``OBS.take_roots()``) into the
+    versioned document shape ``trace_schema.json`` describes."""
+    doc: Dict[str, Any] = {"schema": TRACE_SCHEMA, "spans": spans}
+    if metrics is not None:
+        doc["metrics"] = metrics
+    return doc
+
+
+def load_trace_schema() -> Dict[str, Any]:
+    with open(_SCHEMA_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# mini JSON-Schema-subset validation
+
+
+def validate_trace_json(doc: Any, schema: Optional[Dict[str, Any]] = None) -> List[str]:
+    """Validate ``doc`` against the trace schema; return a list of
+    human-readable problems (empty means valid)."""
+    if schema is None:
+        schema = load_trace_schema()
+    errors: List[str] = []
+    _validate(doc, schema, schema, "$", errors)
+    return errors
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def _validate(value: Any, schema: Dict[str, Any], root: Dict[str, Any],
+              path: str, errors: List[str]) -> None:
+    if "$ref" in schema:
+        _validate(value, _resolve_ref(schema["$ref"], root), root, path, errors)
+        return
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                _validate(value[key], sub, root, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in properties:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+# ---------------------------------------------------------------------------
+# pretty-printing
+
+
+def _format_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{int(ns)}ns"
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def format_span_tree(span: Dict[str, Any], indent: int = 0,
+                     total_ns: Optional[int] = None) -> List[str]:
+    """Render one span tree as indented lines with duration shares."""
+    if total_ns is None:
+        total_ns = max(1, span.get("duration_ns", 0))
+    duration = span.get("duration_ns", 0)
+    share = 100.0 * duration / total_ns
+    line = (
+        f"{'  ' * indent}{span['name']:<{max(1, 32 - 2 * indent)}} "
+        f"{_format_ns(duration):>10}  {share:5.1f}%"
+    )
+    attrs = span.get("attrs")
+    if attrs:
+        line += f"  [{_format_attrs(attrs)}]"
+    if span.get("error"):
+        line += f"  !! {span['error']}"
+    lines = [line]
+    for child in span.get("children", []):
+        lines.extend(format_span_tree(child, indent + 1, total_ns))
+    return lines
+
+
+def render_trace_report(doc: Dict[str, Any], top_metrics: int = 20) -> str:
+    """The ``python -m repro trace-report`` body for one trace document."""
+    lines: List[str] = []
+    spans = doc.get("spans", [])
+    if not spans:
+        lines.append("(no spans recorded)")
+    for span in spans:
+        lines.extend(format_span_tree(span))
+        lines.append("")
+    metrics = doc.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("counters:")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for name, value in ranked[:top_metrics]:
+            lines.append(f"  {name:<40} {value}")
+        if len(ranked) > top_metrics:
+            lines.append(f"  ... {len(ranked) - top_metrics} more")
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = h.get("count", 0)
+            mean = (h.get("sum", 0.0) / count) if count else 0.0
+            lines.append(
+                f"  {name:<40} n={count} mean={mean:.3g} "
+                f"min={h.get('min')} max={h.get('max')}"
+            )
+    return "\n".join(lines).rstrip() + "\n"

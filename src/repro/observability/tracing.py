@@ -1,0 +1,304 @@
+"""Hierarchical span tracing with a guarded no-op disabled mode.
+
+The instrumentation contract, used identically at every call site::
+
+    from repro.observability import OBS, trace
+
+    _C_QUERIES = OBS.registry.counter("navigator.queries")
+
+    def find_path(...):
+        if OBS.enabled:                 # the ONLY disabled-mode cost
+            _C_QUERIES.inc()
+        with trace("find_path", k=k):   # no-op singleton when disabled
+            ...
+
+When disabled (the default), every instrumentation point costs one
+truthiness check: ``OBS.enabled`` is a plain bool attribute, and
+``trace()`` returns a shared do-nothing context manager without
+allocating.  The bench gate in ``tests/test_observability.py`` holds
+this to <2% of navigator query latency.
+
+When enabled (``REPRO_TRACE=1``, ``--trace`` on the CLIs, or
+``OBS.enable()``), ``trace(name, **attrs)`` opens a :class:`Span` with
+nanosecond timings.  Spans nest per thread (thread-local stacks);
+completed top-level spans collect in a lock-protected root list drained
+by :meth:`Observability.take_roots`.
+
+Process boundaries: :func:`repro.parallel.map_per_tree` workers call
+:meth:`begin_task_capture` / :meth:`end_task_capture` around each task
+and ship the resulting delta (metric changes + completed span trees as
+plain dicts) back with the result; the parent merges deltas in input
+order via :meth:`merge_task_delta`, attaching worker spans as children
+of whatever span was open at the call site.  Serial and parallel runs
+therefore produce the same aggregated telemetry for deterministic
+workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Observability",
+    "OBS",
+    "trace",
+    "TRACE_SCHEMA",
+]
+
+TRACE_SCHEMA = "repro.observability.trace/v1"
+
+Jsonable = Dict[str, Any]
+
+
+class Span:
+    """One timed, attributed node in a trace tree.
+
+    ``children`` may hold both :class:`Span` objects (same-process
+    nesting) and already-jsonable dicts (spans merged back from
+    workers); :meth:`to_jsonable` normalises both.
+    """
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children", "error")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.start_ns = 0
+        self.end_ns = 0
+        self.children: List[Union["Span", Jsonable]] = []
+        self.error: Optional[str] = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span after it was opened."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration_ns(self) -> int:
+        return max(0, self.end_ns - self.start_ns)
+
+    def to_jsonable(self) -> Jsonable:
+        node: Jsonable = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            node["attrs"] = _jsonable_attrs(self.attrs)
+        if self.error is not None:
+            node["error"] = self.error
+        if self.children:
+            node["children"] = [
+                child if isinstance(child, dict) else child.to_jsonable()
+                for child in self.children
+            ]
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ns}ns, {len(self.children)} children)"
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on the caller's stack."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span):
+        self._span = span
+
+    def __enter__(self) -> Span:
+        OBS._push(self._span)
+        self._span.start_ns = time.perf_counter_ns()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end_ns = time.perf_counter_ns()
+        if exc is not None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        OBS._pop(self._span)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned by ``trace()`` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanStack(threading.local):
+    def __init__(self):
+        self.stack: List[Span] = []
+
+
+class Observability:
+    """Process-wide instrumentation state: the enabled flag, the metrics
+    registry, per-thread span stacks, and the completed-root buffer."""
+
+    def __init__(self):
+        self.enabled = _env_enabled()
+        self.registry = MetricsRegistry()
+        self._tls = _SpanStack()
+        self._roots: List[Union[Span, Jsonable]] = []
+        self._roots_lock = threading.Lock()
+
+    # -- enablement --------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    @contextmanager
+    def scoped(self, enabled: bool = True):
+        """Temporarily flip the enabled flag (tests, CLI ``--trace``)."""
+        previous = self.enabled
+        self.enabled = enabled
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # -- span stack --------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = self._tls.stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._tls.stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit (abandoned generator, ...)
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        # A span closing with no enclosing span is a completed root; spans
+        # with parents were attached to parent.children at push time.
+        if not stack:
+            with self._roots_lock:
+                self._roots.append(span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._tls.stack
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def under_span(self, parent: Optional[Span]):
+        """Run this thread's spans as children of ``parent`` (used by the
+        thread-pool fallback in the parallel engine; no timing of its own)."""
+        if parent is None:
+            yield
+            return
+        stack = self._tls.stack
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+
+    # -- completed roots ---------------------------------------------------
+
+    def take_roots(self) -> List[Jsonable]:
+        """Drain completed top-level spans as jsonable trees."""
+        with self._roots_lock:
+            roots, self._roots = self._roots, []
+        return [
+            root if isinstance(root, dict) else root.to_jsonable() for root in roots
+        ]
+
+    def clear(self) -> None:
+        """Drop all collected spans and open stacks (this thread's) and
+        zero the registry.  Used by tests and worker initialisation."""
+        with self._roots_lock:
+            self._roots = []
+        self._tls.stack = []
+        self.registry.reset()
+
+    # -- worker task capture ----------------------------------------------
+
+    def begin_task_capture(self) -> Dict[str, Any]:
+        """Mark the start of one worker task; pair with
+        :meth:`end_task_capture`.  Single-threaded per worker process."""
+        with self._roots_lock:
+            mark = len(self._roots)
+        return {"metrics": self.registry.snapshot(), "roots_mark": mark}
+
+    def end_task_capture(self, token: Dict[str, Any]) -> Dict[str, Any]:
+        """Everything this task recorded, as a picklable delta dict."""
+        metrics = self.registry.delta_since(token["metrics"])
+        mark = token["roots_mark"]
+        with self._roots_lock:
+            new_roots = self._roots[mark:]
+            del self._roots[mark:]
+        spans = [
+            root if isinstance(root, dict) else root.to_jsonable()
+            for root in new_roots
+        ]
+        return {"metrics": metrics, "spans": spans}
+
+    def merge_task_delta(self, delta: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker task delta into this process, attaching its span
+        trees under the caller's open span (or as new roots)."""
+        if not delta:
+            return
+        self.registry.merge(delta.get("metrics") or {})
+        spans = delta.get("spans") or []
+        if not spans:
+            return
+        parent = self.current()
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            with self._roots_lock:
+                self._roots.extend(spans)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0", "false", "no")
+
+
+OBS = Observability()
+
+
+def trace(name: str, **attrs: Any):
+    """Open a span when observability is enabled, else a shared no-op.
+
+    Usage: ``with trace("robust_cover", n=len(points)) as sp: ...``.
+    """
+    if not OBS.enabled:
+        return _NOOP
+    return _SpanContext(Span(name, attrs))

@@ -24,6 +24,14 @@ Shipping strategy, in order of preference:
 Worker processes refuse to open nested pools (``resolve_workers``
 returns 0 inside a worker), so a parallel cover build inside a parallel
 bench sweep degrades to serial instead of forking a process storm.
+
+Observability rides the same rails: when tracing is enabled in the
+parent, the enabled flag ships with the context, each worker wraps its
+task in a metrics/span capture, and the per-task deltas come back with
+the results and merge in input order (so aggregated telemetry matches a
+serial run for deterministic workloads).  The thread-pool fallback
+shares the parent's registry directly and adopts the caller's open span
+as the parent of worker-thread spans.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, NamedTuple, Optional
 
+from ..observability import OBS
 from .sharedmem import export_metric, import_metric
 
 __all__ = [
@@ -121,7 +130,13 @@ def _init_worker(shipment: Any) -> None:
     os.environ[_IN_WORKER_ENV] = "1"
     if shipment == _FORK_TOKEN:
         shipment = _FORK_SHIP
-    fn, metric_spec, payload = shipment
+    fn, metric_spec, payload, obs_enabled = shipment
+    OBS.enabled = obs_enabled
+    if obs_enabled:
+        # Fork children inherit the parent's registry values and any open
+        # span stacks; start each worker from a clean slate so per-task
+        # deltas contain only this worker's own work.
+        OBS.clear()
     metric = import_metric(metric_spec) if metric_spec is not None else None
     _WORKER_FN = fn
     _WORKER_CTX = WorkerContext(metric, payload)
@@ -129,11 +144,16 @@ def _init_worker(shipment: Any) -> None:
 
 def _run_task(item: Any):
     # Wrap fn's own exceptions so the parent can tell "fn raised" (re-raise,
-    # like a serial loop) from "the pool machinery broke" (fall back).
+    # like a serial loop) from "the pool machinery broke" (fall back).  When
+    # tracing is on, everything the task recorded travels back as a third
+    # element and merges into the parent in input order.
+    capture = OBS.begin_task_capture() if OBS.enabled else None
     try:
-        return ("ok", _WORKER_FN(_WORKER_CTX, item))
+        outcome = ("ok", _WORKER_FN(_WORKER_CTX, item))
     except Exception as exc:  # noqa: BLE001 — transported, re-raised in parent
-        return ("err", exc)
+        outcome = ("err", exc)
+    delta = OBS.end_task_capture(capture) if capture is not None else None
+    return outcome + (delta,)
 
 
 def _picklable(obj: Any) -> bool:
@@ -181,7 +201,7 @@ def map_per_tree(
 
     global _FORK_SHIP
     spec, owners = (None, []) if metric is None else export_metric(metric)
-    shipment = (fn, spec, payload)
+    shipment = (fn, spec, payload, OBS.enabled)
     try:
         if use_fork:
             _FORK_SHIP = shipment
@@ -205,16 +225,32 @@ def map_per_tree(
 def _thread_map(
     fn: Callable, ctx: WorkerContext, items: List[Any], workers: int
 ) -> List[Any]:
+    # Threads share the parent's registry directly; spans opened inside a
+    # worker thread nest under the caller's open span (attachment order
+    # follows completion order — this is the fallback path, not the
+    # deterministic process-pool merge).
+    parent = OBS.current() if OBS.enabled else None
+
+    def run(item: Any) -> Any:
+        if parent is None:
+            return fn(ctx, item)
+        with OBS.under_span(parent):
+            return fn(ctx, item)
+
     try:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda item: fn(ctx, item), items))
+            return list(pool.map(run, items))
     except Exception:  # noqa: BLE001 — pool machinery failure: run serial
         return _serial_map(fn, ctx, items)
 
 
 def _unwrap(wrapped: List[Any]) -> List[Any]:
+    # Deltas merge in input order, stopping at the first error exactly as
+    # a serial loop would have (later items' telemetry never existed).
     results = []
-    for status, value in wrapped:
+    for status, value, delta in wrapped:
+        if delta:
+            OBS.merge_task_delta(delta)
         if status == "err":
             raise value
         results.append(value)

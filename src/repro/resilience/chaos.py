@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InvariantViolation, check
+from ..observability import OBS, trace
 from ..treecover.dumbbell import path_replacement_bound
 from .degradation import DegradedResult, find_path_degraded, route_degraded
 from .injectors import CrashRecoverySchedule, FaultInjector
@@ -29,6 +30,15 @@ from .injectors import CrashRecoverySchedule, FaultInjector
 __all__ = ["ChaosHarness", "ChaosReport", "SurvivalPoint"]
 
 _MIX = 1000003
+
+# Chaos survival telemetry: every query the harness fires, split by how
+# it came back, plus the over-budget queries that survived anyway (the
+# graceful-degradation events the resilience subsystem exists for).
+_C_QUERIES = OBS.registry.counter("chaos.queries")
+_C_DELIVERED = OBS.registry.counter("chaos.delivered")
+_C_DEGRADED = OBS.registry.counter("chaos.degraded")
+_C_OVER_BUDGET_SURVIVED = OBS.registry.counter("chaos.over_budget_survived")
+_C_INVARIANTS = OBS.registry.counter("chaos.invariants_checked")
 
 
 @dataclass
@@ -245,11 +255,22 @@ class ChaosHarness:
             pairs.append((u, v))
         return pairs
 
+    @staticmethod
+    def _count_outcome(outcome: DegradedResult, over_budget: bool) -> None:
+        _C_QUERIES.inc()
+        if outcome.delivered:
+            _C_DELIVERED.inc()
+            if over_budget:
+                _C_OVER_BUDGET_SURVIVED.inc()
+        if outcome.degraded:
+            _C_DEGRADED.inc()
+
     def _run_one(
         self, faults: Set[int], salt: int, report: ChaosReport
     ) -> Tuple[SurvivalPoint, Optional[SurvivalPoint]]:
         pairs = self._query_pairs(faults, salt)
         within_budget = len(faults) <= self.spanner.f
+        obs = OBS.enabled
         nav_outcomes = []
         for u, v in pairs:
             outcome = find_path_degraded(
@@ -258,6 +279,10 @@ class ChaosHarness:
             if within_budget:
                 self.enforce_navigation(outcome)
                 report.invariants_checked += 1
+                if obs:
+                    _C_INVARIANTS.inc()
+            if obs:
+                self._count_outcome(outcome, not within_budget)
             nav_outcomes.append(outcome)
         nav_point = _aggregate(len(faults), nav_outcomes)
         route_point = None
@@ -269,6 +294,10 @@ class ChaosHarness:
                 if within_route_budget:
                     self.enforce_routing(outcome)
                     report.invariants_checked += 1
+                    if obs:
+                        _C_INVARIANTS.inc()
+                if obs:
+                    self._count_outcome(outcome, not within_route_budget)
                 route_outcomes.append(outcome)
             route_point = _aggregate(len(faults), route_outcomes)
         return nav_point, route_point
@@ -284,12 +313,14 @@ class ChaosHarness:
             injector=injector.name, f=self.spanner.f, k=self.spanner.k,
             queries_per_size=self.queries,
         )
-        for salt, size in enumerate(sizes):
-            faults = injector.sample(size) if size else set()
-            nav_point, route_point = self._run_one(faults, salt, report)
-            report.navigation.append(nav_point)
-            if route_point is not None:
-                report.routing.append(route_point)
+        with trace("chaos.sweep", injector=injector.name, sizes=len(sizes)):
+            for salt, size in enumerate(sizes):
+                faults = injector.sample(size) if size else set()
+                with trace("chaos.size", size=size):
+                    nav_point, route_point = self._run_one(faults, salt, report)
+                report.navigation.append(nav_point)
+                if route_point is not None:
+                    report.routing.append(route_point)
         return report
 
     def run_schedule(self, schedule: CrashRecoverySchedule) -> ChaosReport:
@@ -300,9 +331,13 @@ class ChaosHarness:
             f=self.spanner.f, k=self.spanner.k,
             queries_per_size=self.queries,
         )
-        for step, faults in enumerate(schedule):
-            nav_point, route_point = self._run_one(faults, 1000 + step, report)
-            report.navigation.append(nav_point)
-            if route_point is not None:
-                report.routing.append(route_point)
+        with trace("chaos.schedule", injector=schedule.injector.name):
+            for step, faults in enumerate(schedule):
+                with trace("chaos.step", step=step, faults=len(faults)):
+                    nav_point, route_point = self._run_one(
+                        faults, 1000 + step, report
+                    )
+                report.navigation.append(nav_point)
+                if route_point is not None:
+                    report.routing.append(route_point)
         return report

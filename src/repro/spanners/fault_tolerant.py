@@ -28,9 +28,15 @@ from ..core.navigation import TreeNavigator, dedup_path
 from ..errors import FaultBudgetExceeded, InvariantViolation, check
 from ..graphs.graph import Graph
 from ..metrics.base import Metric
+from ..observability import OBS, trace
 from ..parallel import map_per_tree
 from ..treecover.base import TreeCover
 from ..treecover.dumbbell import robust_tree_cover
+
+_C_QUERIES = OBS.registry.counter("ft.queries")
+_C_TREES_PROBED = OBS.registry.counter("ft.trees_probed")
+_C_REPLICA_SUBS = OBS.registry.counter("ft.replica_substitutions")
+_C_ENDPOINT_FALLBACKS = OBS.registry.counter("ft.endpoint_fallbacks")
 
 __all__ = ["FaultTolerantSpanner"]
 
@@ -97,12 +103,13 @@ class FaultTolerantSpanner:
                 f"{len(replicas)} replica tables supplied for "
                 f"{len(self.cover.trees)} cover trees"
             )
-        built = map_per_tree(
-            _build_ft_tree,
-            range(len(self.cover.trees)),
-            workers=workers,
-            payload=(self.cover.trees, k, f),
-        )
+        with trace("ft.build", n=metric.n, f=f, k=k, trees=len(self.cover.trees)):
+            built = map_per_tree(
+                _build_ft_tree,
+                range(len(self.cover.trees)),
+                workers=workers,
+                payload=(self.cover.trees, k, f),
+            )
         self.navigators: List[TreeNavigator] = [navigator for navigator, _ in built]
         #: replicas[t][v] = the replica set R(v) of tree t's vertex v.
         #: Normally derived from the cover (prefixes of the descendant
@@ -177,9 +184,14 @@ class FaultTolerantSpanner:
             raise FaultBudgetExceeded(self.f, faulty)
         if u == v:
             return [u]
+        obs = OBS.enabled
+        if obs:
+            _C_QUERIES.inc()
         best_path: List[int] = []
         best_weight = float("inf")
         for index in self.candidate_trees(u, v, candidates):
+            if obs:
+                _C_TREES_PROBED.inc()
             path = self._path_in_tree(index, u, v, faulty)
             weight = sum(
                 self.metric.distance(a, b) for a, b in zip(path, path[1:])
@@ -216,12 +228,17 @@ class FaultTolerantSpanner:
             cover_tree.vertex_of_point[u], cover_tree.vertex_of_point[v]
         )
         reps = self.replicas[index]
+        obs = OBS.enabled
         points: List[int] = [u]
         for x in vertex_path[1:-1]:
+            if obs:
+                _C_REPLICA_SUBS.inc()
             live = [p for p in reps[x] if p not in faulty]
             if not live:
                 # Undersized replica sets always contain an endpoint.
                 live = [p for p in (u, v) if p in reps[x] and p not in faulty]
+                if obs and live:
+                    _C_ENDPOINT_FALLBACKS.inc()
             if not live:
                 if strict:
                     raise InvariantViolation(

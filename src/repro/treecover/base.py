@@ -24,8 +24,15 @@ from ..errors import check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric, sample_pairs
 from ..metrics.tree_metric import TreeMetric
+from ..observability import OBS
 
 __all__ = ["CoverTree", "TreeCover"]
+
+# Trees consulted per best-tree selection: 1 for Ramsey home-tree
+# lookups, ζ for the ordinary scan — the O(1) vs O(ζ) contrast of
+# Section 3.2 made measurable.
+_C_SELECTIONS = OBS.registry.counter("cover.selections")
+_H_CONSULTED = OBS.registry.histogram("cover.trees_consulted")
 
 
 class CoverTree:
@@ -164,6 +171,9 @@ class TreeCover:
         Ramsey covers answer from the home tree in O(1); ordinary covers
         scan all ζ trees (O(ζ), as in Section 3.2 of the paper).
         """
+        if OBS.enabled:
+            _C_SELECTIONS.inc()
+            _H_CONSULTED.observe(1 if self.home is not None else len(self.trees))
         if self.home is not None:
             index = self.home[p]
             return index, self.trees[index].tree_distance(p, q)
@@ -187,6 +197,11 @@ class TreeCover:
         pairs = list(pairs)
         if not pairs:
             return []
+        if OBS.enabled:
+            _C_SELECTIONS.inc(len(pairs))
+            consulted = 1 if self.home is not None else len(self.trees)
+            for _ in pairs:
+                _H_CONSULTED.observe(consulted)
         if self.home is not None:
             return [
                 (self.home[p], self.trees[self.home[p]].tree_distance(p, q))

@@ -39,8 +39,12 @@ from ..errors import InvariantViolation, check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric
 from ..metrics.doubling import NetHierarchy
+from ..observability import OBS, trace
 from ..parallel import map_per_tree
 from .base import CoverTree, TreeCover
+
+_C_PAIRING_SETS = OBS.registry.counter("cover.robust.pairing_sets")
+_C_MERGE_GROUPS = OBS.registry.counter("cover.robust.merge_groups")
 
 __all__ = [
     "PairingCover",
@@ -296,6 +300,16 @@ def robust_tree_cover(
     """
     if not 0 < eps < 1:
         raise ValueError("eps must lie in (0, 1)")
+    with trace("robust_cover", n=metric.n, eps=eps):
+        return _robust_tree_cover(metric, eps, hierarchy, workers)
+
+
+def _robust_tree_cover(
+    metric: Metric,
+    eps: float,
+    hierarchy: Optional[NetHierarchy],
+    workers: Optional[int],
+) -> TreeCover:
     if hierarchy is None:
         # Extend the hierarchy below the minimum distance so that every
         # pair, however close, has a level i with 2^i in [2*eps*d, 4*eps*d)
@@ -305,7 +319,10 @@ def robust_tree_cover(
         lo, hi = scale_levels(metric)
         lo -= math.ceil(math.log2(1.0 / eps)) + 2
         hierarchy = NetHierarchy(metric, i_min=lo, i_max=hi)
-    covers = build_pairing_covers(metric, hierarchy, eps)
+    with trace("pairing_covers"):
+        covers = build_pairing_covers(metric, hierarchy, eps)
+    if OBS.enabled:
+        _C_PAIRING_SETS.inc(sum(len(c) for c in covers.values()))
     # Two phases beyond the paper's ceil(log 1/eps) shrink the ratio
     # between consecutive processed levels to <= eps/4, which keeps the
     # subtree-diameter recursion (Lemma 4.3) convergent for every
@@ -335,32 +352,38 @@ def robust_tree_cover(
     top = hierarchy.i_max + phases
     conn_groups: Dict[int, List[List[int]]] = {}
     pair_groups: Dict[int, List[List[List[int]]]] = {}
-    for i in range(hierarchy.i_min + 1, top + 1):
-        lower = i - phases
-        net = hierarchy.net(min(i, hierarchy.i_max))
-        near_conn = hierarchy.net_points_within_many(lower, net, 2.0 * 2.0**i)
-        conn_groups[i] = [
-            group
-            for z, nbrs in zip(net, near_conn)
-            if len(group := list(dict.fromkeys([z] + nbrs))) > 1
-        ]
-        cover = covers.get(i)
-        if cover is None or not cover.sets:
-            continue
-        endpoints = sorted(
-            {v for pairs in cover.sets for pair in pairs for v in pair}
-        )
-        gath_lists = hierarchy.net_points_within_many(
-            lower, endpoints, gather * 2.0**i
-        )
-        gath = dict(zip(endpoints, gath_lists))
-        pair_groups[i] = [
-            [
-                list(dict.fromkeys([x, y] + gath[x] + gath[y]))
-                for x, y in pairs
+    with trace("merge_groups"):
+        for i in range(hierarchy.i_min + 1, top + 1):
+            lower = i - phases
+            net = hierarchy.net(min(i, hierarchy.i_max))
+            near_conn = hierarchy.net_points_within_many(lower, net, 2.0 * 2.0**i)
+            conn_groups[i] = [
+                group
+                for z, nbrs in zip(net, near_conn)
+                if len(group := list(dict.fromkeys([z] + nbrs))) > 1
             ]
-            for pairs in cover.sets
-        ]
+            cover = covers.get(i)
+            if cover is None or not cover.sets:
+                continue
+            endpoints = sorted(
+                {v for pairs in cover.sets for pair in pairs for v in pair}
+            )
+            gath_lists = hierarchy.net_points_within_many(
+                lower, endpoints, gather * 2.0**i
+            )
+            gath = dict(zip(endpoints, gath_lists))
+            pair_groups[i] = [
+                [
+                    list(dict.fromkeys([x, y] + gath[x] + gath[y]))
+                    for x, y in pairs
+                ]
+                for pairs in cover.sets
+            ]
+        if OBS.enabled:
+            _C_MERGE_GROUPS.inc(
+                sum(len(g) for g in conn_groups.values())
+                + sum(len(s) for sets in pair_groups.values() for s in sets)
+            )
 
     levels_by_phase = [
         [
@@ -373,13 +396,14 @@ def robust_tree_cover(
     tasks = [
         (p, j) for p in range(phases) for j in range(max(sets_per_phase[p], 1))
     ]
-    trees: List[CoverTree] = map_per_tree(
-        _build_robust_tree,
-        tasks,
-        workers=workers,
-        metric=metric,
-        payload=(levels_by_phase, conn_groups, pair_groups, metric.n),
-    )
+    with trace("build_trees", trees=len(tasks)):
+        trees: List[CoverTree] = map_per_tree(
+            _build_robust_tree,
+            tasks,
+            workers=workers,
+            metric=metric,
+            payload=(levels_by_phase, conn_groups, pair_groups, metric.n),
+        )
     return TreeCover(metric, trees)
 
 

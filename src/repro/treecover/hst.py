@@ -23,7 +23,11 @@ import numpy as np
 
 from ..graphs.tree import Tree
 from ..metrics.base import Metric
+from ..observability import OBS, trace
 from .base import CoverTree
+
+_C_PARTITIONS = OBS.registry.counter("cover.hst.ckr_partitions")
+_C_CLUSTERS = OBS.registry.counter("cover.hst.clusters")
 
 __all__ = ["ckr_partition", "PartitionHierarchy", "build_hst"]
 
@@ -69,6 +73,9 @@ def ckr_partition(
     clusters: dict = {}
     for index, own in enumerate(owner):
         clusters.setdefault(int(own), []).append(int(member_array[index]))
+    if OBS.enabled:
+        _C_PARTITIONS.inc()
+        _C_CLUSTERS.inc(len(clusters))
     return list(clusters.values())
 
 
@@ -183,6 +190,7 @@ class PartitionHierarchy:
 
 def build_hst(metric: Metric, alpha: float, seed: int = 0) -> "tuple[CoverTree, Set[int]]":
     """One dominating HST plus the set of points padded at every level."""
-    rng = random.Random(seed)
-    hierarchy = PartitionHierarchy(metric, alpha, rng)
-    return hierarchy.to_cover_tree(), hierarchy.padded
+    with trace("hst.build", n=metric.n, alpha=alpha):
+        rng = random.Random(seed)
+        hierarchy = PartitionHierarchy(metric, alpha, rng)
+        return hierarchy.to_cover_tree(), hierarchy.padded

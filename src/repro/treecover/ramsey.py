@@ -22,11 +22,20 @@ import random
 from typing import List, Optional
 
 from ..metrics.base import Metric
+from ..observability import OBS, trace
 from ..parallel import derive_seed, map_per_tree, resolve_workers
 from .base import TreeCover
 from .hst import PartitionHierarchy
 
 __all__ = ["ramsey_tree_cover", "few_trees_cover"]
+
+# Hierarchy draws actually consumed vs drawn: parallel builds draw
+# speculative batches, so drawn - consumed is the speculation surplus
+# (and the one place parallel and serial build *metrics* may differ
+# even though the produced cover is identical).
+_C_DRAWS = OBS.registry.counter("cover.ramsey.draws")
+_C_CONSUMED = OBS.registry.counter("cover.ramsey.draws_consumed")
+_C_FALLBACK_HOMES = OBS.registry.counter("cover.ramsey.fallback_homes")
 
 
 def _draw_hierarchy(ctx, task_seed: int):
@@ -71,6 +80,17 @@ def ramsey_tree_cover(
     """
     if ell < 1:
         raise ValueError("ell must be at least 1")
+    with trace("ramsey_cover", n=metric.n, ell=ell):
+        return _ramsey_tree_cover(metric, ell, seed, max_iterations, workers)
+
+
+def _ramsey_tree_cover(
+    metric: Metric,
+    ell: int,
+    seed: int,
+    max_iterations: Optional[int],
+    workers: Optional[int],
+) -> TreeCover:
     alpha = 8.0 * ell
     if max_iterations is None:
         max_iterations = 40 * max(1, round(ell * metric.n ** (1.0 / ell)))
@@ -88,10 +108,14 @@ def ramsey_tree_cover(
         draws = map_per_tree(
             _draw_hierarchy, seeds, workers=workers, metric=metric, payload=alpha
         )
+        if OBS.enabled:
+            _C_DRAWS.inc(len(draws))
         for cover_tree, padded in draws:
             if not remaining:
                 break
             iterations += 1
+            if OBS.enabled:
+                _C_CONSUMED.inc()
             newly = remaining & padded
             if not newly:
                 continue
@@ -103,6 +127,8 @@ def ramsey_tree_cover(
 
     if remaining:
         # Fallback: home leftover points to their empirically best tree.
+        if OBS.enabled:
+            _C_FALLBACK_HOMES.inc(len(remaining))
         if not trees:
             hierarchy = PartitionHierarchy(
                 metric, alpha, random.Random(derive_seed(seed, next_draw))
@@ -143,13 +169,21 @@ def few_trees_cover(
     # With alpha ~ n^{1/ell} the padding probability per hierarchy is a
     # constant, so ell independent draws cover most points.
     alpha = 8.0 * max(1.0, metric.n ** (1.0 / ell))
-    draws = map_per_tree(
-        _draw_hierarchy,
-        [derive_seed(seed, t) for t in range(ell)],
-        workers=workers,
-        metric=metric,
-        payload=alpha,
-    )
+    with trace("few_trees_cover", n=metric.n, ell=ell):
+        draws = map_per_tree(
+            _draw_hierarchy,
+            [derive_seed(seed, t) for t in range(ell)],
+            workers=workers,
+            metric=metric,
+            payload=alpha,
+        )
+        if OBS.enabled:
+            _C_DRAWS.inc(len(draws))
+            _C_CONSUMED.inc(len(draws))
+        return _few_trees_home(metric, ell, draws)
+
+
+def _few_trees_home(metric: Metric, ell: int, draws) -> TreeCover:
     trees = [cover_tree for cover_tree, _ in draws]
     padded_sets = [padded for _, padded in draws]
 

@@ -3,17 +3,42 @@
 Theorems 5.6 and the MST-verification results of Section 5.6.2 are
 statements about the *number of semigroup operations* (resp. weight
 comparisons), not wall-clock time; these wrappers count them.
+
+Both wrappers are thin back-compat shims over the observability
+registry (:mod:`repro.observability`): the instance-local ``.ops`` /
+``.comparisons`` attributes and ``reset()`` semantics are unchanged —
+existing callers and tests keep working — and when tracing is enabled
+(``REPRO_TRACE=1``) every application is *also* mirrored into the
+shared registry counters ``semigroup.ops`` and
+``comparator.comparisons``, so the operation counts show up alongside
+the distance-kernel counters in trace reports and exported metrics.
+
+Distance-call accounting lives in the metric layer itself
+(``kernel.*`` and ``metric.cache.*`` counters); a metric wrapped in
+:class:`~repro.metrics.kernels.CachedMetric` bumps its kernel counters
+only on cache *misses* — cache hits never reach the inner metric, so
+nothing is double-counted.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..observability import OBS
+
 __all__ = ["CountingSemigroup", "CountingComparator"]
+
+_C_SEMIGROUP_OPS = OBS.registry.counter("semigroup.ops")
+_C_COMPARISONS = OBS.registry.counter("comparator.comparisons")
 
 
 class CountingSemigroup:
-    """Wraps an associative binary operation and counts applications."""
+    """Wraps an associative binary operation and counts applications.
+
+    ``.ops`` is the per-instance count the semigroup theorems are
+    checked against; the shared ``semigroup.ops`` registry counter
+    aggregates across instances when observability is enabled.
+    """
 
     def __init__(self, op: Callable):
         self._op = op
@@ -21,10 +46,16 @@ class CountingSemigroup:
 
     def __call__(self, a, b):
         self.ops += 1
+        if OBS.enabled:
+            _C_SEMIGROUP_OPS.inc()
         return self._op(a, b)
 
     def reset(self) -> int:
-        """Return the count and reset it."""
+        """Return the per-instance count and reset it.
+
+        The shared registry counter is cumulative and unaffected;
+        reset it through ``OBS.registry.reset()`` / ``OBS.clear()``.
+        """
         count = self.ops
         self.ops = 0
         return count
@@ -46,10 +77,14 @@ class CountingComparator:
 
     def less(self, a, b) -> bool:
         self.comparisons += 1
+        if OBS.enabled:
+            _C_COMPARISONS.inc()
         return a < b
 
     def max(self, a, b):
         self.comparisons += 1
+        if OBS.enabled:
+            _C_COMPARISONS.inc()
         return a if a >= b else b
 
     def reset(self) -> int:
