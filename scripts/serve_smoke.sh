@@ -1,0 +1,90 @@
+#!/usr/bin/env sh
+# Smoke the serving daemon end to end through the CLI:
+# build a cover checkpoint -> start `python -m repro serve` in the
+# background -> drive mixed traffic (paths, distances, a route, a
+# pipelined burst) -> inject one live fault and wait for background
+# recovery -> scrape /metrics over plain HTTP -> clean shutdown via the
+# protocol's shutdown op.  Exercises every serving layer (admission
+# batching, degraded labelling, chaos recovery, the HTTP facade) on a
+# small instance; fast enough for CI.  The exhaustive suite lives in
+# tests/test_serve.py behind the `serve` pytest marker.
+#
+# Usage: scripts/serve_smoke.sh [work_dir]
+set -eu
+cd "$(dirname "$0")/.."
+WORK_DIR="${1:-$(mktemp -d)}"
+CKPT="$WORK_DIR/cover.ckpt"
+LOG="$WORK_DIR/serve.log"
+N=70
+PORT=$((20000 + $$ % 20000))
+
+PYTHONPATH=src python -m repro checkpoint --family euclidean --n "$N" \
+    --what cover --out "$CKPT"
+
+PYTHONPATH=src python -m repro serve "$CKPT" --family euclidean --n "$N" \
+    --port "$PORT" --flush-ms 1.0 >"$LOG" 2>&1 &
+SERVE_PID=$!
+# Whatever happens below, never leave the daemon running.
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+PYTHONPATH=src python - "$PORT" "$N" <<'EOF'
+import sys
+import urllib.request
+
+from repro.serve import ServeClient, wait_for_server
+
+port, n = int(sys.argv[1]), int(sys.argv[2])
+wait_for_server("127.0.0.1", port, timeout=120)
+
+with ServeClient("127.0.0.1", port) as client:
+    health = client.health()
+    assert health["ready"], health
+    print(f"daemon ready: {health['service']['trees_serving']} trees serving")
+
+    # Mixed traffic: scalar queries plus a pipelined burst that the
+    # admission controller coalesces into micro-batches.
+    for u, v in [(0, n - 1), (1, n // 2), (3, 7)]:
+        response = client.path(u, v)
+        assert response["status"] == "ok", response
+        assert response["result"]["hops"] <= 3, response
+    assert client.distance(2, n - 2)["status"] == "ok"
+    assert client.route(5, n - 5)["status"] == "ok"
+    burst = client.query_batch(
+        "path", [(i, (i * 7 + 3) % n) for i in range(24) if i != (i * 7 + 3) % n]
+    )
+    assert all(r["status"] == "ok" for r in burst)
+    print(f"mixed traffic ok ({len(burst)} pipelined queries)")
+
+    # One injected fault: responses degrade with an explicit label,
+    # then background recovery restores the full contract.
+    outcome = client.chaos(kill=[0], recover=True)
+    assert outcome["result"]["killed"] == [0], outcome
+    degraded = client.path(0, n - 1)
+    assert degraded["status"] in ("ok", "degraded"), degraded
+    client.wait_state("ready", timeout=300)
+    recovered = client.path(0, n - 1)
+    assert recovered["status"] == "ok", recovered
+    print("fault injected, degraded labelling observed, recovery complete")
+
+    # The same port speaks HTTP for scraping.
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=30
+    ) as response:
+        text = response.read().decode()
+    assert "repro_serve_admitted" in text, text[:200]
+    assert "repro_serve_chaos_trees_killed" in text
+    print(f"scraped /metrics: {len(text.splitlines())} series lines")
+
+    client.shutdown()
+EOF
+
+# The shutdown op must terminate the daemon cleanly (exit code 0).
+if wait "$SERVE_PID"; then
+    trap - EXIT
+else
+    echo "ERROR: daemon exited non-zero after shutdown op" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+echo "serve smoke passed"

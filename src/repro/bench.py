@@ -55,14 +55,17 @@ from .treecover.hst import build_hst
 __all__ = [
     "TREE_COVERS_SCHEMA",
     "NAVIGATION_SCHEMA",
+    "SERVING_SCHEMA",
     "bench_tree_covers",
     "bench_navigation",
+    "bench_serving",
     "validate_bench_json",
     "write_bench_files",
 ]
 
 TREE_COVERS_SCHEMA = "repro.bench.tree_covers/v1"
 NAVIGATION_SCHEMA = "repro.bench.navigation/v1"
+SERVING_SCHEMA = "repro.bench.serving/v1"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -471,6 +474,162 @@ def _bench_navigation(
     return payload
 
 
+def _serve_closed_loop(
+    client, pairs: List[Tuple[int, int]], queries: int, window: int
+) -> Tuple[float, List[float], Dict[str, int]]:
+    """Drive ``queries`` requests keeping ``window`` in flight.
+
+    Offered load is fixed by the window: every completion immediately
+    triggers the next send, so the daemon always sees ``window``
+    outstanding requests (the regime where admission batching matters).
+    Returns (total seconds, per-request latency in µs, status counts).
+    """
+    inflight: Dict[object, float] = {}
+    lat_us: List[float] = []
+    statuses: Dict[str, int] = {}
+    sent = 0
+
+    def send_one() -> None:
+        nonlocal sent
+        u, v = pairs[sent % len(pairs)]
+        request_id = client.send([{"op": "path", "u": u, "v": v}])[0]
+        inflight[request_id] = time.perf_counter()
+        sent += 1
+
+    start = time.perf_counter()
+    for _ in range(min(window, queries)):
+        send_one()
+    for _ in range(queries):
+        response = client.recv()
+        lat_us.append((time.perf_counter() - inflight.pop(response["id"])) * 1e6)
+        statuses[response["status"]] = statuses.get(response["status"], 0) + 1
+        if sent < queries:
+            send_one()
+    return time.perf_counter() - start, lat_us, statuses
+
+
+def bench_serving(
+    n: int = 300,
+    dim: int = 2,
+    seed: int = 1,
+    eps: float = 0.5,
+    k: int = 3,
+    queries: int = 240,
+    window: int = 32,
+    batch_sizes: Tuple[int, ...] = (1, 8, 32),
+    workers: Optional[int] = None,
+) -> Dict:
+    """Serving-daemon benchmarks: cold start and closed-loop latency.
+
+    Rows:
+
+    * ``cold_start`` — checkpoint load (audit included) through daemon
+      bind to the first answered query, the time-to-first-byte of a
+      deploy or a recovery restart.
+    * ``serve_batch_{b}`` for each ``b`` in ``batch_sizes`` — a fresh
+      daemon per admission batch size, driven closed-loop with
+      ``window`` requests always in flight; the detail carries
+      p50/p99 per-request latency (client-observed, queueing included)
+      and per-query throughput.  ``seed_seconds``/``speedup`` on the
+      ``b > 1`` rows compare against the ``batch=1`` row, so the win
+      from micro-batching into ``find_paths`` is a tracked number.
+    """
+    import tempfile
+
+    from .checkpoint import CheckpointService, save_cover_checkpoint
+    from .serve import AdmissionPolicy, ServeClient, ThreadedServer
+
+    metric = random_points(n, dim=dim, seed=seed)
+    resolved_workers = _timing_workers(workers)
+    cover = robust_tree_cover(metric, eps=eps, workers=resolved_workers)
+    handle, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(handle)
+    results: List[Dict] = []
+    try:
+        save_cover_checkpoint(
+            cover, path, builder={"family": "euclidean-robust", "eps": eps}
+        )
+
+        start = time.perf_counter()
+        service = CheckpointService(
+            metric, k=k, workers=resolved_workers
+        ).load(path)
+        load_secs = time.perf_counter() - start
+        with ThreadedServer(service) as threaded:
+            with ServeClient(threaded.host, threaded.port) as client:
+                first = client.path(0, n - 1)
+        cold_secs = time.perf_counter() - start
+        results.append(
+            _result(
+                "cold_start",
+                n,
+                cold_secs,
+                None,
+                {
+                    "load_seconds": round(load_secs, 6),
+                    "zeta": cover.size,
+                    "k": k,
+                    "first_query_status": first["status"],
+                },
+            )
+        )
+
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(queries)]
+        pairs = [(u, v) for u, v in pairs if u != v] or [(0, n - 1)]
+        batch1_secs: Optional[float] = None
+        for batch_size in batch_sizes:
+            policy = AdmissionPolicy(
+                max_batch=batch_size,
+                max_queue=max(256, window * 4),
+                flush_interval=0.001,
+            )
+            with ThreadedServer(service, policy=policy) as threaded:
+                with ServeClient(threaded.host, threaded.port) as client:
+                    total, lat_us, statuses = _serve_closed_loop(
+                        client, pairs, queries, window
+                    )
+            lat = np.asarray(lat_us)
+            results.append(
+                _result(
+                    f"serve_batch_{batch_size}",
+                    n,
+                    total,
+                    batch1_secs,
+                    {
+                        "queries": queries,
+                        "window": window,
+                        "max_batch": batch_size,
+                        "p50_us": round(float(np.percentile(lat, 50)), 2),
+                        "p99_us": round(float(np.percentile(lat, 99)), 2),
+                        "per_query_us": round(total / queries * 1e6, 2),
+                        "statuses": statuses,
+                    },
+                )
+            )
+            if batch1_secs is None:
+                batch1_secs = total
+    finally:
+        os.unlink(path)
+
+    return {
+        "schema": SERVING_SCHEMA,
+        "config": {
+            "n": n,
+            "dim": dim,
+            "seed": seed,
+            "eps": eps,
+            "k": k,
+            "queries": queries,
+            "window": window,
+            "batch_sizes": list(batch_sizes),
+            "workers": resolved_workers,
+        },
+        "results": results,
+        "meta": _meta(),
+    }
+
+
 def validate_bench_json(payload: Dict) -> None:
     """Raise ``ValueError`` unless ``payload`` honors the bench schema.
 
@@ -482,7 +641,7 @@ def validate_bench_json(payload: Dict) -> None:
     if not isinstance(payload, dict):
         raise ValueError("bench payload must be a JSON object")
     schema = payload.get("schema")
-    if schema not in (TREE_COVERS_SCHEMA, NAVIGATION_SCHEMA):
+    if schema not in (TREE_COVERS_SCHEMA, NAVIGATION_SCHEMA, SERVING_SCHEMA):
         raise ValueError(f"unknown bench schema: {schema!r}")
     for key in ("config", "meta"):
         if not isinstance(payload.get(key), dict):
@@ -520,6 +679,7 @@ def write_bench_files(
     out_dir: str,
     tree_payload: Optional[Dict] = None,
     nav_payload: Optional[Dict] = None,
+    serving_payload: Optional[Dict] = None,
 ) -> List[str]:
     """Validate and write the BENCH_*.json artifacts; returns the paths."""
     import os
@@ -529,6 +689,7 @@ def write_bench_files(
     for payload, filename in (
         (tree_payload, "BENCH_tree_covers.json"),
         (nav_payload, "BENCH_navigation.json"),
+        (serving_payload, "BENCH_serving.json"),
     ):
         if payload is None:
             continue

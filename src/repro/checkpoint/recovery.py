@@ -28,8 +28,9 @@ repaired silently.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.metric_navigator import MetricNavigator
 from ..errors import CheckpointCorruption, ReproError
@@ -399,17 +400,102 @@ class CheckpointService:
         self._home: Optional[List[int]] = None
         self._meta: Dict[str, Any] = {}
         self.report: Optional[RecoveryReport] = None
+        # Concurrency: `_state_lock` guards every read/swap of the
+        # (navigator, pending, recovering, generation) tuple so queries
+        # see one consistent service level; `_mutate_lock` serializes
+        # the heavyweight transitions (load / recover / kill_trees),
+        # which do their rebuild work *outside* `_state_lock` so live
+        # queries keep flowing off the previous navigator meanwhile.
+        self._state_lock = threading.Lock()
+        self._mutate_lock = threading.Lock()
+        self._recovering = False
+        self.generation = 0
 
     # -- state -----------------------------------------------------------
 
     @property
     def recovery_pending(self) -> bool:
         """True while queries are served without the full contract."""
-        return bool(self._pending) or self._navigator is None
+        with self._state_lock:
+            return bool(self._pending) or self._navigator is None
 
     @property
     def navigator(self) -> Optional[MetricNavigator]:
         return self._navigator
+
+    @property
+    def state(self) -> str:
+        """One word for the current service level.
+
+        ``ready`` (full contract), ``degraded`` (serving from surviving
+        trees), ``recovering`` (degraded with a recovery in flight) or
+        ``down`` (nothing salvageable yet).
+        """
+        with self._state_lock:
+            if self._recovering:
+                return "recovering"
+            if self._navigator is None:
+                return "down"
+            if self._pending:
+                return "degraded"
+            return "ready"
+
+    def _status_locked(self) -> Dict[str, Any]:
+        if self._recovering:
+            state = "recovering"
+        elif self._navigator is None:
+            state = "down"
+        elif self._pending:
+            state = "degraded"
+        else:
+            state = "ready"
+        return {
+            "state": state,
+            "generation": self.generation,
+            "trees_total": len(self._salvaged),
+            "trees_pending": len(self._pending),
+            "trees_serving": (
+                self._navigator.cover.size
+                if self._navigator is not None else 0
+            ),
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of the service level (for envelopes)."""
+        with self._state_lock:
+            return self._status_locked()
+
+    def snapshot(self) -> Tuple[Optional[MetricNavigator], Dict[str, Any]]:
+        """The serving navigator plus the status that describes *it*.
+
+        Both come from one critical section, so a batch executed on the
+        returned navigator can be labelled with exactly the service
+        level it was answered at, even if a swap lands mid-batch.
+        """
+        with self._state_lock:
+            return self._navigator, self._status_locked()
+
+    def alive_tree_indexes(self) -> List[int]:
+        """Checkpoint tree indexes currently serving (not dead/pending)."""
+        with self._state_lock:
+            return [
+                index for index, tree in enumerate(self._salvaged)
+                if tree is not None
+            ]
+
+    def _swap(
+        self,
+        navigator: Optional[MetricNavigator],
+        pending: List[int],
+        salvaged: Optional[List[Optional[CoverTree]]] = None,
+    ) -> None:
+        """Atomically install a new service level (bumps generation)."""
+        with self._state_lock:
+            self._navigator = navigator
+            self._pending = pending
+            if salvaged is not None:
+                self._salvaged = salvaged
+            self.generation += 1
 
     # -- loading ---------------------------------------------------------
 
@@ -421,6 +507,10 @@ class CheckpointService:
         start serving immediately.  Call :meth:`recover` (e.g. from a
         background worker) to finish.
         """
+        with self._mutate_lock:
+            return self._load(path)
+
+    def _load(self, path: str) -> "CheckpointService":
         self._path = path
         pairs = sample_pairs(self.metric.n, 120, seed=0)
         try:
@@ -428,20 +518,16 @@ class CheckpointService:
         except CheckpointCorruption as exc:
             # Nothing salvageable: no service until recover() rebuilds.
             self._meta = {}
-            self._salvaged = []
-            self._pending = [-1]
-            self._navigator = None
             self.report = None
             self._unusable_reason = str(exc)
+            self._swap(None, [-1], salvaged=[])
             return self
         self._meta = meta
         header = bodies.get("cover")
         num_trees = header.get("num_trees") if isinstance(header, dict) else None
         if "cover" in bad_sections or not isinstance(num_trees, int) or num_trees <= 0:
-            self._salvaged = []
-            self._pending = [-1]
-            self._navigator = None
             self._unusable_reason = "cover header section lost"
+            self._swap(None, [-1], salvaged=[])
             return self
         self._home = header.get("home") if isinstance(header, dict) else None
         salvaged: List[Optional[CoverTree]] = []
@@ -470,14 +556,12 @@ class CheckpointService:
             if cover_tree is None:
                 pending.append(index)
             salvaged.append(cover_tree)
-        self._salvaged = salvaged
-        self._pending = pending
         if not pending:
             cover = TreeCover(self.metric, list(salvaged), home=self._home)
             audit_cover(
                 cover, contract=self.contract, pairs=pairs, workers=self.workers
             )
-            self._navigator = MetricNavigator(
+            navigator = MetricNavigator(
                 self.metric, cover, self.k, workers=self.workers
             )
             self.report = _record_report(RecoveryReport(
@@ -490,11 +574,12 @@ class CheckpointService:
                 # Partial cover: home table suspended (it indexes the
                 # full tree list), stretch contract not promised.
                 partial = TreeCover(self.metric, survivors, home=None)
-                self._navigator = MetricNavigator(
+                navigator = MetricNavigator(
                     self.metric, partial, self.k, workers=self.workers
                 )
             else:
-                self._navigator = None
+                navigator = None
+        self._swap(navigator, pending, salvaged=salvaged)
         return self
 
     # -- queries ---------------------------------------------------------
@@ -510,7 +595,16 @@ class CheckpointService:
         obs = OBS.enabled
         if obs:
             _C_SVC_QUERIES.inc()
-        if self._navigator is None:
+        # One consistent snapshot of the service level: the navigator
+        # the answer comes from and the degraded flag must describe the
+        # same generation even while kill_trees()/recover() swap state
+        # from other threads.  Queries then run lock-free on the
+        # snapshot (navigators are immutable once built).
+        with self._state_lock:
+            navigator = self._navigator
+            num_pending = len(self._pending)
+            pending = bool(num_pending) or navigator is None
+        if navigator is None:
             if obs:
                 _C_SVC_UNDELIVERED.inc()
             return DegradedResult(
@@ -520,11 +614,10 @@ class CheckpointService:
                     + getattr(self, "_unusable_reason", "no salvageable trees")
                 ),
             )
-        path = self._navigator.find_path(u, v)
-        weight = self._navigator.path_weight(path)
+        path = navigator.find_path(u, v)
+        weight = navigator.path_weight(path)
         base = self.metric.distance(u, v)
         stretch = weight / base if base > 0 else 1.0
-        pending = self.recovery_pending
         if obs and pending:
             _C_SVC_DEGRADED.inc()
         return DegradedResult(
@@ -532,11 +625,48 @@ class CheckpointService:
             hops=len(path) - 1, weight=weight, stretch=stretch,
             reason=(
                 f"recovery in progress: serving from "
-                f"{self._navigator.cover.size} surviving trees, "
-                f"{len(self._pending)} pending rebuild"
+                f"{navigator.cover.size} surviving trees, "
+                f"{num_pending} pending rebuild"
                 if pending else ""
             ),
         )
+
+    # -- live degradation ------------------------------------------------
+
+    def kill_trees(self, indexes: Sequence[int]) -> List[int]:
+        """Drop live trees from the serving navigator (chaos fault mode).
+
+        Simulates in-memory loss of per-tree state under traffic: the
+        named trees stop serving immediately, subsequent queries come
+        from the survivors labelled ``degraded=True``, and — because
+        the checkpoint on disk is untouched — a later :meth:`recover`
+        (typically from a background thread) restores full service.
+        Returns the indexes actually killed.
+        """
+        with self._mutate_lock:
+            with self._state_lock:
+                salvaged = list(self._salvaged)
+                pending = set(self._pending)
+            killed = [
+                index for index in indexes
+                if 0 <= index < len(salvaged) and salvaged[index] is not None
+            ]
+            if not killed:
+                return []
+            for index in killed:
+                salvaged[index] = None
+                pending.add(index)
+            survivors = [t for t in salvaged if t is not None]
+            if survivors:
+                partial = TreeCover(self.metric, survivors, home=None)
+                navigator = MetricNavigator(
+                    self.metric, partial, self.k, workers=self.workers
+                )
+            else:
+                navigator = None
+                self._unusable_reason = "every tree killed by chaos"
+            self._swap(navigator, sorted(pending), salvaged=salvaged)
+            return killed
 
     # -- recovery --------------------------------------------------------
 
@@ -549,17 +679,27 @@ class CheckpointService:
         """
         if self._path is None:
             raise ValueError("load() a checkpoint before recover()")
-        report = recover_cover(
-            self._path,
-            self.metric,
-            builder=self.builder,
-            contract=self.contract,
-            resave=resave,
-            workers=self.workers,
-        )
-        self._navigator = MetricNavigator(
-            self.metric, report.cover, self.k, workers=self.workers
-        )
-        self._pending = []
-        self.report = report
+        with self._mutate_lock:
+            with self._state_lock:
+                self._recovering = True
+            try:
+                # The rebuild runs outside _state_lock: concurrent
+                # queries keep answering (degraded) from the previous
+                # navigator until the swap below.
+                report = recover_cover(
+                    self._path,
+                    self.metric,
+                    builder=self.builder,
+                    contract=self.contract,
+                    resave=resave,
+                    workers=self.workers,
+                )
+                navigator = MetricNavigator(
+                    self.metric, report.cover, self.k, workers=self.workers
+                )
+                self.report = report
+                self._swap(navigator, [], salvaged=list(report.cover.trees))
+            finally:
+                with self._state_lock:
+                    self._recovering = False
         return report

@@ -8,6 +8,7 @@ Examples::
     python -m repro chaos      --scenario adversarial --f 2 --k 4
     python -m repro checkpoint --family euclidean --n 120 --what ft --out ft.ckpt
     python -m repro audit      --checkpoint ft.ckpt --family euclidean --n 120
+    python -m repro serve cover.ckpt --family euclidean --n 120 --port 7421
     python -m repro bench --quick --trace
     python -m repro chaos --trace --trace-out TRACE_chaos.json
     python -m repro trace-report TRACE_chaos.json
@@ -357,16 +358,77 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .checkpoint import CheckpointService
+    from .observability import OBS
+    from .serve import AdmissionPolicy, SpannerServer
+
+    metric = _make_metric(args.family, args.n, args.seed)
+    service = CheckpointService(
+        metric,
+        k=args.k,
+        builder=lambda m: _make_cover(
+            args.family, m, args.eps, args.ell, args.seed, workers=args.workers
+        ),
+        workers=args.workers,
+    )
+    start = time.perf_counter()
+    service.load(args.checkpoint)
+    print(
+        f"loaded {args.checkpoint} in {time.perf_counter() - start:.2f}s: "
+        f"{service.status()['trees_serving']} trees serving, "
+        f"state={service.state}"
+    )
+    if not args.no_obs:
+        # The daemon's /metrics endpoint serves the observability
+        # registry, so instrumentation is on by default while serving.
+        OBS.enable()
+    policy = AdmissionPolicy(
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        flush_interval=args.flush_ms / 1000.0,
+        default_deadline=args.deadline_ms / 1000.0,
+        max_retries=args.max_retries,
+    )
+    server = SpannerServer(
+        service, policy, host=args.host, port=args.port, router_seed=args.seed
+    )
+    if service.recovery_pending:
+        print("checkpoint damaged: serving degraded responses from the "
+              "survivors while recovery runs in the background")
+        server.chaos.start_recovery()
+
+    def ready(host: str, port: int) -> None:
+        status = service.status()
+        print(
+            f"READY {host} {port} state={status['state']} "
+            f"trees={status['trees_serving']}/{status['trees_total']} "
+            f"k={args.k} max_batch={policy.max_batch}",
+            flush=True,
+        )
+
+    return server.run(ready=ready)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import bench_navigation, bench_tree_covers, write_bench_files
+    from .bench import (
+        bench_navigation,
+        bench_serving,
+        bench_tree_covers,
+        write_bench_files,
+    )
 
     if args.quick:
         n = args.n or 400
         nav_n = args.nav_n or 200
+        serve_n = args.serve_n or 150
+        serve_queries = 120
         robust_repeats = 1
     else:
         n = args.n or 2000
         nav_n = args.nav_n or 600
+        serve_n = args.serve_n or 300
+        serve_queries = 240
         robust_repeats = args.robust_repeats
     print(f"tree-cover construction benchmarks (n={n}, "
           f"baseline={'on' if not args.no_baseline else 'off'}) ...")
@@ -398,7 +460,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if key in ("p50_us", "p99_us", "per_query_us", "edges", "zeta")
         )
         print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({extra})")
-    paths = write_bench_files(args.out_dir, tree_payload, nav_payload)
+    serving_payload = None
+    if not args.no_serving:
+        print(f"serving benchmarks (n={serve_n}, batch sizes 1/8/32) ...")
+        serving_payload = bench_serving(
+            n=serve_n, seed=args.seed, queries=serve_queries,
+            workers=args.workers,
+        )
+        for entry in serving_payload["results"]:
+            detail = entry["detail"]
+            extra = ", ".join(
+                f"{key}={value}" for key, value in detail.items()
+                if key in ("p50_us", "p99_us", "per_query_us", "zeta")
+            )
+            print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({extra})")
+    paths = write_bench_files(
+        args.out_dir, tree_payload, nav_payload, serving_payload
+    )
     for path in paths:
         print(f"wrote {path}")
     if args.trace:
@@ -555,6 +633,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(audit, "TRACE_audit.json")
     audit.set_defaults(func=cmd_audit)
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived query daemon over a cover checkpoint "
+             "(NDJSON protocol + /healthz /readyz /metrics)",
+    )
+    serve.add_argument("checkpoint", type=str,
+                       help="cover checkpoint to load (written by "
+                            "'repro checkpoint --what cover')")
+    serve.add_argument("--family", choices=["euclidean", "general", "planar"],
+                       default="euclidean")
+    serve.add_argument("--n", type=int, default=120,
+                       help="points in the checkpoint's metric")
+    serve.add_argument("--k", type=int, default=3,
+                       help="hop-diameter parameter for the navigators")
+    serve.add_argument("--eps", type=float, default=0.45)
+    serve.add_argument("--ell", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission queue bound (beyond: overloaded)")
+    serve.add_argument("--flush-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window")
+    serve.add_argument("--deadline-ms", type=float, default=2000.0,
+                       help="default per-request deadline")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="transient batch-failure retries")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="disable the observability registry "
+                            "(/metrics will be empty)")
+    _add_workers_flag(serve)
+    serve.set_defaults(func=cmd_serve)
+
     bench = sub.add_parser(
         "bench",
         help="benchmark-regression harness; emits BENCH_*.json artifacts",
@@ -563,6 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="points for construction benches (default 2000)")
     bench.add_argument("--nav-n", type=int, default=0,
                        help="points for navigation benches (default 600)")
+    bench.add_argument("--serve-n", type=int, default=0,
+                       help="points for serving benches (default 300)")
+    bench.add_argument("--no-serving", action="store_true",
+                       help="skip the serving-daemon benchmarks")
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing repeats (best-of) for cheap constructions")

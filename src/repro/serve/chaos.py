@@ -1,0 +1,107 @@
+"""Live-traffic chaos: kill serving trees, recover in the background.
+
+PR 1's injectors and PR 3's :class:`CheckpointService` exercised faults
+*offline*; this controller is the live-traffic version the daemon
+exposes as a request type (``op: "chaos"``).  A kill drops trees from
+the serving navigator mid-traffic — in-flight and subsequent queries
+immediately come back ``degraded``-labelled from the survivors — and,
+unless asked not to, a daemon-side background thread runs
+:meth:`CheckpointService.recover` until the audit passes and full
+contract service resumes.  The checkpoint on disk is never touched, so
+recovery always converges for an intact file.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..checkpoint.recovery import CheckpointService
+from ..observability import OBS
+
+__all__ = ["ChaosController"]
+
+_C_KILLS = OBS.registry.counter("serve.chaos.trees_killed")
+_C_RECOVERIES = OBS.registry.counter("serve.chaos.recoveries")
+_C_RECOVERY_FAILURES = OBS.registry.counter("serve.chaos.recovery_failures")
+
+
+class ChaosController:
+    """Inject tree deaths into a live service and drive recovery."""
+
+    def __init__(self, service: CheckpointService):
+        self.service = service
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._last_error: Optional[str] = None
+
+    @property
+    def recovery_running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    @property
+    def last_error(self) -> Optional[str]:
+        return self._last_error
+
+    def inject(
+        self,
+        kill: Optional[Sequence[int]] = None,
+        kill_random: int = 0,
+        seed: int = 0,
+        recover: bool = True,
+    ) -> Dict[str, Any]:
+        """Kill trees and (optionally) start background recovery.
+
+        ``kill`` names checkpoint tree indexes outright; ``kill_random``
+        samples that many currently-alive trees with a seeded RNG
+        (deterministic for tests and scripted scenarios).  With
+        ``recover=True`` a recovery thread starts unless one is already
+        running; ``kill=[]``/``kill_random=0`` with ``recover=True``
+        just (re)starts recovery for an already-degraded service.
+        """
+        indexes: List[int] = list(kill or [])
+        if kill_random > 0:
+            alive = self.service.alive_tree_indexes()
+            rng = random.Random(seed)
+            chosen = rng.sample(alive, min(kill_random, len(alive)))
+            indexes.extend(chosen)
+        killed = self.service.kill_trees(indexes) if indexes else []
+        if killed and OBS.enabled:
+            _C_KILLS.inc(len(killed))
+        recovering = False
+        if recover and (killed or self.service.recovery_pending):
+            recovering = self.start_recovery()
+        return {
+            "killed": killed,
+            "recovering": recovering or self.recovery_running,
+            "service": self.service.status(),
+        }
+
+    def start_recovery(self) -> bool:
+        """Start the background recovery thread; False if one is live."""
+        with self._lock:
+            if self.recovery_running:
+                return False
+            self._last_error = None
+            self._thread = threading.Thread(
+                target=self._recover, name="repro-serve-recovery", daemon=True
+            )
+            self._thread.start()
+            return True
+
+    def _recover(self) -> None:
+        try:
+            self.service.recover()
+            if OBS.enabled:
+                _C_RECOVERIES.inc()
+        except Exception as exc:  # surfaced via health, not a crash
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            if OBS.enabled:
+                _C_RECOVERY_FAILURES.inc()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)

@@ -1,0 +1,204 @@
+"""A small synchronous client for the serving daemon.
+
+Used by the tests, the serving benchmark and ``scripts/serve_smoke.sh``
+to drive traffic; embedding applications can use it too.  It speaks the
+line protocol over a plain TCP socket and matches responses to requests
+by ``id``, so pipelined bursts (the point of the admission batcher)
+work naturally: :meth:`ServeClient.send` writes many requests at once,
+:meth:`ServeClient.collect` gathers their responses in request order
+regardless of the order the server finished them in.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .protocol import encode_line
+
+__all__ = ["ServeClient", "wait_for_server"]
+
+
+class ServeClient:
+    """Blocking NDJSON client; safe for single-threaded use."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._inbox: Dict[Any, Dict[str, Any]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- raw request plumbing --------------------------------------------
+
+    def send(self, requests: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Write many requests in one burst; returns their ids."""
+        ids: List[Any] = []
+        chunks: List[bytes] = []
+        for request in requests:
+            payload = dict(request)
+            if "id" not in payload:
+                self._next_id += 1
+                payload["id"] = self._next_id
+            ids.append(payload["id"])
+            chunks.append(encode_line(payload))
+        self._sock.sendall(b"".join(chunks))
+        return ids
+
+    def collect(self, ids: Sequence[Any]) -> List[Dict[str, Any]]:
+        """Responses for ``ids`` in that order (reads until all arrive)."""
+        wanted = set(ids)
+        while wanted - self._inbox.keys():
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError(
+                    "server closed the connection mid-collection"
+                )
+            response = json.loads(line)
+            self._inbox[response.get("id")] = response
+        return [self._inbox.pop(request_id) for request_id in ids]
+
+    def recv(self) -> Dict[str, Any]:
+        """The next response off the wire, regardless of id.
+
+        For closed-loop drivers (the serving benchmark) that keep a
+        window of requests in flight and react to completions in the
+        order the server finishes them.  Drains the inbox first so it
+        composes with :meth:`collect`.
+        """
+        if self._inbox:
+            request_id = next(iter(self._inbox))
+            return self._inbox.pop(request_id)
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One request, one response."""
+        payload = {"op": op, **fields}
+        return self.collect(self.send([payload]))[0]
+
+    # -- query convenience -----------------------------------------------
+
+    def distance(
+        self, u: int, v: int, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self._query("distance", u, v, deadline_ms)
+
+    def path(
+        self, u: int, v: int, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self._query("path", u, v, deadline_ms)
+
+    def route(
+        self, u: int, v: int, deadline_ms: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self._query("route", u, v, deadline_ms)
+
+    def _query(
+        self, op: str, u: int, v: int, deadline_ms: Optional[float]
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"u": u, "v": v}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.request(op, **fields)
+
+    def query_batch(
+        self,
+        op: str,
+        pairs: Sequence[Tuple[int, int]],
+        deadline_ms: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Pipeline one op over many pairs; responses in pair order."""
+        requests = []
+        for u, v in pairs:
+            fields: Dict[str, Any] = {"op": op, "u": u, "v": v}
+            if deadline_ms is not None:
+                fields["deadline_ms"] = deadline_ms
+            requests.append(fields)
+        return self.collect(self.send(requests))
+
+    # -- admin convenience -----------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")["result"]
+
+    def metrics_text(self) -> str:
+        return self.request("metrics")["result"]["text"]
+
+    def chaos(
+        self,
+        kill: Optional[Sequence[int]] = None,
+        kill_random: int = 0,
+        seed: int = 0,
+        recover: bool = True,
+    ) -> Dict[str, Any]:
+        fields: Dict[str, Any] = {"recover": recover}
+        if kill is not None:
+            fields["kill"] = list(kill)
+        if kill_random:
+            fields["kill_random"] = kill_random
+            fields["seed"] = seed
+        return self.request("chaos", **fields)
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    # -- polling helpers -------------------------------------------------
+
+    def wait_state(
+        self, state: str, timeout: float = 60.0, interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``health`` until the service reaches ``state``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            health = self.health()
+            if health["service"]["state"] == state:
+                return health
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"service did not reach state {state!r} within "
+                    f"{timeout}s (currently {health['service']['state']!r})"
+                )
+            time.sleep(interval)
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 30.0, interval: float = 0.1
+) -> None:
+    """Block until a daemon accepts connections and answers a ping."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=timeout) as client:
+                client.ping()
+                return
+        except (OSError, ConnectionError, json.JSONDecodeError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(
+        f"no daemon answering on {host}:{port} after {timeout}s "
+        f"(last error: {last_error})"
+    )

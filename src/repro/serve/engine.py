@@ -1,0 +1,154 @@
+"""Batch query execution against a live :class:`CheckpointService`.
+
+The engine is the synchronous half of the daemon: the batcher hands it
+``(op, pairs)`` micro-batches on a worker thread and it answers them
+through the vectorized kernels — ``approx_distances`` for ``distance``,
+``find_paths`` for ``path``, and the Theorem 5.1 compact-routing scheme
+for ``route`` (per the local-routing model of arXiv:2012.00959, route
+answers come from per-tree labels/tables, not global state).
+
+Every batch runs against **one**
+:meth:`~repro.checkpoint.recovery.CheckpointService.snapshot`, so all
+its payloads are labelled with exactly the service level that answered
+them: while the chaos controller has trees dead and recovery is still
+running, payloads come back ``status="degraded"`` with the surviving
+tree count in the ``service`` block — never an unlabelled wrong answer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..checkpoint.recovery import CheckpointService
+from ..observability import OBS
+from ..routing.metric_routing import MetricRoutingScheme
+
+__all__ = ["QueryEngine"]
+
+_C_DEGRADED = OBS.registry.counter("serve.degraded_responses")
+_C_UNDELIVERED = OBS.registry.counter("serve.undelivered_responses")
+
+
+class QueryEngine:
+    """Execute query micro-batches at the current service level."""
+
+    def __init__(self, service: CheckpointService, router_seed: int = 0):
+        self.service = service
+        self.router_seed = router_seed
+        # The routing scheme derives from the serving cover, so it is
+        # rebuilt lazily whenever a swap (chaos kill / recovery) bumps
+        # the service generation.  The lock covers concurrent batches
+        # on the executor's thread pool.
+        self._router_lock = threading.Lock()
+        self._router: Optional[MetricRoutingScheme] = None
+        self._router_generation = -1
+
+    # -- public entry (the batcher's executor) ---------------------------
+
+    def execute(
+        self, op: str, pairs: List[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
+        navigator, status = self.service.snapshot()
+        degraded = status["state"] != "ready"
+        status["degraded"] = degraded
+        if navigator is None:
+            if OBS.enabled:
+                _C_UNDELIVERED.inc(len(pairs))
+            reason = "no surviving trees; recovery has not completed"
+            return [
+                {"status": "undelivered", "result": None, "error": reason,
+                 "service": status}
+                for _ in pairs
+            ]
+        n = self.service.metric.n
+        for u, v in pairs:
+            if not (0 <= u < n and 0 <= v < n):
+                # The server validates ids before admission; this guards
+                # direct engine users with a full-batch typed failure.
+                raise ValueError(f"point pair ({u}, {v}) outside [0, {n})")
+        if op == "distance":
+            payloads = self._distances(navigator, pairs)
+        elif op == "path":
+            payloads = self._paths(navigator, pairs)
+        elif op == "route":
+            payloads = self._routes(navigator, status["generation"], pairs)
+        else:
+            raise ValueError(f"unknown batch op {op!r}")
+        label = "degraded" if degraded else "ok"
+        if degraded and OBS.enabled:
+            _C_DEGRADED.inc(len(pairs))
+        for payload in payloads:
+            if payload.get("status") is None:
+                payload["status"] = label
+            payload.setdefault("error", None)
+            payload["service"] = status
+        return payloads
+
+    # -- per-op kernels --------------------------------------------------
+
+    def _distances(self, navigator, pairs) -> List[Dict[str, Any]]:
+        distances = navigator.approx_distances(pairs)
+        return [
+            {"status": None, "result": {"distance": float(d)}}
+            for d in distances
+        ]
+
+    def _paths(self, navigator, pairs) -> List[Dict[str, Any]]:
+        payloads: List[Dict[str, Any]] = []
+        for (u, v), (path, tree) in zip(pairs, navigator.find_paths(pairs)):
+            weight = navigator.path_weight(path)
+            base = self.service.metric.distance(u, v)
+            payloads.append({
+                "status": None,
+                "result": {
+                    "path": list(path),
+                    "hops": len(path) - 1,
+                    "weight": weight,
+                    "stretch": weight / base if base > 0 else 1.0,
+                    "tree": tree,
+                },
+            })
+        return payloads
+
+    def _routes(self, navigator, generation, pairs) -> List[Dict[str, Any]]:
+        scheme = self._router_for(navigator, generation)
+        payloads: List[Dict[str, Any]] = []
+        for u, v in pairs:
+            if u == v:
+                payloads.append({
+                    "status": None,
+                    "result": {"path": [u], "hops": 0, "weight": 0.0,
+                               "stretch": 1.0},
+                })
+                continue
+            outcome = scheme.route(u, v)
+            base = self.service.metric.distance(u, v)
+            delivered = (
+                bool(outcome.path)
+                and outcome.path[0] == u
+                and outcome.path[-1] == v
+            )
+            payloads.append({
+                "status": None if delivered else "undelivered",
+                "result": {
+                    "path": list(outcome.path),
+                    "hops": outcome.hops,
+                    "weight": outcome.weight,
+                    "stretch": (
+                        outcome.weight / base if base > 0 else 1.0
+                    ),
+                } if delivered else None,
+                "error": None if delivered else "routing did not deliver",
+            })
+        return payloads
+
+    def _router_for(self, navigator, generation) -> MetricRoutingScheme:
+        with self._router_lock:
+            if self._router is None or self._router_generation != generation:
+                self._router = MetricRoutingScheme(
+                    self.service.metric, navigator.cover,
+                    seed=self.router_seed,
+                )
+                self._router_generation = generation
+            return self._router

@@ -1,0 +1,162 @@
+"""Line-delimited JSON wire protocol for the query-serving daemon.
+
+One request per line, one response per line, UTF-8 JSON.  Responses to
+a connection may arrive **out of request order** (the admission
+controller batches and different batches finish at different times);
+clients match responses to requests by the ``id`` field, which the
+server echoes verbatim.
+
+Request shape::
+
+    {"id": 7, "op": "path", "u": 3, "v": 41, "deadline_ms": 50}
+
+``op`` is one of the query ops (``distance`` | ``path`` | ``route``,
+admitted through the micro-batcher) or an admin op (``ping`` |
+``health`` | ``metrics`` | ``chaos`` | ``shutdown``, answered inline).
+``deadline_ms`` is optional and relative to arrival; omitted means the
+server's default deadline.
+
+Response envelope::
+
+    {"id": 7, "ok": true, "status": "ok", "result": {...},
+     "error": null, "service": {"state": "ready", "generation": 1, ...}}
+
+``status`` is the per-request service level:
+
+=============  ========================================================
+``ok``         delivered with the full paper contract
+``degraded``   delivered from surviving trees only (no contract); the
+               ``service`` block says why
+``undelivered`` nothing salvageable could answer (still not an error:
+               the envelope labels the outage explicitly)
+``overloaded`` shed at admission — the bounded queue was full
+``timeout``    the request's deadline expired before an answer
+``error``      malformed request or an exhausted-retries failure
+=============  ========================================================
+
+``ok`` is true exactly for ``ok``/``degraded`` (an answer was
+delivered); every response carries the ``service`` block so clients
+can observe degradation and recovery on live traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "ADMIN_OPS",
+    "DELIVERED_STATUSES",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "make_response",
+    "encode_line",
+]
+
+PROTOCOL_VERSION = "repro.serve/v1"
+
+QUERY_OPS = frozenset({"distance", "path", "route"})
+ADMIN_OPS = frozenset({"ping", "health", "metrics", "chaos", "shutdown"})
+DELIVERED_STATUSES = frozenset({"ok", "degraded"})
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be admitted; carries the echoed id."""
+
+    def __init__(self, message: str, request_id: Any = None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
+@dataclass
+class Request:
+    """A decoded, validated request."""
+
+    id: Any
+    op: str
+    u: int = -1
+    v: int = -1
+    deadline_ms: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _require_point(payload: Dict[str, Any], name: str, request_id: Any) -> int:
+    value = payload.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            f"field {name!r} must be an integer point id, got {value!r}",
+            request_id,
+        )
+    if value < 0:
+        raise ProtocolError(
+            f"field {name!r} must be >= 0, got {value}", request_id
+        )
+    return value
+
+
+def parse_request(line: str) -> Request:
+    """Decode one request line; raises :class:`ProtocolError` on bad input."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    request_id = payload.get("id")
+    op = payload.get("op")
+    if not isinstance(op, str) or op not in (QUERY_OPS | ADMIN_OPS):
+        raise ProtocolError(
+            f"unknown op {op!r} (query ops: {sorted(QUERY_OPS)}, "
+            f"admin ops: {sorted(ADMIN_OPS)})",
+            request_id,
+        )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a number, got {deadline_ms!r}", request_id
+            )
+        if deadline_ms <= 0:
+            raise ProtocolError(
+                f"deadline_ms must be > 0, got {deadline_ms}", request_id
+            )
+        deadline_ms = float(deadline_ms)
+    request = Request(id=request_id, op=op, deadline_ms=deadline_ms)
+    if op in QUERY_OPS:
+        request.u = _require_point(payload, "u", request_id)
+        request.v = _require_point(payload, "v", request_id)
+    request.extra = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("id", "op", "u", "v", "deadline_ms")
+    }
+    return request
+
+
+def make_response(
+    request_id: Any,
+    status: str,
+    result: Optional[Dict[str, Any]] = None,
+    error: Optional[str] = None,
+    service: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a response envelope (see the module docstring)."""
+    return {
+        "id": request_id,
+        "ok": status in DELIVERED_STATUSES,
+        "status": status,
+        "result": result,
+        "error": error,
+        "service": service,
+    }
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"

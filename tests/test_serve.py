@@ -1,0 +1,616 @@
+"""Query-serving daemon suite (``-m serve``; runs in tier-1).
+
+Three layers, mirroring the subsystem:
+
+* protocol units — request decode validation and envelope round-trips;
+* batcher units — flush-on-size vs flush-on-timer, bounded-queue
+  shedding, deadline expiry and retry-with-backoff, all against fake
+  executors so every admission behavior is deterministic;
+* end-to-end — a real daemon on a background thread over a real
+  checkpoint, driven by the bundled client, including the
+  chaos-under-traffic scenario from the acceptance criteria: with a
+  fault injected mid-traffic every response is either within-contract
+  or explicitly degraded-labelled (never an unlabelled wrong answer,
+  never a hang past its deadline), and after background recovery the
+  service returns to full-contract responses.
+
+The long soak variant additionally carries ``-m stress`` (opt-in).
+"""
+
+import asyncio
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.checkpoint import CheckpointService, save_cover_checkpoint
+from repro.metrics import random_points
+from repro.observability import OBS
+from repro.serve import (
+    AdmissionPolicy,
+    MicroBatcher,
+    ProtocolError,
+    ServeClient,
+    ThreadedServer,
+    encode_line,
+    make_response,
+    parse_request,
+)
+from repro.treecover import robust_tree_cover
+
+pytestmark = pytest.mark.serve
+
+N = 48
+K = 3
+EPS = 0.5
+BUILDER = {"family": "robust", "eps": EPS}
+
+
+# ----------------------------------------------------------------------
+# Protocol units
+
+
+class TestProtocol:
+    def test_query_request_round_trip(self):
+        line = json.dumps(
+            {"id": 9, "op": "path", "u": 1, "v": 2, "deadline_ms": 50}
+        )
+        request = parse_request(line)
+        assert (request.id, request.op, request.u, request.v) == (9, "path", 1, 2)
+        assert request.deadline_ms == 50.0
+
+    def test_admin_request_keeps_extra_fields(self):
+        request = parse_request(
+            '{"id": "x", "op": "chaos", "kill": [1, 2], "recover": false}'
+        )
+        assert request.op == "chaos"
+        assert request.extra == {"kill": [1, 2], "recover": False}
+
+    @pytest.mark.parametrize("line,fragment", [
+        ("not json", "not valid JSON"),
+        ('["a", "list"]', "JSON object"),
+        ('{"op": "explode"}', "unknown op"),
+        ('{"op": "path", "u": 1}', "field 'v'"),
+        ('{"op": "path", "u": 1.5, "v": 2}', "field 'u'"),
+        ('{"op": "path", "u": true, "v": 2}', "field 'u'"),
+        ('{"op": "path", "u": -1, "v": 2}', ">= 0"),
+        ('{"op": "path", "u": 1, "v": 2, "deadline_ms": 0}', "> 0"),
+        ('{"op": "path", "u": 1, "v": 2, "deadline_ms": "soon"}', "number"),
+    ])
+    def test_bad_requests_raise_protocol_error(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_request(line)
+
+    def test_bad_request_echoes_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"id": 42, "op": "explode"}')
+        assert excinfo.value.request_id == 42
+
+    def test_response_envelope_ok_semantics(self):
+        assert make_response(1, "ok")["ok"] is True
+        assert make_response(1, "degraded")["ok"] is True
+        for status in ("overloaded", "timeout", "error", "undelivered"):
+            assert make_response(1, status)["ok"] is False
+
+    def test_encode_line_round_trips(self):
+        envelope = make_response(3, "ok", result={"distance": 1.5})
+        raw = encode_line(envelope)
+        assert raw.endswith(b"\n")
+        assert json.loads(raw) == envelope
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(default_deadline=0)
+        assert AdmissionPolicy().deadline_at(10.0, 500.0) == 10.5
+
+
+# ----------------------------------------------------------------------
+# Batcher units (fake executors; no navigation stack involved)
+
+
+def _ok_payloads(op, pairs):
+    return [
+        {"status": "ok", "result": {"u": u, "v": v}} for u, v in pairs
+    ]
+
+
+class TestBatcher:
+    def test_flush_on_size_does_not_wait_for_timer(self):
+        async def main():
+            batches = []
+
+            def execute(op, pairs):
+                batches.append(list(pairs))
+                return _ok_payloads(op, pairs)
+
+            policy = AdmissionPolicy(
+                max_batch=4, flush_interval=5.0, default_deadline=30.0
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            payloads = await asyncio.gather(*[
+                batcher.submit("path", i, i + 1, loop.time() + 30.0)
+                for i in range(4)
+            ])
+            elapsed = loop.time() - started
+            await batcher.stop()
+            return batches, payloads, elapsed
+
+        batches, payloads, elapsed = asyncio.run(main())
+        # One full batch, flushed far sooner than the 5s timer.
+        assert batches == [[(i, i + 1) for i in range(4)]]
+        assert [p["result"]["u"] for p in payloads] == [0, 1, 2, 3]
+        assert elapsed < 2.0
+
+    def test_flush_on_timer_for_partial_batch(self):
+        async def main():
+            batches = []
+
+            def execute(op, pairs):
+                batches.append(list(pairs))
+                return _ok_payloads(op, pairs)
+
+            policy = AdmissionPolicy(
+                max_batch=32, flush_interval=0.05, default_deadline=30.0
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            payload = await batcher.submit("path", 7, 8, loop.time() + 30.0)
+            elapsed = loop.time() - started
+            await batcher.stop()
+            return batches, payload, elapsed
+
+        batches, payload, elapsed = asyncio.run(main())
+        # A lone request still flushes — after the coalescing window.
+        assert batches == [[(7, 8)]]
+        assert payload["status"] == "ok"
+        assert elapsed >= 0.04
+
+    def test_queue_full_sheds_with_overloaded(self):
+        async def main():
+            gate = threading.Event()
+
+            def execute(op, pairs):
+                gate.wait(10.0)
+                return _ok_payloads(op, pairs)
+
+            policy = AdmissionPolicy(
+                max_batch=1, max_queue=2, flush_interval=0.0,
+                default_deadline=30.0,
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 30.0
+            blocked = asyncio.ensure_future(
+                batcher.submit("path", 0, 1, deadline)
+            )
+            await asyncio.sleep(0.05)  # r0 is now executing (blocked)
+            queued = [
+                asyncio.ensure_future(batcher.submit("path", i, i + 1, deadline))
+                for i in (1, 2)
+            ]
+            await asyncio.sleep(0.05)  # r1, r2 fill the bounded queue
+            shed = await batcher.submit("path", 3, 4, deadline)
+            gate.set()
+            served = await asyncio.gather(blocked, *queued)
+            await batcher.stop()
+            return shed, served
+
+        shed, served = asyncio.run(main())
+        assert shed["status"] == "overloaded"
+        assert "queue full" in shed["error"]
+        assert [p["status"] for p in served] == ["ok", "ok", "ok"]
+
+    def test_deadline_expiry_returns_timeout_not_hang(self):
+        async def main():
+            gate = threading.Event()
+
+            def execute(op, pairs):
+                gate.wait(10.0)
+                return _ok_payloads(op, pairs)
+
+            policy = AdmissionPolicy(
+                max_batch=1, max_queue=8, flush_interval=0.0,
+                default_deadline=30.0,
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            blocked = asyncio.ensure_future(
+                batcher.submit("path", 0, 1, loop.time() + 30.0)
+            )
+            await asyncio.sleep(0.05)
+            # This one waits in the queue behind the stuck batch and
+            # must time out there — never hang, never compute.
+            started = loop.time()
+            expired = await batcher.submit("path", 2, 3, loop.time() + 0.1)
+            waited = loop.time() - started
+            gate.set()
+            first = await blocked
+            await batcher.stop()
+            return expired, waited, first
+
+        expired, waited, first = asyncio.run(main())
+        assert expired["status"] == "timeout"
+        assert waited < 5.0  # returned at its deadline, not at batch end
+        assert first["status"] == "ok"
+
+    def test_transient_failure_retries_with_backoff(self):
+        async def main():
+            attempts = []
+
+            def execute(op, pairs):
+                attempts.append(len(pairs))
+                if len(attempts) == 1:
+                    raise RuntimeError("transient worker failure")
+                return _ok_payloads(op, pairs)
+
+            policy = AdmissionPolicy(
+                max_batch=4, flush_interval=0.0, default_deadline=30.0,
+                max_retries=2, backoff_base=0.001,
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            payload = await batcher.submit("path", 1, 2, loop.time() + 30.0)
+            await batcher.stop()
+            return attempts, payload
+
+        attempts, payload = asyncio.run(main())
+        assert len(attempts) == 2  # failed once, succeeded on retry
+        assert payload["status"] == "ok"
+
+    def test_exhausted_retries_fail_with_error(self):
+        async def main():
+            def execute(op, pairs):
+                raise RuntimeError("permanently broken")
+
+            policy = AdmissionPolicy(
+                max_batch=4, flush_interval=0.0, default_deadline=30.0,
+                max_retries=1, backoff_base=0.001,
+            )
+            batcher = MicroBatcher(execute, policy)
+            await batcher.start()
+            loop = asyncio.get_running_loop()
+            payload = await batcher.submit("path", 1, 2, loop.time() + 30.0)
+            await batcher.stop()
+            return payload
+
+        payload = asyncio.run(main())
+        assert payload["status"] == "error"
+        assert "2 attempts" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a real checkpoint
+
+
+@pytest.fixture(scope="module")
+def serve_metric():
+    return random_points(N, dim=2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def serve_ckpt(serve_metric, tmp_path_factory):
+    cover = robust_tree_cover(serve_metric, eps=EPS)
+    path = str(tmp_path_factory.mktemp("serve") / "cover.ckpt")
+    save_cover_checkpoint(cover, path, builder=BUILDER)
+    return path
+
+
+@pytest.fixture(scope="module")
+def server(serve_metric, serve_ckpt):
+    service = CheckpointService(serve_metric, k=K).load(serve_ckpt)
+    with ThreadedServer(
+        service,
+        policy=AdmissionPolicy(max_batch=8, flush_interval=0.002),
+    ) as threaded:
+        yield threaded
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(server.host, server.port) as serve_client:
+        yield serve_client
+
+
+def _pairs(count, offset=0):
+    pairs = []
+    for i in range(count):
+        u = (i + offset) % N
+        v = (i * 5 + 7 + offset) % N
+        if u != v:
+            pairs.append((u, v))
+    return pairs
+
+
+class TestServerEndToEnd:
+    def test_ping_and_health(self, client):
+        assert client.ping()["result"]["pong"] is True
+        health = client.health()
+        assert health["ready"] is True
+        assert health["service"]["state"] == "ready"
+        assert health["policy"]["max_batch"] == 8
+
+    def test_path_matches_direct_navigator(self, server, client):
+        navigator = server.server.service.navigator
+        for u, v in _pairs(10):
+            response = client.path(u, v)
+            assert response["status"] == "ok"
+            result = response["result"]
+            assert result["path"] == navigator.find_path(u, v)
+            assert result["hops"] <= K
+            assert result["path"][0] == u and result["path"][-1] == v
+            assert result["stretch"] >= 1.0 - 1e-9
+
+    def test_distance_matches_direct_navigator(self, server, client):
+        navigator = server.server.service.navigator
+        for u, v in _pairs(10, offset=3):
+            response = client.distance(u, v)
+            assert response["status"] == "ok"
+            assert response["result"]["distance"] == pytest.approx(
+                navigator.approx_distance(u, v)
+            )
+
+    def test_route_delivers_with_stretch(self, client):
+        response = client.route(2, 31)
+        assert response["status"] == "ok"
+        result = response["result"]
+        assert result["path"][0] == 2 and result["path"][-1] == 31
+        assert result["stretch"] >= 1.0 - 1e-9
+
+    def test_pipelined_batch_keeps_request_order(self, client):
+        pairs = _pairs(20)
+        responses = client.query_batch("path", pairs)
+        assert len(responses) == len(pairs)
+        for (u, v), response in zip(pairs, responses):
+            assert response["status"] == "ok"
+            assert response["result"]["path"][0] == u
+            assert response["result"]["path"][-1] == v
+
+    def test_mixed_ops_on_one_connection(self, client):
+        ids = client.send([
+            {"op": "distance", "u": 1, "v": 2},
+            {"op": "path", "u": 3, "v": 4},
+            {"op": "ping"},
+        ])
+        distance, path, ping = client.collect(ids)
+        assert "distance" in distance["result"]
+        assert "path" in path["result"]
+        assert ping["result"]["pong"] is True
+
+    def test_tiny_deadline_returns_timeout(self, client):
+        response = client.path(0, 1, deadline_ms=0.001)
+        assert response["status"] == "timeout"
+        assert response["ok"] is False
+
+    def test_out_of_range_point_is_an_error(self, client):
+        response = client.path(0, N + 100)
+        assert response["status"] == "error"
+        assert f"[0, {N})" in response["error"]
+
+    def test_malformed_line_gets_error_envelope(self, client):
+        client._sock.sendall(b"this is not json\n")
+        response = client.collect([None])[0]
+        assert response["status"] == "error"
+        assert "not valid JSON" in response["error"]
+
+    def test_unknown_op_echoes_id(self, client):
+        response = client.request("explode")
+        assert response["status"] == "error"
+        assert response["id"] is not None
+
+    def test_metrics_exposes_serve_instruments(self, client):
+        text = client.metrics_text()
+        assert "repro_serve_admitted" in text
+        assert "# TYPE repro_serve_admitted counter" in text
+
+    def test_http_facade(self, server):
+        base = f"http://{server.host}:{server.port}"
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+            assert response.status == 200
+            assert json.load(response)["ready"] is True
+        with urllib.request.urlopen(f"{base}/readyz", timeout=30) as response:
+            assert response.status == 200
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as response:
+            assert response.status == 200
+            assert b"repro_serve" in response.read()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/bogus", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_every_envelope_carries_service_block(self, client):
+        for response in client.query_batch("path", _pairs(5)):
+            service = response["service"]
+            assert service["state"] == "ready"
+            assert service["degraded"] is False
+            assert service["trees_pending"] == 0
+
+
+# ----------------------------------------------------------------------
+# Chaos under live traffic (the acceptance scenario)
+
+
+def _assert_contract_or_labelled(response, u, v):
+    """Every delivered answer is within-contract or explicitly labelled.
+
+    ``ok`` promises the full contract (ready-generation snapshot, hop
+    budget); ``degraded`` promises a delivered best-effort answer with
+    the service block saying why.  Anything else here is a bug.
+    """
+    status = response["status"]
+    assert status in ("ok", "degraded"), response
+    result = response["result"]
+    assert result["path"][0] == u and result["path"][-1] == v
+    if status == "ok":
+        assert response["service"]["state"] == "ready"
+        assert result["hops"] <= K
+    else:
+        assert response["service"]["state"] in ("degraded", "recovering")
+        assert response["service"]["trees_pending"] > 0
+
+
+class TestChaosUnderTraffic:
+    @pytest.fixture()
+    def chaos_server(self, serve_metric, serve_ckpt):
+        service = CheckpointService(serve_metric, k=K).load(serve_ckpt)
+        with ThreadedServer(
+            service,
+            policy=AdmissionPolicy(max_batch=8, flush_interval=0.002),
+        ) as threaded:
+            yield threaded
+
+    def test_kill_degrade_recover_cycle(self, chaos_server):
+        with OBS.scoped(True), ServeClient(
+            chaos_server.host, chaos_server.port
+        ) as client:
+            pairs = _pairs(16)
+
+            # Phase 1 — full contract.
+            for (u, v), response in zip(
+                pairs, client.query_batch("path", pairs)
+            ):
+                assert response["status"] == "ok"
+                assert response["result"]["hops"] <= K
+
+            # Phase 2 — kill a tree mid-traffic: launch a pipelined wave,
+            # inject the fault from a second connection while it is in
+            # flight, then audit every wave response.  Whatever the
+            # interleaving, each answer must be within-contract or
+            # explicitly degraded-labelled.
+            wave_ids = client.send(
+                [{"op": "path", "u": u, "v": v} for u, v in pairs]
+            )
+            with ServeClient(
+                chaos_server.host, chaos_server.port
+            ) as chaos_client:
+                outcome = chaos_client.chaos(kill=[0], recover=False)
+            assert outcome["result"]["killed"] == [0]
+            for (u, v), response in zip(pairs, client.collect(wave_ids)):
+                _assert_contract_or_labelled(response, u, v)
+
+            # After the kill returns, everything is labelled degraded —
+            # delivered from the survivors, never an unlabelled answer.
+            health = client.health()
+            assert health["ready"] is False
+            assert health["service"]["state"] == "degraded"
+            assert health["service"]["trees_pending"] == 1
+            for (u, v), response in zip(
+                pairs, client.query_batch("path", pairs)
+            ):
+                assert response["status"] == "degraded"
+                assert response["ok"] is True
+                assert response["result"]["path"][0] == u
+                assert response["result"]["path"][-1] == v
+            base = f"http://{chaos_server.host}:{chaos_server.port}"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/readyz", timeout=30)
+            assert excinfo.value.code == 503
+
+            # Phase 3 — background recovery, traffic still flowing.
+            assert client.chaos(recover=True)["result"]["recovering"] is True
+            while True:
+                state = client.health()["service"]["state"]
+                for (u, v), response in zip(
+                    pairs, client.query_batch("path", pairs)
+                ):
+                    _assert_contract_or_labelled(response, u, v)
+                if state == "ready":
+                    break
+
+            # Phase 4 — full contract restored, readiness reflects it.
+            health = client.wait_state("ready")
+            assert health["ready"] is True
+            for (u, v), response in zip(
+                pairs, client.query_batch("path", pairs)
+            ):
+                assert response["status"] == "ok"
+                assert response["result"]["hops"] <= K
+            with urllib.request.urlopen(
+                f"{base}/readyz", timeout=30
+            ) as response:
+                assert response.status == 200
+            text = client.metrics_text()
+            assert "repro_serve_chaos_trees_killed" in text
+
+    def test_kill_random_is_seeded_and_deterministic(self, serve_metric,
+                                                     serve_ckpt):
+        killed = []
+        for _ in range(2):
+            service = CheckpointService(serve_metric, k=K).load(serve_ckpt)
+            with ThreadedServer(service) as threaded:
+                with ServeClient(threaded.host, threaded.port) as client:
+                    outcome = client.chaos(
+                        kill_random=2, seed=9, recover=False
+                    )
+                    killed.append(tuple(outcome["result"]["killed"]))
+        assert killed[0] == killed[1]
+        assert len(killed[0]) == 2
+
+    @pytest.mark.stress
+    def test_soak_kill_recover_cycles_under_threads(self, serve_metric,
+                                                    serve_ckpt):
+        """Opt-in soak: repeated kill/recover cycles under concurrent
+        client threads; every response delivered within-contract or
+        degraded-labelled, and the service always returns to ready."""
+        service = CheckpointService(serve_metric, k=K).load(serve_ckpt)
+        with ThreadedServer(
+            service,
+            policy=AdmissionPolicy(max_batch=8, flush_interval=0.002),
+        ) as threaded:
+            stop = threading.Event()
+            failures = []
+
+            def traffic(seed):
+                rng = random.Random(seed)
+                with ServeClient(threaded.host, threaded.port) as c:
+                    while not stop.is_set():
+                        u, v = rng.sample(range(N), 2)
+                        response = c.path(u, v)
+                        try:
+                            _assert_contract_or_labelled(response, u, v)
+                        except AssertionError as exc:
+                            failures.append(str(exc))
+                            return
+
+            threads = [
+                threading.Thread(target=traffic, args=(i,), daemon=True)
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            with ServeClient(threaded.host, threaded.port) as admin:
+                for cycle in range(3):
+                    outcome = admin.chaos(
+                        kill_random=1, seed=cycle, recover=True
+                    )
+                    assert outcome["result"]["killed"]
+                    admin.wait_state("ready", timeout=300)
+            stop.set()
+            for thread in threads:
+                thread.join(60)
+            assert not failures, failures[:3]
+
+
+def test_cli_parser_accepts_serve(tmp_path):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args([
+        "serve", str(tmp_path / "cover.ckpt"),
+        "--n", "60", "--port", "0", "--max-batch", "16", "--flush-ms", "1.5",
+    ])
+    assert args.func.__name__ == "cmd_serve"
+    assert args.max_batch == 16
+    assert args.deadline_ms == 2000.0
