@@ -15,7 +15,7 @@ OUT_DIR="${1:-$(mktemp -d)}"
 # engine, so the smoke also covers the shared-memory shipping path and
 # the workers/parallel_speedup fields of the emitted schemas.
 REPRO_WORKERS=2 PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 \
-    --out-dir "$OUT_DIR"
+    --serve-n 60 --out-dir "$OUT_DIR"
 
 PYTHONPATH=src python - "$OUT_DIR" <<'EOF'
 import json
@@ -24,13 +24,42 @@ import sys
 from repro.bench import validate_bench_json
 
 out_dir = sys.argv[1]
-for name in ("BENCH_tree_covers.json", "BENCH_navigation.json"):
+for name in ("BENCH_tree_covers.json", "BENCH_navigation.json",
+             "BENCH_serving.json"):
     path = f"{out_dir}/{name}"
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     validate_bench_json(payload)
     print(f"{path}: schema {payload['schema']} OK "
           f"({len(payload['results'])} results)")
+
+# The packed-query rewrite must keep scalar queries at least at parity
+# with the frozen seed loop, even at smoke sizes — a speedup below 1.0
+# here means the hot path regressed to (or below) the seed
+# implementation.
+with open(f"{out_dir}/BENCH_navigation.json", encoding="utf-8") as handle:
+    nav = json.load(handle)
+rows = {entry["name"]: entry for entry in nav["results"]}
+scalar = rows["query_scalar"]
+if scalar["speedup"] is not None and scalar["speedup"] < 1.0:
+    raise SystemExit(
+        f"query_scalar regressed below the seed baseline: "
+        f"speedup {scalar['speedup']} (current {scalar['seconds']}s, "
+        f"seed {scalar['seed_seconds']}s)"
+    )
+print(f"query_scalar speedup {scalar['speedup']}x vs seed: OK")
+
+# The zero-copy serving rows must be present and internally consistent.
+with open(f"{out_dir}/BENCH_serving.json", encoding="utf-8") as handle:
+    serving = json.load(handle)
+rows = {entry["name"]: entry for entry in serving["results"]}
+cold = rows["cold_load_first_query"]
+assert cold["detail"]["mapped"] is True, cold
+assert cold["detail"]["first_query_status"] == "ok", cold
+fleet = rows["multi_worker_rss"]
+assert fleet["detail"]["workers"] >= 2, fleet
+print(f"mapped serving rows OK (cold load {cold['seconds']}s, "
+      f"pss_ratio {fleet['detail'].get('pss_ratio')})")
 EOF
 
 # Second pass with --trace: the BENCH rows must now embed span trees,
@@ -38,7 +67,7 @@ EOF
 # schema (src/repro/observability/trace_schema.json).
 TRACE_DIR="$OUT_DIR/trace"
 PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 --no-baseline \
-    --trace --out-dir "$TRACE_DIR"
+    --no-serving --trace --out-dir "$TRACE_DIR"
 
 PYTHONPATH=src python - "$TRACE_DIR" <<'EOF'
 import json

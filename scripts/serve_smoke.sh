@@ -87,4 +87,54 @@ else
     exit 1
 fi
 
+# Second pass: zero-copy serving.  A navigator checkpoint saved with
+# --packed carries the raw query-array region; `serve --mmap` attaches
+# to it without rebuilding.  Queries must answer with the full
+# contract; route (which needs the cover object) must degrade to a
+# labelled undelivered, never crash.
+MMAP_CKPT="$WORK_DIR/nav.ckpt"
+MMAP_LOG="$WORK_DIR/serve_mmap.log"
+MMAP_PORT=$((PORT + 1))
+
+PYTHONPATH=src python -m repro checkpoint --family euclidean --n "$N" \
+    --what navigator --packed --out "$MMAP_CKPT"
+
+PYTHONPATH=src python -m repro serve "$MMAP_CKPT" --family euclidean \
+    --n "$N" --mmap --port "$MMAP_PORT" --flush-ms 1.0 >"$MMAP_LOG" 2>&1 &
+MMAP_PID=$!
+trap 'kill "$MMAP_PID" 2>/dev/null || true' EXIT
+
+PYTHONPATH=src python - "$MMAP_PORT" "$N" <<'EOF'
+import sys
+
+from repro.serve import ServeClient, wait_for_server
+
+port, n = int(sys.argv[1]), int(sys.argv[2])
+wait_for_server("127.0.0.1", port, timeout=120)
+
+with ServeClient("127.0.0.1", port) as client:
+    health = client.health()
+    assert health["ready"], health
+    assert health["service"]["mapped"] is True, health
+    for u, v in [(0, n - 1), (1, n // 2), (3, 7)]:
+        response = client.path(u, v)
+        assert response["status"] == "ok", response
+        assert response["result"]["hops"] <= 3, response
+        assert response["service"]["mapped"] is True, response
+    assert client.distance(2, n - 2)["status"] == "ok"
+    routed = client.route(5, n - 5)
+    assert routed["status"] == "undelivered", routed
+    assert "memory-mapped" in (routed["error"] or ""), routed
+    print("mmap traffic ok: paths delivered, route labelled undelivered")
+    client.shutdown()
+EOF
+
+if wait "$MMAP_PID"; then
+    trap - EXIT
+else
+    echo "ERROR: mmap daemon exited non-zero after shutdown op" >&2
+    cat "$MMAP_LOG" >&2
+    exit 1
+fi
+
 echo "serve smoke passed"

@@ -151,10 +151,23 @@ def _timing_workers(workers: Optional[int]) -> int:
 
 
 def _parallel_detail(
-    detail: Dict, workers: int, seconds: float, serial_seconds: float
+    detail: Dict,
+    workers: int,
+    seconds: float,
+    serial_seconds: float,
+    requested: Optional[int] = None,
 ) -> Dict:
-    """Record the worker count and parallel-vs-serial speedup of a stage."""
+    """Record the worker count and parallel-vs-serial speedup of a stage.
+
+    ``workers`` is what the timed stage actually used after the
+    core-count clamp of :func:`_timing_workers`; ``requested`` is what
+    the caller asked for (``--workers`` / ``REPRO_WORKERS``).  Both are
+    recorded so a row never silently reports an 8-wide measurement as
+    32-wide.
+    """
     detail["workers"] = workers
+    if requested is not None:
+        detail["workers_requested"] = requested
     detail["serial_seconds"] = round(serial_seconds, 6)
     detail["parallel_speedup"] = (
         round(serial_seconds / seconds, 3) if seconds > 0 else None
@@ -259,7 +272,8 @@ def _bench_tree_covers(
             lambda: robust_tree_cover(metric, eps=eps, workers=0), robust_repeats
         )
     detail: Dict = _parallel_detail(
-        {"eps": eps, "zeta": cover.size}, resolved_workers, secs, serial_secs
+        {"eps": eps, "zeta": cover.size}, resolved_workers, secs, serial_secs,
+        requested=requested_workers,
     )
     if include_baseline:
         base, seed_cover = _best_of(
@@ -369,6 +383,7 @@ def _bench_navigation(
             _parallel_detail(
                 {"eps": eps, "zeta": cover.size},
                 resolved_workers, cover_secs, cover_serial,
+                requested=requested_workers,
             ),
             spans=_drain_spans(trace),
         )
@@ -397,6 +412,7 @@ def _bench_navigation(
             _parallel_detail(
                 {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
                 resolved_workers, build, build_serial,
+                requested=requested_workers,
             ),
             spans=_drain_spans(trace),
         )
@@ -443,10 +459,14 @@ def _bench_navigation(
             "query_batch",
             n,
             batch_total,
-            scalar_total,
+            # The frozen seed baseline, like every other row; the batch
+            # kernel's edge over this run's scalar loop is still
+            # visible via detail.scalar_seconds.
+            seed_scalar,
             {
                 "queries": len(pairs),
                 "per_query_us": round(batch_total / max(1, len(pairs)) * 1e6, 2),
+                "scalar_seconds": round(scalar_total, 6),
             },
             spans=_drain_spans(trace),
         )
@@ -508,6 +528,76 @@ def _serve_closed_loop(
     return time.perf_counter() - start, lat_us, statuses
 
 
+def _proc_pss_kb() -> Optional[int]:
+    """This process's proportional set size in kB, or ``None``.
+
+    PSS (``/proc/self/smaps_rollup``) charges each resident page
+    divided by the number of processes mapping it — exactly the
+    accounting that distinguishes N workers *sharing* one mapped
+    checkpoint from N workers each holding a private pickled clone.
+    """
+    try:
+        with open("/proc/self/smaps_rollup", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("Pss:"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _rss_fanout_worker(mode, payload, metric, pairs, barrier, queue) -> None:
+    """One serving worker of the RSS fleet (spawn entry point).
+
+    Touches the full query surface (so the pages are resident), then
+    rendezvous at the barrier so every worker reads its PSS while *all*
+    of them hold their query state — shared pages are charged
+    fractionally only while they are actually shared.
+    """
+    if mode == "mapped":
+        from .parallel.sharedmem import attach_mapped_navigator
+
+        navigator = attach_mapped_navigator(payload, metric)
+    else:
+        navigator = payload
+    for u, v in pairs:
+        navigator.find_path(u, v)
+    barrier.wait()
+    pss = _proc_pss_kb()
+    barrier.wait()
+    queue.put(pss)
+
+
+def _measure_worker_fleet(
+    mode: str, payload, metric, pairs, num_workers: int
+) -> Tuple[float, List[Optional[int]]]:
+    """Wall seconds + per-worker PSS for ``num_workers`` spawned workers.
+
+    Uses the ``spawn`` start method deliberately: ``fork`` would share
+    the parent's pages copy-on-write, making pickled clones look as
+    cheap as the mapped checkpoint and voiding the comparison.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(num_workers)
+    queue = ctx.SimpleQueue()
+    procs = [
+        ctx.Process(
+            target=_rss_fanout_worker,
+            args=(mode, payload, metric, pairs, barrier, queue),
+        )
+        for _ in range(num_workers)
+    ]
+    start = time.perf_counter()
+    for proc in procs:
+        proc.start()
+    pss = [queue.get() for _ in procs]
+    for proc in procs:
+        proc.join()
+    return time.perf_counter() - start, pss
+
+
 def bench_serving(
     n: int = 300,
     dim: int = 2,
@@ -518,6 +608,7 @@ def bench_serving(
     window: int = 32,
     batch_sizes: Tuple[int, ...] = (1, 8, 32),
     workers: Optional[int] = None,
+    rss_workers: int = 4,
 ) -> Dict:
     """Serving-daemon benchmarks: cold start and closed-loop latency.
 
@@ -526,6 +617,16 @@ def bench_serving(
     * ``cold_start`` — checkpoint load (audit included) through daemon
       bind to the first answered query, the time-to-first-byte of a
       deploy or a recovery restart.
+    * ``cold_load_first_query`` — the same deploy path through a
+      ``packed=True`` navigator checkpoint attached with ``mmap=True``:
+      no rebuild, CRC-verify + map + first answered query.
+      ``seed_seconds`` is the rebuild-based ``cold_start`` time, so the
+      zero-copy win is a tracked speedup.
+    * ``multi_worker_rss`` — ``rss_workers`` spawned serving processes
+      attach to the mapped checkpoint, versus the same fleet each
+      unpickling a private clone of the in-memory navigator; the detail
+      records per-worker and aggregate PSS for both fleets (mapped
+      aggregate should stay sub-linear in N; clones grow ~linearly).
     * ``serve_batch_{b}`` for each ``b`` in ``batch_sizes`` — a fresh
       daemon per admission batch size, driven closed-loop with
       ``window`` requests always in flight; the detail carries
@@ -536,13 +637,21 @@ def bench_serving(
     """
     import tempfile
 
-    from .checkpoint import CheckpointService, save_cover_checkpoint
+    from .checkpoint import (
+        CheckpointService,
+        save_cover_checkpoint,
+        save_navigator_checkpoint,
+    )
+    from .parallel.sharedmem import mapped_navigator_descriptor
     from .serve import AdmissionPolicy, ServeClient, ThreadedServer
 
     metric = random_points(n, dim=dim, seed=seed)
     resolved_workers = _timing_workers(workers)
+    requested_workers = resolve_workers(workers)
     cover = robust_tree_cover(metric, eps=eps, workers=resolved_workers)
     handle, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(handle)
+    handle, packed_path = tempfile.mkstemp(suffix=".packed.ckpt")
     os.close(handle)
     results: List[Dict] = []
     try:
@@ -570,6 +679,75 @@ def bench_serving(
                     "zeta": cover.size,
                     "k": k,
                     "first_query_status": first["status"],
+                },
+            )
+        )
+
+        # Zero-copy deploy path: write the packed navigator checkpoint
+        # (off the clock — that is build/save-time work), then time
+        # attach-by-mmap through the first answered query.
+        navigator = service.navigator
+        save_navigator_checkpoint(navigator, packed_path, packed=True)
+        start = time.perf_counter()
+        mapped_service = CheckpointService(metric, k=k).load(
+            packed_path, mmap=True
+        )
+        mapped_load_secs = time.perf_counter() - start
+        with ThreadedServer(mapped_service) as threaded:
+            with ServeClient(threaded.host, threaded.port) as client:
+                first = client.path(0, n - 1)
+        mapped_cold_secs = time.perf_counter() - start
+        results.append(
+            _result(
+                "cold_load_first_query",
+                n,
+                mapped_cold_secs,
+                cold_secs,
+                {
+                    "load_seconds": round(mapped_load_secs, 6),
+                    "zeta": cover.size,
+                    "k": k,
+                    "first_query_status": first["status"],
+                    "mapped": True,
+                    "checkpoint_bytes": os.path.getsize(packed_path),
+                },
+            )
+        )
+
+        rng = random.Random(seed)
+        rss_pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(48)]
+        rss_pairs = [(u, v) for u, v in rss_pairs if u != v] or [(0, n - 1)]
+        mapped_secs, mapped_pss = _measure_worker_fleet(
+            "mapped",
+            mapped_navigator_descriptor(packed_path),
+            metric,
+            rss_pairs,
+            rss_workers,
+        )
+        cloned_secs, cloned_pss = _measure_worker_fleet(
+            "cloned", navigator, metric, rss_pairs, rss_workers
+        )
+        have_pss = all(p is not None for p in mapped_pss + cloned_pss)
+        results.append(
+            _result(
+                "multi_worker_rss",
+                n,
+                mapped_secs,
+                cloned_secs,
+                {
+                    "workers": rss_workers,
+                    "pss_mapped_kb": mapped_pss,
+                    "pss_cloned_kb": cloned_pss,
+                    "aggregate_pss_mapped_kb": (
+                        sum(mapped_pss) if have_pss else None
+                    ),
+                    "aggregate_pss_cloned_kb": (
+                        sum(cloned_pss) if have_pss else None
+                    ),
+                    "pss_ratio": (
+                        round(sum(cloned_pss) / sum(mapped_pss), 3)
+                        if have_pss and sum(mapped_pss) > 0 else None
+                    ),
                 },
             )
         )
@@ -611,6 +789,7 @@ def bench_serving(
                 batch1_secs = total
     finally:
         os.unlink(path)
+        os.unlink(packed_path)
 
     return {
         "schema": SERVING_SCHEMA,
@@ -624,6 +803,8 @@ def bench_serving(
             "window": window,
             "batch_sizes": list(batch_sizes),
             "workers": resolved_workers,
+            "workers_requested": requested_workers,
+            "rss_workers": rss_workers,
         },
         "results": results,
         "meta": _meta(),

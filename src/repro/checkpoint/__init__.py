@@ -34,9 +34,12 @@ from .audit import (
 )
 from .format import (
     CHECKPOINT_FORMAT,
+    RAW_SECTION,
+    load_mapped_arrays,
     make_envelope,
     open_envelope,
     peek_envelope,
+    raw_array_table,
     read_checkpoint_file,
     write_checkpoint_file,
 )
@@ -70,9 +73,12 @@ __all__ = [
     "audit_navigator",
     "audit_tree",
     "CHECKPOINT_FORMAT",
+    "RAW_SECTION",
+    "load_mapped_arrays",
     "make_envelope",
     "open_envelope",
     "peek_envelope",
+    "raw_array_table",
     "read_checkpoint_file",
     "write_checkpoint_file",
     "CheckpointService",

@@ -33,8 +33,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import CheckpointCorruption
 from ..io import (
@@ -50,6 +54,7 @@ from ..treecover.base import CoverTree, TreeCover
 __all__ = [
     "CHECKPOINT_FORMAT",
     "KINDS",
+    "RAW_SECTION",
     "canonical_bytes",
     "section_crc",
     "make_envelope",
@@ -57,6 +62,8 @@ __all__ = [
     "peek_envelope",
     "read_checkpoint_file",
     "write_checkpoint_file",
+    "raw_array_table",
+    "load_mapped_arrays",
     "cover_sections",
     "cover_from_sections",
     "load_v1_cover",
@@ -65,6 +72,22 @@ __all__ = [
 
 CHECKPOINT_FORMAT = "repro.checkpoint/2"
 KINDS = ("cover", "navigator", "ft_spanner", "routing_labels")
+
+#: Section naming the memory-mappable raw-array region of the file.
+#: The section body is a table (dtype/shape/offset/CRC32 per array);
+#: the array bytes live *after* the JSON envelope line, page-aligned,
+#: so loaders can ``np.memmap`` them without parsing or copying.  The
+#: table is covered by the envelope digest like any section; the raw
+#: bytes are covered by the per-array CRC32s recorded in the table.
+RAW_SECTION = "packed/arrays"
+
+# Raw region page alignment (data region start) and per-array alignment.
+_DATA_ALIGN = 4096
+_ARRAY_ALIGN = 64
+
+# dtypes allowed in the raw region — everything the packed query suite
+# emits; keeps eval of attacker-controlled dtype strings impossible.
+_RAW_DTYPES = {"<i4", "<i8", "<f8", "|u1"}
 
 
 # ----------------------------------------------------------------------
@@ -178,7 +201,49 @@ def open_envelope(data: Any) -> Tuple[str, Dict[str, Any], Dict[str, Any]]:
 # ----------------------------------------------------------------------
 # File I/O
 
-def write_checkpoint_file(envelope: Dict[str, Any], path: str) -> None:
+def _normalized_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        dtype = array.dtype.newbyteorder("<") if array.dtype.itemsize > 1 else array.dtype
+        array = array.astype(dtype, copy=False)
+        if array.dtype.str not in _RAW_DTYPES:
+            raise ValueError(
+                f"array {name!r} has unsupported raw dtype {array.dtype.str!r}"
+            )
+        out[name] = array
+    return out
+
+
+def raw_array_table(arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """The :data:`RAW_SECTION` body describing ``arrays``.
+
+    Assigns offsets (relative to the start of the page-aligned data
+    region, each array :data:`_ARRAY_ALIGN`-aligned, in sorted name
+    order) and records dtype, shape, byte length and CRC32 per array.
+    The same array dict must then be passed to
+    :func:`write_checkpoint_file` so bytes land where the table says.
+    """
+    table: Dict[str, Any] = {"align": _DATA_ALIGN, "arrays": {}}
+    offset = 0
+    for name, array in _normalized_arrays(arrays).items():
+        offset = -(-offset // _ARRAY_ALIGN) * _ARRAY_ALIGN
+        table["arrays"][name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+            "crc32": zlib.crc32(array.tobytes()) & 0xFFFFFFFF,
+        }
+        offset += int(array.nbytes)
+    return table
+
+
+def write_checkpoint_file(
+    envelope: Dict[str, Any],
+    path: str,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
     """Atomically persist an envelope (tempfile + ``os.replace``).
 
     Envelopes are written in *canonical* form — the same encoding the
@@ -186,18 +251,160 @@ def write_checkpoint_file(envelope: Dict[str, Any], path: str) -> None:
     whitespace and every single byte is covered by a checksum: any
     one-byte change either breaks the JSON, trips a CRC/digest, or
     invalidates the format tag.
+
+    With ``arrays``, the envelope (which must contain the matching
+    :func:`raw_array_table` section) is written as the file's first
+    line, zero-padded to a page boundary, followed by the raw array
+    bytes at the offsets the table records — the memory-mappable
+    layout :func:`load_mapped_arrays` reads.  Raw bytes are covered by
+    the table's per-array CRC32s rather than the envelope digest.
     """
-    atomic_write_json(envelope, path, canonical=True)
+    if arrays is None:
+        atomic_write_json(envelope, path, canonical=True)
+        return
+    table = envelope.get("sections", {}).get(RAW_SECTION, {}).get("body")
+    if not isinstance(table, dict) or "arrays" not in table:
+        raise ValueError(
+            f"envelope lacks the {RAW_SECTION!r} section for its raw arrays"
+        )
+    normalized = _normalized_arrays(arrays)
+    header = canonical_bytes(envelope) + b"\n"
+    data_start = -(-len(header) // _DATA_ALIGN) * _DATA_ALIGN
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(b"\0" * (data_start - len(header)))
+            cursor = 0
+            for name, array in normalized.items():
+                spec = table["arrays"][name]
+                pad = spec["offset"] - cursor
+                if pad < 0:
+                    raise ValueError(f"raw table offset regressed at {name!r}")
+                handle.write(b"\0" * pad)
+                handle.write(array.tobytes())
+                cursor = spec["offset"] + int(array.nbytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _read_first_line(path: str) -> bytes:
+    """The first line of the file (without the newline), chunked so a
+    multi-gigabyte raw region is never pulled into memory."""
+    chunks: List[bytes] = []
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            newline = chunk.find(b"\n")
+            if newline != -1:
+                chunks.append(chunk[:newline])
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
 
 
 def read_checkpoint_file(path: str) -> Dict[str, Any]:
     """Read raw checkpoint JSON; unparseable files raise
-    :class:`~repro.errors.CheckpointCorruption`."""
+    :class:`~repro.errors.CheckpointCorruption`.
+
+    Files with a raw-array region keep their envelope on the first
+    line, so that line is parsed first; plain JSON files (canonical v2,
+    indented v1, or externally pretty-printed) fall back to a
+    whole-file parse.
+    """
     try:
-        with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
+        first = _read_first_line(path)
+        try:
+            data = json.loads(first.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        if not isinstance(data, dict):
+            raise CheckpointCorruption(
+                f"checkpoint {path!r} does not hold a JSON object"
+            )
+        return data
+    except CheckpointCorruption:
+        raise
     except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CheckpointCorruption(f"cannot read checkpoint {path!r}: {exc}") from exc
+
+
+def load_mapped_arrays(
+    path: str, table: Dict[str, Any], verify: bool = True
+) -> Dict[str, np.ndarray]:
+    """Memory-map the raw-array region described by a verified table.
+
+    ``table`` is the (CRC-verified) body of the :data:`RAW_SECTION`
+    section.  Each array's bytes are CRC32-checked once (one sequential
+    pass over the mapping) and returned as a read-only view into a
+    shared ``np.memmap`` — N processes attaching to the same file share
+    one physical copy of the pages.  Raises
+    :class:`~repro.errors.CheckpointCorruption` on any mismatch.
+    """
+    specs = table.get("arrays")
+    align = table.get("align")
+    if not isinstance(specs, dict) or not isinstance(align, int) or align <= 0:
+        raise CheckpointCorruption(
+            "malformed raw-array table", section=RAW_SECTION
+        )
+    header_len = len(_read_first_line(path)) + 1
+    data_start = -(-header_len // align) * align
+    try:
+        mm = np.memmap(path, mode="r", dtype=np.uint8)
+    except (OSError, ValueError) as exc:
+        raise CheckpointCorruption(
+            f"cannot map checkpoint {path!r}: {exc}", section=RAW_SECTION
+        ) from exc
+    out: Dict[str, np.ndarray] = {}
+    for name, spec in specs.items():
+        if (
+            not isinstance(spec, dict)
+            or spec.get("dtype") not in _RAW_DTYPES
+            or not isinstance(spec.get("shape"), list)
+            or not isinstance(spec.get("offset"), int)
+            or not isinstance(spec.get("nbytes"), int)
+            or not isinstance(spec.get("crc32"), int)
+        ):
+            raise CheckpointCorruption(
+                f"malformed raw-array spec for {name!r}", section=RAW_SECTION
+            )
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(s) for s in spec["shape"])
+        nbytes = spec["nbytes"]
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if count * dtype.itemsize != nbytes or nbytes < 0:
+            raise CheckpointCorruption(
+                f"raw array {name!r}: shape {shape} disagrees with "
+                f"{nbytes} bytes",
+                section=RAW_SECTION,
+            )
+        start = data_start + spec["offset"]
+        stop = start + nbytes
+        if stop > mm.size:
+            raise CheckpointCorruption(
+                f"raw array {name!r} extends past end of file",
+                section=RAW_SECTION,
+            )
+        raw = mm[start:stop]
+        if verify and zlib.crc32(raw.tobytes()) & 0xFFFFFFFF != spec["crc32"]:
+            raise CheckpointCorruption(
+                f"raw array {name!r} CRC32 mismatch", section=RAW_SECTION
+            )
+        array = raw.view(dtype).reshape(shape)
+        array.flags.writeable = False
+        out[name] = array
+    return out
 
 
 # ----------------------------------------------------------------------

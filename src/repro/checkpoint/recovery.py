@@ -409,6 +409,7 @@ class CheckpointService:
         self._state_lock = threading.Lock()
         self._mutate_lock = threading.Lock()
         self._recovering = False
+        self._mapped = False
         self.generation = 0
 
     # -- state -----------------------------------------------------------
@@ -455,9 +456,10 @@ class CheckpointService:
             "trees_total": len(self._salvaged),
             "trees_pending": len(self._pending),
             "trees_serving": (
-                self._navigator.cover.size
+                self._navigator.num_trees
                 if self._navigator is not None else 0
             ),
+            "mapped": self._mapped,
         }
 
     def status(self) -> Dict[str, Any]:
@@ -499,16 +501,46 @@ class CheckpointService:
 
     # -- loading ---------------------------------------------------------
 
-    def load(self, path: str) -> "CheckpointService":
+    def load(self, path: str, mmap: bool = False) -> "CheckpointService":
         """Bring the service up from a checkpoint, degraded if damaged.
 
         Unlike :func:`recover_cover`, this does *not* rebuild anything
         yet: corrupted trees are noted as pending, surviving trees
         start serving immediately.  Call :meth:`recover` (e.g. from a
         background worker) to finish.
+
+        With ``mmap=True`` the checkpoint must be a ``navigator`` file
+        written with ``packed=True``: the service attaches to the raw
+        query arrays by ``np.memmap`` instead of rebuilding — cold
+        start in milliseconds, one shared physical copy across every
+        worker process on the host.  Mapped service is read-only:
+        :meth:`kill_trees`, :meth:`recover` and the ``route`` op are
+        unavailable (typed errors), and damage is fail-fast (a CRC
+        mismatch raises instead of degrading — there is no per-tree
+        salvage for a shared mapping).
         """
         with self._mutate_lock:
+            if mmap:
+                return self._load_mapped(path)
             return self._load(path)
+
+    def _load_mapped(self, path: str) -> "CheckpointService":
+        from .store import load_navigator_checkpoint
+
+        self._path = path
+        navigator = load_navigator_checkpoint(
+            path, self.metric, contract=self.contract, mmap=True
+        )
+        self.k = navigator.k
+        self._mapped = True
+        self._meta = {}
+        self.report = None
+        self._home = None
+        # Placeholder per-tree entries: the python CoverTree objects
+        # stay on disk in mapped mode, but tree counts in status() and
+        # alive_tree_indexes() must still be honest.
+        self._swap(navigator, [], salvaged=[True] * navigator.num_trees)
+        return self
 
     def _load(self, path: str) -> "CheckpointService":
         self._path = path
@@ -625,7 +657,7 @@ class CheckpointService:
             hops=len(path) - 1, weight=weight, stretch=stretch,
             reason=(
                 f"recovery in progress: serving from "
-                f"{navigator.cover.size} surviving trees, "
+                f"{navigator.num_trees} surviving trees, "
                 f"{num_pending} pending rebuild"
                 if pending else ""
             ),
@@ -643,6 +675,13 @@ class CheckpointService:
         (typically from a background thread) restores full service.
         Returns the indexes actually killed.
         """
+        if self._mapped:
+            raise ValueError(
+                "kill_trees is unavailable in mapped mode: the query "
+                "state is a shared read-only mapping with no per-tree "
+                "python objects to drop; load() without mmap for chaos "
+                "testing"
+            )
         with self._mutate_lock:
             with self._state_lock:
                 salvaged = list(self._salvaged)
@@ -679,6 +718,12 @@ class CheckpointService:
         """
         if self._path is None:
             raise ValueError("load() a checkpoint before recover()")
+        if self._mapped:
+            raise ValueError(
+                "recover() is unavailable in mapped mode: mapped loads "
+                "are fail-fast (CRC-verified at attach) and have no "
+                "degraded per-tree state to promote"
+            )
         with self._mutate_lock:
             with self._state_lock:
                 self._recovering = True

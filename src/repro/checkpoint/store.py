@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.metric_navigator import MetricNavigator
 from ..errors import CheckpointCorruption
 from ..metrics.base import Metric
+from ..observability import OBS, trace
 from ..routing.labels import (
     HeavyPathLabeling,
     label_from_jsonable,
@@ -44,11 +45,14 @@ from .audit import (
     audit_navigator,
 )
 from .format import (
+    RAW_SECTION,
     cover_from_sections,
     cover_sections,
+    load_mapped_arrays,
     load_v1_cover,
     make_envelope,
     open_envelope,
+    raw_array_table,
     read_checkpoint_file,
     write_checkpoint_file,
 )
@@ -65,6 +69,8 @@ __all__ = [
     "audit_checkpoint",
     "cover_labelings",
 ]
+
+_C_MAPPED_LOADS = OBS.registry.counter("checkpoint.mapped_loads")
 
 
 def _meta(
@@ -148,21 +154,36 @@ def save_navigator_checkpoint(
     path: str,
     contract: Optional[CoverContract] = None,
     builder: Optional[Dict[str, Any]] = None,
+    packed: bool = False,
 ) -> Dict[str, Any]:
     """Persist a navigator: its cover, k, and the 𝒟_T fingerprints.
 
     The navigation structures rebuild deterministically from the cover,
     so only their fingerprint is stored; the loader rebuilds and checks
     the rebuild against it.
+
+    With ``packed=True`` the file additionally carries the flat query
+    arrays (tree-selection index + per-tree query packs) in a raw
+    binary region after the JSON envelope, so loaders can attach with
+    ``mmap=True`` — no rebuild, and N processes share one physical copy
+    of the query state.  Such files remain loadable by every pre-packed
+    reader: the envelope is still the first line of the file and
+    non-mapped loads ignore the raw region entirely.
     """
     sections = cover_sections(navigator.cover)
     sections["aux"] = navigator.aux_fingerprint()
+    arrays = None
+    if packed:
+        from ..core.mapped_navigator import navigator_arrays
+
+        arrays = navigator_arrays(navigator)
+        sections[RAW_SECTION] = raw_array_table(arrays)
     envelope = make_envelope(
         "navigator",
         _meta(navigator.metric.n, contract, builder, k=navigator.k),
         sections,
     )
-    write_checkpoint_file(envelope, path)
+    write_checkpoint_file(envelope, path, arrays=arrays)
     return envelope
 
 
@@ -171,13 +192,48 @@ def load_navigator_checkpoint(
     metric: Metric,
     contract: Optional[CoverContract] = None,
     audit: bool = True,
-) -> MetricNavigator:
+    mmap: bool = False,
+):
+    """Load a navigator checkpoint; returns a query-ready navigator.
+
+    Default mode rebuilds a full :class:`MetricNavigator` from the
+    stored cover and audits it against the saved fingerprint.  With
+    ``mmap=True`` (requires a file written with ``packed=True``) no
+    rebuild happens: the raw query arrays are CRC-verified once, then
+    memory-mapped read-only, and a
+    :class:`~repro.core.mapped_navigator.PackedMetricNavigator` is
+    returned — same query answers, a fraction of the load time, and
+    one shared physical copy across processes.  Mapped loads skip the
+    structural audit (there is no rebuilt object graph to audit; the
+    arrays are integrity-checked instead).
+    """
     data = read_checkpoint_file(path)
     kind, meta, bodies = open_envelope(data)
     _expect_kind(kind, "navigator")
     k = _int_field(meta, "k")
     if k < 2:
         raise CheckpointCorruption(f"meta field 'k' is {k}, need k >= 2")
+    if mmap:
+        from ..core.mapped_navigator import PackedMetricNavigator
+
+        table = bodies.get(RAW_SECTION)
+        if not isinstance(table, dict):
+            raise CheckpointCorruption(
+                "checkpoint has no raw-array region (save with "
+                "packed=True to serve memory-mapped)",
+                section=RAW_SECTION,
+            )
+        if meta.get("n") != metric.n:
+            raise CheckpointCorruption(
+                f"checkpoint was built for {meta.get('n')} points, "
+                f"metric has {metric.n}"
+            )
+        with trace("checkpoint.map_arrays", path=path, n=metric.n):
+            arrays = load_mapped_arrays(path, table)
+            navigator = PackedMetricNavigator(metric, k, arrays)
+        if OBS.enabled:
+            _C_MAPPED_LOADS.inc()
+        return navigator
     cover = cover_from_sections(bodies, metric)
     fingerprint = bodies.get("aux")
     if not isinstance(fingerprint, dict):

@@ -307,7 +307,8 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     elif args.what == "navigator":
         navigator = Navigator(metric, cover, args.k, workers=args.workers)
         envelope = save_navigator_checkpoint(
-            navigator, args.out, contract=contract, builder=builder
+            navigator, args.out, contract=contract, builder=builder,
+            packed=args.packed,
         )
     elif args.what == "ft":
         spanner = FaultTolerantSpanner(
@@ -373,11 +374,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     start = time.perf_counter()
-    service.load(args.checkpoint)
+    service.load(args.checkpoint, mmap=args.mmap)
     print(
         f"loaded {args.checkpoint} in {time.perf_counter() - start:.2f}s: "
         f"{service.status()['trees_serving']} trees serving, "
         f"state={service.state}"
+        + (" (memory-mapped)" if args.mmap else "")
     )
     if not args.no_obs:
         # The daemon's /metrics endpoint serves the observability
@@ -610,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default="cover")
     ckpt.add_argument("--out", type=str, required=True,
                       help="checkpoint file to write (atomically)")
+    ckpt.add_argument("--packed", action="store_true",
+                      help="(navigator only) append the raw query-array "
+                           "region so 'repro serve --mmap' can attach "
+                           "zero-copy")
     _add_workers_flag(ckpt)
     _add_trace_flags(ckpt, "TRACE_checkpoint.json")
     ckpt.set_defaults(func=cmd_checkpoint)
@@ -663,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline")
     serve.add_argument("--max-retries", type=int, default=2,
                        help="transient batch-failure retries")
+    serve.add_argument("--mmap", action="store_true",
+                       help="attach to a packed navigator checkpoint by "
+                            "memory-mapping instead of rebuilding "
+                            "(written by 'repro checkpoint --what "
+                            "navigator --packed'); read-only service, "
+                            "route/chaos ops unavailable")
     serve.add_argument("--no-obs", action="store_true",
                        help="disable the observability registry "
                             "(/metrics will be empty)")

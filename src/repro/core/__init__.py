@@ -9,8 +9,10 @@ from .ackermann import (
     pettie_lambda,
 )
 from .decompose import WorkTree, decompose, decompose_centroid, prune, split_components
+from .mapped_navigator import PackedMetricNavigator, navigator_arrays
 from .metric_navigator import MetricNavigator
 from .navigation import TreeNavigator, dedup_path
+from .packed_query import QueryPack
 
 __all__ = [
     "ackermann_a",
@@ -25,6 +27,9 @@ __all__ = [
     "prune",
     "split_components",
     "MetricNavigator",
+    "PackedMetricNavigator",
+    "QueryPack",
     "TreeNavigator",
     "dedup_path",
+    "navigator_arrays",
 ]

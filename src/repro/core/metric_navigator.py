@@ -210,6 +210,12 @@ class MetricNavigator:
     def num_edges(self) -> int:
         return len(self.spanner_edges())
 
+    @property
+    def num_trees(self) -> int:
+        """Trees serving queries (shared surface with the mapped
+        navigator, whose :attr:`cover` is ``None``)."""
+        return self.cover.size
+
     # ------------------------------------------------------------------
     # Checkpointing
 

@@ -255,6 +255,8 @@ class TreeNavigator:
 
         self._phi_nodes: List[_PhiNode] = []
         self.home: Dict[int, int] = {}
+        # Flat-array query engine, built lazily on first find_path.
+        self._qpack = None
 
         worktree = _worktree if _worktree is not None else PackedTree.from_tree(tree)
         # One span per root navigator only: sub-navigators are part of the
@@ -428,6 +430,13 @@ class TreeNavigator:
         for node, depth in zip(self._phi_nodes, self._phi.depth):
             node.level = depth
 
+    def __getstate__(self):
+        # The packed query engine is derived (and holds references into
+        # sub-navigators); rebuild it lazily on the receiving side.
+        state = dict(self.__dict__)
+        state["_qpack"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Spanner accessors
 
@@ -467,10 +476,38 @@ class TreeNavigator:
     # ------------------------------------------------------------------
     # Query (Algorithm 2)
 
+    def query_pack(self):
+        """The flat-array query engine for this navigator (lazy).
+
+        Built once on first scalar query; all subsequent ``find_path``
+        calls run on plain positional arrays with no per-query index
+        builds.  See :mod:`repro.core.packed_query`.
+        """
+        pack = self._qpack
+        if pack is None:
+            from .packed_query import QueryPack
+
+            pack = self._qpack = QueryPack(self)
+        return pack
+
     def find_path(self, u: int, v: int) -> List[int]:
         """A T-monotone 1-spanner path from ``u`` to ``v`` with <= k hops.
 
-        Both endpoints must be required vertices.  Runs in O(k) time.
+        Both endpoints must be required vertices.  Runs in O(k) time on
+        the packed query engine; output and observability counters are
+        bit-identical to :meth:`find_path_reference` (the dict-backed
+        Algorithm 2 kept as the differential-test reference).
+        """
+        pack = self._qpack
+        if pack is None:
+            pack = self.query_pack()
+        return pack.find_path(u, v)
+
+    def find_path_reference(self, u: int, v: int) -> List[int]:
+        """Dict-backed Algorithm 2 — the differential-test reference.
+
+        Byte-for-byte the pre-packed implementation; kept so tests can
+        assert path-for-path identity against :meth:`find_path`.
         """
         if u not in self.home or v not in self.home:
             raise KeyError("find_path endpoints must be required vertices")
@@ -510,7 +547,7 @@ class TreeNavigator:
             return dedup_path([u, x, y, v])
         # The interconnection recursion counts its own levels; this level
         # contributes the two endpoints it wraps around the middle.
-        middle = beta.sub_navigator.find_path(x, y)
+        middle = beta.sub_navigator.find_path_reference(x, y)
         if obs:
             _C_NODES.inc(2)
         return dedup_path([u] + middle + [v])

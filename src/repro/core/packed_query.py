@@ -1,0 +1,455 @@
+"""Allocation-lean array form of the ``FindPath`` query (Algorithm 2).
+
+PR 4 rewrote the navigator *build* onto :class:`PackedTree`
+preorder-position arrays but left the *query* on dict-backed structures
+(``home`` dict probes, lazily built sparse-table LCA / level-ancestor
+indexes per contracted tree).  A one-off scalar query could therefore
+pay an O(n log n) index build — the 190 ms p99 spikes in
+BENCH_navigation.json — for an O(k) walk.
+
+:class:`QueryPack` flattens one :class:`TreeNavigator`'s query-side
+state (Φ, the contracted trees 𝒯_β, the home table) into plain
+positional arrays and answers ``find_path`` by iterative pointer
+climbing on them:
+
+* Φ depths are O(k) (Observation 3.1) and contracted-tree LCA /
+  level-ancestor hops are O(1) amortized per query level, so naive
+  parent climbing beats building any index;
+* the recursion of Algorithm 2 (budget k → k−2) becomes a loop carrying
+  a prefix/suffix pair, so a query allocates only its output path;
+* every observability counter of the dict reference implementation is
+  incremented identically, and the reported path is required to be
+  bit-for-bit identical (``tests/test_packed_query.py`` enforces both).
+
+The same class runs in *mapped* mode: :func:`pack_suite_arrays`
+concatenates every pack of every tree of a cover into flat numpy
+arenas (for the checkpoint raw-array section) and
+:func:`suite_from_arrays` reconstructs read-only packs whose fields are
+views into an ``np.memmap`` — N serving processes then share one copy
+of the query state.  See docs/CHECKPOINTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from ..observability import OBS
+
+__all__ = ["QueryPack", "pack_suite_arrays", "suite_from_arrays"]
+
+# Same instruments as the dict reference in core/navigation.py — the
+# registry hands back the same objects, so packed and reference paths
+# are indistinguishable to the counter-based theorem checks of
+# tests/test_asymptotics.py.
+_C_QUERIES = OBS.registry.counter("treenav.queries")
+_C_NODES = OBS.registry.counter("treenav.nodes_touched")
+_C_PACK_BUILDS = OBS.registry.counter("packed.query_pack_builds")
+
+
+def _dedup(path: List[int]) -> List[int]:
+    out: List[int] = []
+    for v in path:
+        if not out or out[-1] != v:
+            out.append(v)
+    return out
+
+
+class QueryPack:
+    """Flat-array query state for one :class:`TreeNavigator`.
+
+    Build from a navigator (in-memory mode: fields are python lists and
+    dicts referencing the navigator's own structures, so construction is
+    O(Φ) and copies nothing heavy) or from mapped arenas
+    (:func:`suite_from_arrays`; fields are numpy views, ``navigator`` is
+    ``None`` and explicit base-case adjacencies are unsupported — the
+    current construction never emits them).
+    """
+
+    __slots__ = (
+        "k",
+        "navigator",
+        "home",
+        "rank",
+        "n",
+        "phi_parent",
+        "phi_depth",
+        "phi_leaf",
+        "phi_cuts",
+        "phi_adj",
+        "phi_comp",
+        "phi_sub",
+        "ct_parent",
+        "ct_depth",
+        "ct_p",
+    )
+
+    def __init__(self, navigator=None):
+        if navigator is None:
+            return  # mapped mode: suite_from_arrays fills the slots
+        if OBS.enabled:
+            _C_PACK_BUILDS.inc()
+        self.k = navigator.k
+        self.navigator = navigator
+        self.home = navigator.home  # dict: vertex -> Φ id (shared)
+        self.n = navigator.tree.n
+        nodes = navigator.phi_nodes
+        m = len(nodes)
+        self.phi_parent = [node.parent for node in nodes]
+        self.phi_depth = [node.level for node in nodes]
+        self.phi_leaf = [node.is_leaf for node in nodes]
+        self.phi_cuts = [node.cut_vertices for node in nodes]
+        self.phi_adj = [node.base_adjacency for node in nodes]
+        comp = [-1] * m
+        sub: List[Optional["QueryPack"]] = [None] * m
+        ct_parent: List[Optional[Sequence[int]]] = [None] * m
+        ct_depth: List[Optional[Sequence[int]]] = [None] * m
+        ct_p = [0] * m
+        rank: Dict[int, int] = {}
+        for node in nodes:
+            for child_id, comp_index in node.child_component.items():
+                comp[child_id] = comp_index
+            if node.sub_navigator is not None:
+                sub[node.id] = QueryPack(node.sub_navigator)
+            contracted = node.contracted
+            if contracted is not None:
+                ct_parent[node.id] = contracted.index.tree.parents
+                ct_depth[node.id] = contracted.depth
+                ct_p[node.id] = contracted.p
+            if not node.is_leaf:
+                for t, c in enumerate(node.cut_vertices):
+                    rank[c] = t
+        self.phi_comp = comp
+        self.phi_sub = sub
+        self.ct_parent = ct_parent
+        self.ct_depth = ct_depth
+        self.ct_p = ct_p
+        self.rank = rank
+
+    # ------------------------------------------------------------------
+    # Query
+
+    def _home_of(self, u: int, v: int) -> Tuple[int, int]:
+        home = self.home
+        if type(home) is dict:
+            try:
+                return home[u], home[v]
+            except KeyError:
+                raise KeyError(
+                    "find_path endpoints must be required vertices"
+                ) from None
+        # Mapped mode: dense int32 array with -1 for non-required ids.
+        n = self.n
+        hu = int(home[u]) if 0 <= u < n else -1
+        hv = int(home[v]) if 0 <= v < n else -1
+        if hu < 0 or hv < 0:
+            raise KeyError("find_path endpoints must be required vertices")
+        return hu, hv
+
+    def _rank_of(self, u: int) -> int:
+        rank = self.rank
+        if type(rank) is dict:
+            return rank[u]
+        return int(rank[u])
+
+    def find_path(self, u: int, v: int) -> List[int]:
+        """A T-monotone 1-spanner path with <= k hops (Algorithm 2).
+
+        Identical output and identical counter increments to the dict
+        reference (:meth:`TreeNavigator.find_path_reference`); the
+        recursive interconnection descent runs as a loop here.
+        """
+        pack = self
+        prefix: List[int] = []
+        suffix: List[int] = []
+        obs = OBS.enabled
+        while True:
+            hu, hv = pack._home_of(u, v)
+            if obs:
+                _C_QUERIES.inc()
+            if u == v:
+                if obs:
+                    _C_NODES.inc(1)
+                core = [u]
+                break
+            if hu == hv and pack.phi_leaf[hu]:
+                adjacency = pack.phi_adj[hu] if pack.phi_adj is not None else None
+                if adjacency is None:
+                    core = [u, v]
+                else:
+                    # Only reachable with an explicit base-case subgraph,
+                    # which the in-memory build may carry; mapped packs
+                    # never do (pack_suite_arrays refuses to emit them).
+                    core = pack.navigator._base_case_bfs(
+                        pack.navigator.phi_nodes[hu], u, v
+                    )
+                if obs:
+                    _C_NODES.inc(len(core))
+                break
+            pp = pack.phi_parent
+            pd = pack.phi_depth
+            a, b = hu, hv
+            da = pd[a]
+            db = pd[b]
+            while da > db:
+                a = pp[a]
+                da -= 1
+            while db > da:
+                b = pp[b]
+                db -= 1
+            while a != b:
+                a = pp[a]
+                b = pp[b]
+                da -= 1
+            beta = int(a)
+            if pack.k == 2:
+                w = int(pack.phi_cuts[beta][0])
+                if obs:
+                    _C_NODES.inc(3)
+                core = [u, w, v]
+                break
+            ctp = pack.ct_parent[beta]
+            ctd = pack.ct_depth[beta]
+            p = pack.ct_p[beta]
+            u_node = pack._locate(u, hu, beta, da, p, pp, pd)
+            v_node = pack._locate(v, hv, beta, da, p, pp, pd)
+            # LCA in 𝒯_β by the same naive climb (depths are O(k)-ish
+            # along any query's route; no index build).
+            x = u_node
+            y = v_node
+            dx = ctd[x]
+            dy = ctd[y]
+            while dx > dy:
+                x = ctp[x]
+                dx -= 1
+            while dy > dx:
+                y = ctp[y]
+                dy -= 1
+            while x != y:
+                x = ctp[x]
+                y = ctp[y]
+            c = x
+            x_node = _find_cut(hu, beta, u_node, v_node, c, ctp, ctd)
+            y_node = _find_cut(hv, beta, v_node, u_node, c, ctp, ctd)
+            cuts = pack.phi_cuts[beta]
+            xv = int(cuts[x_node - p])
+            yv = int(cuts[y_node - p])
+            sub = pack.phi_sub[beta]
+            if sub is None:
+                # k = 3 with the cut-vertex clique: one direct hop.
+                if obs:
+                    _C_NODES.inc(4)
+                core = [u, xv, yv, v]
+                break
+            if obs:
+                _C_NODES.inc(2)
+            prefix.append(u)
+            suffix.append(v)
+            u, v = xv, yv
+            pack = sub
+        if prefix:
+            prefix.extend(core)
+            suffix.reverse()
+            prefix.extend(suffix)
+            return _dedup(prefix)
+        return _dedup(core)
+
+    def _locate(
+        self, w: int, hw: int, beta: int, beta_depth: int, p: int, pp, pd
+    ) -> int:
+        """``LocateContracted`` on arrays: the 𝒯_β vertex standing for w."""
+        if hw == beta:
+            return p + self._rank_of(w)
+        child = hw
+        d = pd[child]
+        target = beta_depth + 1
+        while d > target:
+            child = pp[child]
+            d -= 1
+        return int(self.phi_comp[child])  # node_of_comp is the identity
+
+
+def _find_cut(hw: int, beta: int, w_node: int, o_node: int, c: int, ctp, ctd) -> int:
+    """``FindCut`` on arrays: first cut on the 𝒯_β path w_node → o_node."""
+    if hw == beta:
+        return w_node
+    if w_node == c:
+        target = ctd[w_node] + 1
+        x = o_node
+        while ctd[x] > target:
+            x = ctp[x]
+        return int(x)
+    return int(ctp[w_node])
+
+
+# ----------------------------------------------------------------------
+# Suite serialization: every pack of every tree -> flat numpy arenas
+# (the payload of the checkpoint raw-array section) and back.
+
+def _walk_packs(pack: QueryPack, out: List[QueryPack]) -> None:
+    out.append(pack)
+    for sub in pack.phi_sub:
+        if sub is not None:
+            _walk_packs(sub, out)
+
+
+def pack_suite_arrays(navigators: Sequence) -> Dict[str, np.ndarray]:
+    """Concatenate the :class:`QueryPack` forest of a navigator list.
+
+    Returns a name → array dict ready for the checkpoint raw-array
+    section.  Home/rank tables are stored dense per pack (int32 of the
+    host tree's vertex count) — exact for any k, and linear in total
+    vertex count for the default k=3 where each tree has one pack.
+
+    Raises :class:`InvariantViolation` if any leaf carries an explicit
+    ``base_adjacency`` (never produced by the current construction);
+    such navigators cannot be mapped.
+    """
+    packs: List[QueryPack] = []
+    tree_root = []
+    for navigator in navigators:
+        tree_root.append(len(packs))
+        _walk_packs(navigator.query_pack(), packs)
+    pack_ids = {id(pack): index for index, pack in enumerate(packs)}
+
+    pk_k = []
+    home_off = [0]
+    phi_off = [0]
+    cut_off = [0]
+    ct_off = [0]
+    homes: List[np.ndarray] = []
+    ranks: List[np.ndarray] = []
+    phi_parent: List[int] = []
+    phi_depth: List[int] = []
+    phi_leaf: List[int] = []
+    phi_comp: List[int] = []
+    phi_sub: List[int] = []
+    phi_ct: List[int] = []
+    cut_flat: List[int] = []
+    ct_parent: List[int] = []
+    ct_depth: List[int] = []
+    ct_p: List[int] = []
+    for pack in packs:
+        pk_k.append(pack.k)
+        n = pack.n
+        home = np.full(n, -1, dtype=np.int32)
+        rank = np.zeros(n, dtype=np.int32)
+        for vertex, phi_id in pack.home.items():
+            home[vertex] = phi_id
+        if type(pack.rank) is dict:
+            for vertex, r in pack.rank.items():
+                rank[vertex] = r
+        homes.append(home)
+        ranks.append(rank)
+        home_off.append(home_off[-1] + n)
+        m = len(pack.phi_parent)
+        phi_parent.extend(int(x) for x in pack.phi_parent)
+        phi_depth.extend(int(x) for x in pack.phi_depth)
+        phi_leaf.extend(1 if leaf else 0 for leaf in pack.phi_leaf)
+        phi_comp.extend(int(x) for x in pack.phi_comp)
+        for i in range(m):
+            adj = pack.phi_adj[i] if pack.phi_adj is not None else None
+            if adj is not None:
+                raise InvariantViolation(
+                    "explicit base-case adjacency cannot be mapped"
+                )
+            sub = pack.phi_sub[i]
+            phi_sub.append(pack_ids[id(sub)] if sub is not None else -1)
+            if pack.ct_parent[i] is not None:
+                phi_ct.append(len(ct_p))
+                ct_p.append(pack.ct_p[i])
+                ct_parent.extend(int(x) for x in pack.ct_parent[i])
+                ct_depth.extend(int(x) for x in pack.ct_depth[i])
+                ct_off.append(len(ct_parent))
+                # Internal nodes with a contracted tree keep their cuts.
+                cut_flat.extend(int(x) for x in pack.phi_cuts[i])
+            else:
+                phi_ct.append(-1)
+                if not pack.phi_leaf[i]:
+                    # k = 2 internal node: cuts still feed the query.
+                    cut_flat.extend(int(x) for x in pack.phi_cuts[i])
+            cut_off.append(len(cut_flat))
+        phi_off.append(phi_off[-1] + m)
+
+    return {
+        "pk/tree_root": np.asarray(tree_root, dtype=np.int32),
+        "pk/k": np.asarray(pk_k, dtype=np.int32),
+        "pk/home_off": np.asarray(home_off, dtype=np.int64),
+        "pk/home": (
+            np.concatenate(homes) if homes else np.zeros(0, dtype=np.int32)
+        ),
+        "pk/rank": (
+            np.concatenate(ranks) if ranks else np.zeros(0, dtype=np.int32)
+        ),
+        "pk/phi_off": np.asarray(phi_off, dtype=np.int64),
+        "pk/phi_parent": np.asarray(phi_parent, dtype=np.int32),
+        "pk/phi_depth": np.asarray(phi_depth, dtype=np.int32),
+        "pk/phi_leaf": np.asarray(phi_leaf, dtype=np.uint8),
+        "pk/phi_comp": np.asarray(phi_comp, dtype=np.int32),
+        "pk/phi_sub": np.asarray(phi_sub, dtype=np.int32),
+        "pk/phi_ct": np.asarray(phi_ct, dtype=np.int32),
+        "pk/cut_off": np.asarray(cut_off, dtype=np.int64),
+        "pk/cut": np.asarray(cut_flat, dtype=np.int32),
+        "pk/ct_off": np.asarray(ct_off, dtype=np.int64),
+        "pk/ct_parent": np.asarray(ct_parent, dtype=np.int32),
+        "pk/ct_depth": np.asarray(ct_depth, dtype=np.int32),
+        "pk/ct_p": np.asarray(ct_p, dtype=np.int32),
+    }
+
+
+def suite_from_arrays(arrays: Dict[str, np.ndarray]) -> List[QueryPack]:
+    """Rebuild per-tree root packs from :func:`pack_suite_arrays` output.
+
+    Fields are views into the given arrays (zero-copy: slicing a memmap
+    keeps the data on the mapping).  Returns ``root_packs`` — one
+    :class:`QueryPack` per tree, in tree order.
+    """
+    home_off = arrays["pk/home_off"]
+    phi_off = arrays["pk/phi_off"]
+    cut_off = arrays["pk/cut_off"]
+    ct_off = arrays["pk/ct_off"]
+    pk_k = arrays["pk/k"]
+    num_packs = len(pk_k)
+    packs = [QueryPack() for _ in range(num_packs)]
+    phi_sub_arr = arrays["pk/phi_sub"]
+    phi_ct_arr = arrays["pk/phi_ct"]
+    ct_p_arr = arrays["pk/ct_p"]
+    for index, pack in enumerate(packs):
+        h0, h1 = int(home_off[index]), int(home_off[index + 1])
+        f0, f1 = int(phi_off[index]), int(phi_off[index + 1])
+        pack.k = int(pk_k[index])
+        pack.navigator = None
+        pack.home = arrays["pk/home"][h0:h1]
+        pack.rank = arrays["pk/rank"][h0:h1]
+        pack.n = h1 - h0
+        pack.phi_parent = arrays["pk/phi_parent"][f0:f1]
+        pack.phi_depth = arrays["pk/phi_depth"][f0:f1]
+        pack.phi_leaf = arrays["pk/phi_leaf"][f0:f1]
+        pack.phi_adj = None
+        pack.phi_comp = arrays["pk/phi_comp"][f0:f1]
+        m = f1 - f0
+        cuts: List[Optional[np.ndarray]] = [None] * m
+        subs: List[Optional[QueryPack]] = [None] * m
+        ctp: List[Optional[np.ndarray]] = [None] * m
+        ctd: List[Optional[np.ndarray]] = [None] * m
+        ct_p = [0] * m
+        for i in range(m):
+            g = f0 + i
+            cuts[i] = arrays["pk/cut"][int(cut_off[g]) : int(cut_off[g + 1])]
+            sub_id = int(phi_sub_arr[g])
+            if sub_id >= 0:
+                subs[i] = packs[sub_id]
+            slot = int(phi_ct_arr[g])
+            if slot >= 0:
+                c0, c1 = int(ct_off[slot]), int(ct_off[slot + 1])
+                ctp[i] = arrays["pk/ct_parent"][c0:c1]
+                ctd[i] = arrays["pk/ct_depth"][c0:c1]
+                ct_p[i] = int(ct_p_arr[slot])
+        pack.phi_cuts = cuts
+        pack.phi_sub = subs
+        pack.ct_parent = ctp
+        pack.ct_depth = ctd
+        pack.ct_p = ct_p
+    return [packs[int(i)] for i in arrays["pk/tree_root"]]

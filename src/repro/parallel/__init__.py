@@ -24,14 +24,22 @@ every mode.
 """
 
 from .engine import ENV_WORKERS, derive_seed, map_per_tree, resolve_workers
-from .sharedmem import SharedArray, export_metric, import_metric
+from .sharedmem import (
+    SharedArray,
+    attach_mapped_navigator,
+    export_metric,
+    import_metric,
+    mapped_navigator_descriptor,
+)
 
 __all__ = [
     "ENV_WORKERS",
     "SharedArray",
+    "attach_mapped_navigator",
     "derive_seed",
     "export_metric",
     "import_metric",
     "map_per_tree",
+    "mapped_navigator_descriptor",
     "resolve_workers",
 ]

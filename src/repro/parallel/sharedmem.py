@@ -17,6 +17,7 @@ mappings die with the worker process.
 
 from __future__ import annotations
 
+import os
 from multiprocessing import shared_memory
 from typing import Any, List, Tuple
 
@@ -24,7 +25,14 @@ import numpy as np
 
 from ..metrics.base import Metric
 
-__all__ = ["SharedArray", "attach_array", "export_metric", "import_metric"]
+__all__ = [
+    "SharedArray",
+    "attach_array",
+    "export_metric",
+    "import_metric",
+    "mapped_navigator_descriptor",
+    "attach_mapped_navigator",
+]
 
 
 class SharedArray:
@@ -115,3 +123,41 @@ def import_metric(spec: Any) -> Metric:
     if kind == "pickle":
         return payload
     raise ValueError(f"unknown metric spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Mapped-checkpoint descriptors: the multi-process serving counterpart.
+# A packed navigator checkpoint is already a shareable artifact — the
+# raw-array region memory-maps read-only, so the kernel page cache is
+# the shared segment and the descriptor is just the file path.  Unlike
+# SharedArray there is nothing to own or unlink: attachments die with
+# the worker, the file outlives everything.
+
+def mapped_navigator_descriptor(path: str) -> Tuple[str, str]:
+    """A picklable handle for a ``packed=True`` navigator checkpoint."""
+    return ("mapped_ckpt", os.path.abspath(path))
+
+
+# Worker-side cache: one worker runs many batches; map (and CRC-verify)
+# the checkpoint once per process, not once per batch.
+_MAPPED: dict = {}
+
+
+def attach_mapped_navigator(descriptor: Tuple[str, str], metric: Metric):
+    """Attach this process to a mapped navigator checkpoint (cached).
+
+    Returns a :class:`~repro.core.mapped_navigator.PackedMetricNavigator`
+    whose query arrays are views into the shared page-cache mapping.
+    The checkpoint import is lazy to keep :mod:`repro.parallel` free of
+    a hard dependency on the checkpoint stack.
+    """
+    kind, path = descriptor
+    if kind != "mapped_ckpt":
+        raise ValueError(f"unknown navigator descriptor kind {kind!r}")
+    navigator = _MAPPED.get(path)
+    if navigator is None:
+        from ..checkpoint.store import load_navigator_checkpoint
+
+        navigator = load_navigator_checkpoint(path, metric, mmap=True)
+        _MAPPED[path] = navigator
+    return navigator

@@ -72,6 +72,22 @@ class QueryEngine:
         elif op == "path":
             payloads = self._paths(navigator, pairs)
         elif op == "route":
+            if navigator.cover is None:
+                # Memory-mapped navigators carry no python cover, and
+                # the Theorem 5.1 routing scheme is built from one:
+                # route queries degrade to a typed refusal instead of
+                # crashing the batch.
+                if OBS.enabled:
+                    _C_UNDELIVERED.inc(len(pairs))
+                reason = (
+                    "routing unavailable: the service is memory-mapped "
+                    "(no cover object to build routing tables from)"
+                )
+                return [
+                    {"status": "undelivered", "result": None,
+                     "error": reason, "service": status}
+                    for _ in pairs
+                ]
             payloads = self._routes(navigator, status["generation"], pairs)
         else:
             raise ValueError(f"unknown batch op {op!r}")

@@ -16,6 +16,7 @@ vertex has itself as representative.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,14 +26,22 @@ from ..graphs.tree import Tree
 from ..metrics.base import Metric, sample_pairs
 from ..metrics.tree_metric import TreeMetric
 from ..observability import OBS
+from .packed_index import PackedCoverIndex
 
 __all__ = ["CoverTree", "TreeCover"]
 
 # Trees consulted per best-tree selection: 1 for Ramsey home-tree
 # lookups, ζ for the ordinary scan — the O(1) vs O(ζ) contrast of
-# Section 3.2 made measurable.
+# Section 3.2 made measurable.  The packed index answers the scan with
+# vectorized array ops but still *consults* ζ oracles, so the
+# histogram's semantics are unchanged; cache hits count as selections
+# too (the selection happened, just from memory).
 _C_SELECTIONS = OBS.registry.counter("cover.selections")
 _H_CONSULTED = OBS.registry.histogram("cover.trees_consulted")
+_C_CACHE_HITS = OBS.registry.counter("cover.pair_cache_hits")
+
+# Entries kept by the per-cover (p, q) -> (tree, distance) LRU.
+_PAIR_CACHE_CAP = 4096
 
 
 class CoverTree:
@@ -147,11 +156,53 @@ class TreeCover:
         #: Ramsey covers: home[p] = index of the tree covering p against
         #: every other point; ``None`` for ordinary covers.
         self.home = home
+        # Derived query state: the packed selection index (built lazily
+        # on first scalar selection) and the (p, q) LRU over results.
+        self._packed: Optional[PackedCoverIndex] = None
+        self._packed_failed = False
+        self._pair_cache: "OrderedDict[Tuple[int, int], Tuple[int, float]]" = (
+            OrderedDict()
+        )
 
     @property
     def size(self) -> int:
         """The number of trees ζ."""
         return len(self.trees)
+
+    def __getstate__(self):
+        # The packed index and LRU are derived (and may hold memmap
+        # views); rebuild lazily on the receiving side.
+        state = dict(self.__dict__)
+        state["_packed"] = None
+        state["_packed_failed"] = False
+        state["_pair_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Covers pickled before these fields existed.
+        self.__dict__.setdefault("_packed", None)
+        self.__dict__.setdefault("_packed_failed", False)
+        self.__dict__.setdefault("_pair_cache", OrderedDict())
+
+    def packed_index(self, build: bool = True) -> Optional[PackedCoverIndex]:
+        """The packed best-tree index; built on first scalar selection.
+
+        Returns ``None`` when over the size budget (the legacy scan
+        stays in charge) or when ``build=False`` and it does not exist
+        yet.
+        """
+        if self._packed is None and build and not self._packed_failed:
+            self._packed = PackedCoverIndex.build(self.trees)
+            if self._packed is None:
+                self._packed_failed = True
+        return self._packed
+
+    def invalidate_query_state(self) -> None:
+        """Drop the packed index and the pair LRU (tree content changed)."""
+        self._packed = None
+        self._packed_failed = False
+        self._pair_cache.clear()
 
     def replace_tree(self, index: int, cover_tree: CoverTree) -> None:
         """Swap one tree of the cover for a freshly built replacement.
@@ -164,6 +215,7 @@ class TreeCover:
             raise IndexError(f"no tree {index} in a cover of {len(self.trees)}")
         cover_tree.reset_derived()
         self.trees[index] = cover_tree
+        self.invalidate_query_state()
 
     def best_tree(self, p: int, q: int) -> Tuple[int, float]:
         """The tree index minimizing the tree distance for the pair.
@@ -174,17 +226,40 @@ class TreeCover:
         if OBS.enabled:
             _C_SELECTIONS.inc()
             _H_CONSULTED.observe(1 if self.home is not None else len(self.trees))
+        cache = self._pair_cache
+        key = (p, q) if p <= q else (q, p)
+        hit = cache.get(key)
+        if hit is not None:
+            # Tree distances are symmetric and the scan's tie-break is
+            # deterministic, so the cached answer is the exact answer.
+            cache.move_to_end(key)
+            if OBS.enabled:
+                _C_CACHE_HITS.inc()
+            return hit
         if self.home is not None:
             index = self.home[p]
-            return index, self.trees[index].tree_distance(p, q)
-        best_index = -1
-        best = float("inf")
-        for index, cover_tree in enumerate(self.trees):
-            d = cover_tree.tree_distance(p, q)
-            if d < best:
-                best = d
-                best_index = index
-        return best_index, best
+            packed = self.packed_index(build=False)
+            if packed is not None:
+                result = (index, packed.distance(index, p, q))
+            else:
+                result = (index, self.trees[index].tree_distance(p, q))
+        else:
+            packed = self.packed_index()
+            if packed is not None:
+                result = packed.best_pair(p, q)
+            else:
+                best_index = -1
+                best = float("inf")
+                for index, cover_tree in enumerate(self.trees):
+                    d = cover_tree.tree_distance(p, q)
+                    if d < best:
+                        best = d
+                        best_index = index
+                result = (best_index, best)
+        cache[key] = result
+        if len(cache) > _PAIR_CACHE_CAP:
+            cache.popitem(last=False)
+        return result
 
     def best_trees(self, pairs: Sequence[Tuple[int, int]]) -> List[Tuple[int, float]]:
         """:meth:`best_tree` for many pairs at once.
@@ -202,13 +277,25 @@ class TreeCover:
             consulted = 1 if self.home is not None else len(self.trees)
             for _ in pairs:
                 _H_CONSULTED.observe(consulted)
+        # The packed index also answers batches; use it when a scalar
+        # query already paid for the build (never build it for a batch —
+        # the per-tree vectorized scan below is already O(ζ) python).
+        packed = self.packed_index(build=False)
         if self.home is not None:
+            if packed is not None:
+                homes = [self.home[p] for p, _ in pairs]
+                d = packed.distances(
+                    homes, [p for p, _ in pairs], [q for _, q in pairs]
+                )
+                return list(zip(homes, d.tolist()))
             return [
                 (self.home[p], self.trees[self.home[p]].tree_distance(p, q))
                 for p, q in pairs
             ]
         ps = [p for p, _ in pairs]
         qs = [q for _, q in pairs]
+        if packed is not None:
+            return packed.best_pairs(ps, qs)
         best = np.full(len(pairs), np.inf)
         best_index = np.full(len(pairs), -1, dtype=np.int64)
         for index, cover_tree in enumerate(self.trees):

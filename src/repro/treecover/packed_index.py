@@ -1,0 +1,242 @@
+"""Vectorized best-tree selection over a whole cover.
+
+``TreeCover.best_tree`` — step (1) of every navigation query — scans ζ
+per-tree distance oracles in a python loop for non-Ramsey covers.  At
+n=600 the robust cover has ζ=1622 trees, so a single scalar query paid
+1622 python-level LCA calls (and, worse, lazily built each tree's
+O(n log n) sparse table on first touch).
+
+:class:`PackedCoverIndex` concatenates the Euler tours of every cover
+tree into one flat arena and builds a single ±depth sparse-table RMQ
+over it, plus per-(tree, point) tables of host-vertex tour positions
+and weighted depths.  One scalar selection is then a handful of
+vectorized numpy ops over length-ζ vectors:
+
+* ``lo/hi`` — two rows of the position table;
+* range-minimum via two gathers from the shared sparse table (a query
+  window never crosses a tree's tour segment, so the junk entries that
+  span segments are never read);
+* ``d = wd[p] + wd[q] − 2·wd[lca]`` with exactly the float64 op order
+  of the scalar oracle, so selected indexes and distances are
+  bit-identical to the legacy scan (``np.argmin`` keeps the first
+  minimum, matching the scan's lowest-index tie-break).
+
+The index serializes to a name → array dict for the checkpoint
+raw-array section and reconstructs from memory-mapped views
+(:meth:`arrays` / :meth:`from_arrays`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..observability import OBS, trace
+
+__all__ = ["PackedCoverIndex"]
+
+_C_BUILDS = OBS.registry.counter("cover.packed_index_builds")
+
+# Sparse-table budget: a cover whose concatenated tour would exceed this
+# keeps the legacy O(ζ) scan instead of thrashing memory.  Override via
+# REPRO_PACKED_INDEX_MAX_MB (0 disables the packed index entirely).
+_DEFAULT_MAX_MB = 768.0
+
+
+def _max_table_bytes() -> float:
+    raw = os.environ.get("REPRO_PACKED_INDEX_MAX_MB", "")
+    try:
+        return float(raw) * 1e6 if raw else _DEFAULT_MAX_MB * 1e6
+    except ValueError:
+        return _DEFAULT_MAX_MB * 1e6
+
+
+class PackedCoverIndex:
+    """Flat-array tree-selection oracle for one cover (read-only)."""
+
+    __slots__ = ("first_pt", "wd_pt", "tour_depth", "wd_tour", "table", "tour_off")
+
+    def __init__(
+        self,
+        first_pt: np.ndarray,
+        wd_pt: np.ndarray,
+        tour_depth: np.ndarray,
+        wd_tour: np.ndarray,
+        table: np.ndarray,
+        tour_off: np.ndarray,
+    ):
+        self.first_pt = first_pt
+        self.wd_pt = wd_pt
+        self.tour_depth = tour_depth
+        self.wd_tour = wd_tour
+        self.table = table
+        self.tour_off = tour_off
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    @classmethod
+    def build(cls, trees: Sequence) -> Optional["PackedCoverIndex"]:
+        """Build from ``CoverTree`` objects; ``None`` over budget."""
+        zeta = len(trees)
+        if zeta == 0:
+            return None
+        n_points = len(trees[0].vertex_of_point)
+        total_tour = sum(2 * ct.tree.n - 1 for ct in trees)
+        max_tour = max(2 * ct.tree.n - 1 for ct in trees)
+        levels = max(1, max_tour.bit_length())
+        if levels * total_tour * 4 > _max_table_bytes():
+            return None
+        with trace("cover.packed_index_build", trees=zeta, tour=total_tour):
+            if OBS.enabled:
+                _C_BUILDS.inc()
+            first_pt = np.empty((zeta, n_points), dtype=np.int32)
+            wd_pt = np.empty((zeta, n_points), dtype=np.float64)
+            tour_depth = np.empty(total_tour, dtype=np.int32)
+            wd_tour = np.empty(total_tour, dtype=np.float64)
+            tour_off = np.zeros(zeta + 1, dtype=np.int64)
+            offset = 0
+            for t, ct in enumerate(trees):
+                tree = ct.tree
+                n = tree.n
+                first, tour, depths = _euler_tour(tree)
+                m = len(tour)
+                tour_np = np.asarray(tour, dtype=np.int64)
+                tour_depth[offset : offset + m] = depths
+                wdepth = np.asarray(tree.weighted_depths(), dtype=np.float64)
+                wd_tour[offset : offset + m] = wdepth[tour_np]
+                vop = np.asarray(ct.vertex_of_point, dtype=np.int64)
+                first_np = np.asarray(first, dtype=np.int64)
+                first_pt[t] = first_np[vop] + offset
+                wd_pt[t] = wdepth[vop]
+                tour_off[t + 1] = offset = offset + m
+            table = np.empty((levels, total_tour), dtype=np.int32)
+            table[0] = np.arange(total_tour, dtype=np.int32)
+            for j in range(1, levels):
+                half = 1 << (j - 1)
+                span = total_tour - (1 << j) + 1
+                if span > 0:
+                    left = table[j - 1, :span]
+                    right = table[j - 1, half : half + span]
+                    choose_right = tour_depth[right] < tour_depth[left]
+                    table[j, :span] = np.where(choose_right, right, left)
+                table[j, max(span, 0) :] = table[j - 1, max(span, 0) :]
+        return cls(first_pt, wd_pt, tour_depth, wd_tour, table, tour_off)
+
+    def arrays(self, prefix: str = "cov/") -> Dict[str, np.ndarray]:
+        """The index as a name → array dict (raw-array checkpointing)."""
+        return {
+            prefix + "first": self.first_pt,
+            prefix + "wpt": self.wd_pt,
+            prefix + "tdepth": self.tour_depth,
+            prefix + "wtour": self.wd_tour,
+            prefix + "rmq": self.table,
+            prefix + "toff": self.tour_off,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, np.ndarray], prefix: str = "cov/"
+    ) -> "PackedCoverIndex":
+        """Reconstruct from (possibly memory-mapped) arrays, zero-copy."""
+        return cls(
+            arrays[prefix + "first"],
+            arrays[prefix + "wpt"],
+            arrays[prefix + "tdepth"],
+            arrays[prefix + "wtour"],
+            arrays[prefix + "rmq"],
+            arrays[prefix + "toff"],
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def size(self) -> int:
+        return len(self.first_pt)
+
+    def _lca_pos(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Tour position of the minimum-depth entry per window (vector)."""
+        l = np.minimum(lo, hi)
+        h = np.maximum(lo, hi)
+        length = (h - l + 1).astype(np.int64)
+        j = np.floor(np.log2(length)).astype(np.int64)
+        a = self.table[j, l]
+        b = self.table[j, h - (1 << j) + 1]
+        return np.where(self.tour_depth[a] <= self.tour_depth[b], a, b)
+
+    def best_pair(self, p: int, q: int) -> Tuple[int, float]:
+        """Lowest tree index minimizing the tree distance, plus the
+        distance — bit-identical to the legacy O(ζ) scalar scan."""
+        best = self._lca_pos(self.first_pt[:, p], self.first_pt[:, q])
+        d = (self.wd_pt[:, p] + self.wd_pt[:, q]) - 2.0 * self.wd_tour[best]
+        index = int(np.argmin(d))
+        return index, float(d[index])
+
+    def best_pairs(
+        self, ps: Sequence[int], qs: Sequence[int]
+    ) -> List[Tuple[int, float]]:
+        """Batched :meth:`best_pair` (one gather per sparse-table level)."""
+        ps = np.asarray(ps, dtype=np.int64)
+        qs = np.asarray(qs, dtype=np.int64)
+        best = self._lca_pos(self.first_pt[:, ps], self.first_pt[:, qs])
+        d = (self.wd_pt[:, ps] + self.wd_pt[:, qs]) - 2.0 * self.wd_tour[best]
+        index = np.argmin(d, axis=0)
+        dist = d[index, np.arange(len(ps))]
+        return list(zip(index.tolist(), dist.tolist()))
+
+    def distance(self, t: int, p: int, q: int) -> float:
+        """Tree distance inside tree ``t`` (the Ramsey home-tree path)."""
+        lo = int(self.first_pt[t, p])
+        hi = int(self.first_pt[t, q])
+        if lo > hi:
+            lo, hi = hi, lo
+        j = (hi - lo + 1).bit_length() - 1
+        a = self.table[j, lo]
+        b = self.table[j, hi - (1 << j) + 1]
+        w = a if self.tour_depth[a] <= self.tour_depth[b] else b
+        return float((self.wd_pt[t, p] + self.wd_pt[t, q]) - 2.0 * self.wd_tour[w])
+
+    def distances(
+        self, ts: Sequence[int], ps: Sequence[int], qs: Sequence[int]
+    ) -> np.ndarray:
+        """Elementwise tree distances for (tree, p, q) triples."""
+        ts = np.asarray(ts, dtype=np.int64)
+        ps = np.asarray(ps, dtype=np.int64)
+        qs = np.asarray(qs, dtype=np.int64)
+        best = self._lca_pos(self.first_pt[ts, ps], self.first_pt[ts, qs])
+        return (self.wd_pt[ts, ps] + self.wd_pt[ts, qs]) - 2.0 * self.wd_tour[best]
+
+
+def _euler_tour(tree) -> Tuple[List[int], List[int], List[int]]:
+    """(first-visit positions, tour vertices, tour depths) of one tree."""
+    n = tree.n
+    root = tree.root
+    parents = tree.parents
+    children = tree.children
+    first = [0] * n
+    tour = [root]
+    depths = [0]
+    cursor = [0] * n
+    v = root
+    d = 0
+    while True:
+        ch = children[v]
+        i = cursor[v]
+        if i < len(ch):
+            cursor[v] = i + 1
+            v = ch[i]
+            d += 1
+            first[v] = len(tour)
+            tour.append(v)
+            depths.append(d)
+        else:
+            if v == root:
+                break
+            v = parents[v]
+            d -= 1
+            tour.append(v)
+            depths.append(d)
+    return first, tour, depths

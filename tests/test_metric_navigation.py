@@ -129,16 +129,27 @@ class TestQueryWorkScaling:
             CoverTree.tree_distance = original
         return counter["calls"] / len(queries)
 
-    def test_scan_cost_is_zeta_not_n(self):
-        """O(k + ζ) query: tree selection evaluates exactly ζ tree
-        distances per query, independent of n (deterministic version of
-        the paper's τ bound — wall-clock is measured in the benches)."""
+    def test_scan_cost_is_zeta_not_n(self, monkeypatch):
+        """O(k + ζ) query: legacy tree selection evaluates exactly ζ
+        tree distances per query, independent of n (deterministic
+        version of the paper's τ bound — wall-clock is measured in the
+        benches).  The packed selection index replaces all of those
+        scalar oracle calls with vectorized array ops."""
         metric = random_points(120, dim=2, seed=4)
+        # Packed index disabled: the scalar scan consults every oracle.
+        monkeypatch.setenv("REPRO_PACKED_INDEX_MAX_MB", "0")
         cover = robust_tree_cover(metric, eps=0.6)
         per_query = self._count_distance_evaluations(
             metric, cover, sample_pairs(120, 40, seed=5)
         )
         assert per_query == cover.size
+        # Packed index enabled (the default): zero scalar oracle calls.
+        monkeypatch.delenv("REPRO_PACKED_INDEX_MAX_MB")
+        cover.invalidate_query_state()
+        per_query = self._count_distance_evaluations(
+            metric, cover, sample_pairs(120, 40, seed=5)
+        )
+        assert per_query == 0.0
 
     def test_ramsey_scan_cost_is_constant(self):
         metric = random_graph_metric(80, seed=6)
