@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Smoke the benchmark-regression harness end to end: run a tiny-n
 # `python -m repro bench --quick`, then validate the emitted
-# BENCH_tree_covers.json / BENCH_navigation.json against the schema
-# contract (repro.bench.validate_bench_json).  Fast enough for CI;
-# the full-size >= 3x gate lives in tests/test_bench_harness.py
-# behind the `bench` pytest marker.
+# BENCH_tree_covers.json / BENCH_navigation.json / BENCH_serving.json /
+# BENCH_dynamic.json against the schema contract
+# (repro.bench.validate_bench_json).  Fast enough for CI; the
+# full-size >= 3x gate lives in tests/test_bench_harness.py behind the
+# `bench` pytest marker, and the crash-path smoke for the dynamic rows
+# (kill -9 mid-journal, restart, replay) is scripts/churn_smoke.sh.
 #
 # Usage: scripts/bench_smoke.sh [out_dir]
 set -eu
@@ -25,7 +27,7 @@ from repro.bench import validate_bench_json
 
 out_dir = sys.argv[1]
 for name in ("BENCH_tree_covers.json", "BENCH_navigation.json",
-             "BENCH_serving.json"):
+             "BENCH_serving.json", "BENCH_dynamic.json"):
     path = f"{out_dir}/{name}"
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -60,6 +62,18 @@ fleet = rows["multi_worker_rss"]
 assert fleet["detail"]["workers"] >= 2, fleet
 print(f"mapped serving rows OK (cold load {cold['seconds']}s, "
       f"pss_ratio {fleet['detail'].get('pss_ratio')})")
+
+# The dynamic rows must carry the headline numbers: a rebuild
+# baseline, sustained update throughput, and the crossover summary.
+with open(f"{out_dir}/BENCH_dynamic.json", encoding="utf-8") as handle:
+    dynamic = json.load(handle)
+rows = {entry["name"]: entry for entry in dynamic["results"]}
+assert rows["full_rebuild"]["seconds"] > 0, rows["full_rebuild"]
+assert rows["update_batch_1"]["detail"]["updates_per_s"] > 0
+crossover = rows["patch_vs_rebuild"]["detail"]
+assert crossover["crossover_batch"] >= 1, crossover
+print(f"dynamic rows OK ({rows['update_batch_1']['detail']['updates_per_s']} "
+      f"updates/s at batch 1, crossover batch {crossover['crossover_batch']})")
 EOF
 
 # Second pass with --trace: the BENCH rows must now embed span trees,
@@ -67,7 +81,7 @@ EOF
 # schema (src/repro/observability/trace_schema.json).
 TRACE_DIR="$OUT_DIR/trace"
 PYTHONPATH=src python -m repro bench --quick --n 80 --nav-n 60 --no-baseline \
-    --no-serving --trace --out-dir "$TRACE_DIR"
+    --no-serving --no-dynamic --trace --out-dir "$TRACE_DIR"
 
 PYTHONPATH=src python - "$TRACE_DIR" <<'EOF'
 import json

@@ -12,6 +12,9 @@ identical inputs, and emits schema-stable JSON artifacts:
 * ``BENCH_navigation.json`` — navigator build time, scalar query
   p50/p99 latency, and batched :meth:`MetricNavigator.find_paths`
   per-query latency, plus spanner edge counts.
+* ``BENCH_dynamic.json`` — sustained insert/delete throughput with
+  interleaved queries through :class:`repro.dynamic.DynamicRobustCover`,
+  journal fsync latency, and the patch-vs-rebuild crossover.
 
 Schema stability contract: the ``schema`` field names the payload
 version (``repro.bench.tree_covers/v1``, ``repro.bench.navigation/v1``).
@@ -56,9 +59,11 @@ __all__ = [
     "TREE_COVERS_SCHEMA",
     "NAVIGATION_SCHEMA",
     "SERVING_SCHEMA",
+    "DYNAMIC_SCHEMA",
     "bench_tree_covers",
     "bench_navigation",
     "bench_serving",
+    "bench_dynamic",
     "validate_bench_json",
     "write_bench_files",
 ]
@@ -66,6 +71,7 @@ __all__ = [
 TREE_COVERS_SCHEMA = "repro.bench.tree_covers/v1"
 NAVIGATION_SCHEMA = "repro.bench.navigation/v1"
 SERVING_SCHEMA = "repro.bench.serving/v1"
+DYNAMIC_SCHEMA = "repro.bench.dynamic/v1"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -811,6 +817,195 @@ def bench_serving(
     }
 
 
+def bench_dynamic(
+    n: int = 150,
+    dim: int = 2,
+    seed: int = 1,
+    eps: float = 0.5,
+    batch_sizes: Tuple[int, ...] = (1, 8, 32),
+    rounds: int = 3,
+    queries: int = 16,
+    workers: Optional[int] = None,
+) -> Dict:
+    """Dynamic-update benchmarks: sustained churn with interleaved queries.
+
+    Rows:
+
+    * ``full_rebuild`` — a from-scratch masked rebuild of the current
+      generation: what *every* update would cost without the dynamic
+      layer, and the patch path's fallback.
+    * ``journal_append`` — p50/p99 of one write-ahead journal record
+      (CRC frame + fsync-before-ack), the floor of any mutation's
+      acknowledged latency.
+    * ``update_batch_{b}`` for each ``b`` in ``batch_sizes`` —
+      ``rounds`` seeded mutation batches of ``b`` ops (50/50
+      insert/delete) applied through ``DynamicRobustCover.apply``, with
+      ``queries`` cover queries interleaved after every batch.  The
+      detail carries sustained ``updates_per_s``, the mean patched
+      ``touched_fraction`` (honest number: single mutations touch every
+      tree in the Theorem 4.1 construction — see ``docs/DYNAMIC.md``),
+      per-level sweep reuse, and interleaved query p50.
+      ``seed_seconds``/``speedup`` compare against paying one full
+      rebuild *per op* — the batch-amortization win.
+    * ``patch_vs_rebuild`` — the crossover summary: the measured
+      apply-time/rebuild-time ratio per batch size and the batch size
+      past which batching beats rebuild-per-op.
+    """
+    import random as random_mod
+    import tempfile
+
+    from .dynamic import DynamicRobustCover, UpdateJournal
+
+    metric = random_points(n, dim=dim, seed=seed)
+    resolved_workers = _timing_workers(workers)
+    requested_workers = resolve_workers(workers)
+    dyn = DynamicRobustCover.from_metric(metric, eps=eps, workers=resolved_workers)
+    results: List[Dict] = []
+
+    rebuild_secs, _ = _best_of(dyn.rebuild, 1)
+    results.append(
+        _result(
+            "full_rebuild",
+            n,
+            rebuild_secs,
+            None,
+            {"zeta": len(dyn.trees), "active": len(dyn.active), "eps": eps},
+        )
+    )
+
+    handle, journal_path = tempfile.mkstemp(suffix=".journal")
+    os.close(handle)
+    os.unlink(journal_path)
+    try:
+        append_lat: List[float] = []
+        with UpdateJournal(journal_path) as journal:
+            for i in range(64):
+                start = time.perf_counter()
+                journal.append("insert", point=[float(i), float(i)])
+                append_lat.append((time.perf_counter() - start) * 1e6)
+        lat = np.asarray(append_lat)
+        results.append(
+            _result(
+                "journal_append",
+                n,
+                float(lat.sum()) / 1e6,
+                None,
+                {
+                    "appends": len(append_lat),
+                    "p50_us": round(float(np.percentile(lat, 50)), 2),
+                    "p99_us": round(float(np.percentile(lat, 99)), 2),
+                },
+            )
+        )
+    finally:
+        if os.path.exists(journal_path):
+            os.unlink(journal_path)
+
+    def make_ops(state: DynamicRobustCover, rng, batch: int):
+        lo = state.coords[state.active].min(axis=0)
+        hi = state.coords[state.active].max(axis=0)
+        live = set(state.active)
+        ops = []
+        for _ in range(batch):
+            if rng.random() < 0.5 or len(live) <= 3:
+                ops.append((
+                    "insert",
+                    [float(l + rng.random() * max(h - l, 1.0))
+                     for l, h in zip(lo, hi)],
+                ))
+            else:
+                victim = rng.choice(sorted(live))
+                live.discard(victim)
+                ops.append(("delete", victim))
+        return ops
+
+    ratios: Dict[str, float] = {}
+    for batch in batch_sizes:
+        state = DynamicRobustCover.from_metric(
+            metric, eps=eps, workers=resolved_workers
+        )
+        rng = random_mod.Random(seed * 7919 + batch)
+        mutate_secs = 0.0
+        query_lat: List[float] = []
+        touched: List[float] = []
+        reused: List[int] = []
+        for round_index in range(rounds):
+            ops = make_ops(state, rng, batch)
+            start = time.perf_counter()
+            report = state.apply(ops)
+            mutate_secs += time.perf_counter() - start
+            touched.append(report.touched_fraction if not report.rebuilt else 1.0)
+            reused.append(report.levels_reused)
+            pairs = state.active_pairs(queries, seed=rng.randrange(1 << 30))
+            for u, v in pairs:
+                q0 = time.perf_counter()
+                state.cover.best_tree(u, v)
+                query_lat.append((time.perf_counter() - q0) * 1e6)
+        ops_total = rounds * batch
+        per_op_rebuild = ops_total * rebuild_secs
+        lat = np.asarray(query_lat)
+        ratios[str(batch)] = round(
+            mutate_secs / rounds / rebuild_secs if rebuild_secs > 0 else 0.0, 3
+        )
+        results.append(
+            _result(
+                f"update_batch_{batch}",
+                n,
+                mutate_secs,
+                per_op_rebuild,
+                {
+                    "batch": batch,
+                    "rounds": rounds,
+                    "updates_per_s": round(ops_total / mutate_secs, 2)
+                    if mutate_secs > 0 else None,
+                    "touched_fraction": round(
+                        float(np.mean(touched)), 4
+                    ),
+                    "levels_reused_mean": round(float(np.mean(reused)), 2),
+                    "interleaved_query_p50_us": round(
+                        float(np.percentile(lat, 50)), 2
+                    ),
+                    "active_final": len(state.active),
+                },
+            )
+        )
+
+    # One apply costs ~ratio rebuilds regardless of batch size (the
+    # merge replays dominate), so batching beats rebuild-per-op once
+    # the batch is larger than the worst measured ratio.
+    worst_ratio = max(ratios.values()) if ratios else 1.0
+    results.append(
+        _result(
+            "patch_vs_rebuild",
+            n,
+            rebuild_secs,
+            None,
+            {
+                "rebuild_seconds": round(rebuild_secs, 6),
+                "apply_over_rebuild_ratio": ratios,
+                "crossover_batch": int(math.ceil(worst_ratio)) or 1,
+            },
+        )
+    )
+
+    return {
+        "schema": DYNAMIC_SCHEMA,
+        "config": {
+            "n": n,
+            "dim": dim,
+            "seed": seed,
+            "eps": eps,
+            "batch_sizes": list(batch_sizes),
+            "rounds": rounds,
+            "queries": queries,
+            "workers": resolved_workers,
+            "workers_requested": requested_workers,
+        },
+        "results": results,
+        "meta": _meta(),
+    }
+
+
 def validate_bench_json(payload: Dict) -> None:
     """Raise ``ValueError`` unless ``payload`` honors the bench schema.
 
@@ -822,7 +1017,12 @@ def validate_bench_json(payload: Dict) -> None:
     if not isinstance(payload, dict):
         raise ValueError("bench payload must be a JSON object")
     schema = payload.get("schema")
-    if schema not in (TREE_COVERS_SCHEMA, NAVIGATION_SCHEMA, SERVING_SCHEMA):
+    if schema not in (
+        TREE_COVERS_SCHEMA,
+        NAVIGATION_SCHEMA,
+        SERVING_SCHEMA,
+        DYNAMIC_SCHEMA,
+    ):
         raise ValueError(f"unknown bench schema: {schema!r}")
     for key in ("config", "meta"):
         if not isinstance(payload.get(key), dict):
@@ -861,6 +1061,7 @@ def write_bench_files(
     tree_payload: Optional[Dict] = None,
     nav_payload: Optional[Dict] = None,
     serving_payload: Optional[Dict] = None,
+    dynamic_payload: Optional[Dict] = None,
 ) -> List[str]:
     """Validate and write the BENCH_*.json artifacts; returns the paths."""
     import os
@@ -871,6 +1072,7 @@ def write_bench_files(
         (tree_payload, "BENCH_tree_covers.json"),
         (nav_payload, "BENCH_navigation.json"),
         (serving_payload, "BENCH_serving.json"),
+        (dynamic_payload, "BENCH_dynamic.json"),
     ):
         if payload is None:
             continue

@@ -157,6 +157,39 @@ def builder_from_meta(meta: Dict[str, Any]) -> Optional[CoverBuilder]:
     return None
 
 
+def _dynamic_metric(base: Metric, dyn_meta: Dict[str, Any]) -> Metric:
+    """The full (append-only) metric a compacted dynamic checkpoint uses.
+
+    ``dyn_meta`` is the ``dynamic`` meta block a ``compact`` wrote: the
+    base point set plus any points appended since, with the active set
+    listed separately (tombstones stay in the index space).
+    """
+    import numpy as np
+
+    from ..metrics.euclidean import EuclideanMetric
+
+    points = getattr(base, "points", None)
+    if points is None:
+        raise ValueError(
+            "dynamic checkpoints require a coordinate-backed (Euclidean) "
+            f"base metric, got {type(base).__name__}"
+        )
+    extra = dyn_meta.get("extra_points") or []
+    coords = points
+    if extra:
+        coords = np.vstack([points, np.asarray(extra, dtype=float)])
+    return EuclideanMetric(coords)
+
+
+def _op_from_record(record) -> Tuple[str, Any]:
+    """Decode one journal record into a ``DynamicRobustCover.apply`` op."""
+    if record.op == "insert":
+        return ("insert", record["point"])
+    if record.op == "delete":
+        return ("delete", int(record["point_id"]))
+    raise CheckpointCorruption(f"journal holds unknown op {record.op!r}")
+
+
 def _salvage_sections(
     path: str, metric: Metric
 ) -> Tuple[Dict[str, Any], Dict[str, Any], List[str]]:
@@ -393,6 +426,10 @@ class CheckpointService:
         self.builder = builder
         self.contract = contract
         self.workers = workers
+        # The metric the service was constructed with.  In dynamic mode
+        # `self.metric` tracks the mutable (append-only) index space;
+        # compacted checkpoints record their state relative to this base.
+        self._base_metric = metric
         self._path: Optional[str] = None
         self._navigator: Optional[MetricNavigator] = None
         self._pending: List[int] = []
@@ -411,6 +448,10 @@ class CheckpointService:
         self._recovering = False
         self._mapped = False
         self.generation = 0
+        # Dynamic mutation state (ROADMAP item 3): installed by
+        # enable_dynamic(), mutated only under `_mutate_lock`.
+        self._dynamic = None  # Optional[DynamicRobustCover]
+        self._journal = None  # Optional[UpdateJournal]
 
     # -- state -----------------------------------------------------------
 
@@ -450,7 +491,7 @@ class CheckpointService:
             state = "degraded"
         else:
             state = "ready"
-        return {
+        status = {
             "state": state,
             "generation": self.generation,
             "trees_total": len(self._salvaged),
@@ -460,7 +501,15 @@ class CheckpointService:
                 if self._navigator is not None else 0
             ),
             "mapped": self._mapped,
+            "dynamic": self._dynamic is not None,
         }
+        if self._dynamic is not None:
+            status["active_points"] = len(self._dynamic.active)
+            status["applied_seq"] = self._dynamic.applied_seq
+            status["journal_records"] = (
+                len(self._journal) if self._journal is not None else 0
+            )
+        return status
 
     def status(self) -> Dict[str, Any]:
         """A JSON-ready snapshot of the service level (for envelopes)."""
@@ -544,7 +593,11 @@ class CheckpointService:
 
     def _load(self, path: str) -> "CheckpointService":
         self._path = path
-        pairs = sample_pairs(self.metric.n, 120, seed=0)
+        if self._journal is not None:
+            self._journal.close()
+        self._dynamic = None
+        self._journal = None
+        self.metric = self._base_metric
         try:
             meta, bodies, bad_sections = _salvage_sections(path, self.metric)
         except CheckpointCorruption as exc:
@@ -555,6 +608,22 @@ class CheckpointService:
             self._swap(None, [-1], salvaged=[])
             return self
         self._meta = meta
+        dyn_meta = meta.get("dynamic")
+        dyn_meta = dyn_meta if isinstance(dyn_meta, dict) else None
+        if dyn_meta is not None:
+            # Compacted dynamic checkpoint: its index space may exceed
+            # the base metric (appended points, tombstones).  Decode and
+            # audit against the full dynamic metric, sampling *active*
+            # pairs only — tombstoned leaves dominate trivially but
+            # carry no stretch promise.
+            self.metric = _dynamic_metric(self._base_metric, dyn_meta)
+            live = [int(a) for a in dyn_meta.get("active", [])]
+            pairs = [
+                (live[a], live[b])
+                for a, b in sample_pairs(len(live), 120, seed=0)
+            ]
+        else:
+            pairs = sample_pairs(self.metric.n, 120, seed=0)
         header = bodies.get("cover")
         num_trees = header.get("num_trees") if isinstance(header, dict) else None
         if "cover" in bad_sections or not isinstance(num_trees, int) or num_trees <= 0:
@@ -591,7 +660,10 @@ class CheckpointService:
         if not pending:
             cover = TreeCover(self.metric, list(salvaged), home=self._home)
             audit_cover(
-                cover, contract=self.contract, pairs=pairs, workers=self.workers
+                cover,
+                contract=self.contract if dyn_meta is None else None,
+                pairs=pairs,
+                workers=self.workers,
             )
             navigator = MetricNavigator(
                 self.metric, cover, self.k, workers=self.workers
@@ -707,6 +779,257 @@ class CheckpointService:
             self._swap(navigator, sorted(pending), salvaged=salvaged)
             return killed
 
+    # -- dynamic mutation (ROADMAP item 3) -------------------------------
+
+    @property
+    def dynamic(self):
+        """The :class:`~repro.dynamic.cover.DynamicRobustCover`, if
+        :meth:`enable_dynamic` has run; ``None`` otherwise."""
+        return self._dynamic
+
+    @property
+    def journal(self):
+        """The :class:`~repro.dynamic.journal.UpdateJournal`, if any."""
+        return self._journal
+
+    def is_known_point(self, point_id: int) -> bool:
+        """Is ``point_id`` live (queryable) at the current generation?
+
+        Static service: any id inside the metric.  Dynamic service:
+        active ids only — tombstoned points stay in the index space but
+        are not valid query endpoints.
+        """
+        dyn = self._dynamic
+        if dyn is not None:
+            return dyn.is_active(point_id)
+        return 0 <= point_id < self.metric.n
+
+    def _require_mutable(self, op: str) -> None:
+        if self._mapped:
+            raise ValueError(
+                f"{op} is unavailable in mapped mode: the query state is "
+                "a shared read-only memory-mapped arena; load() without "
+                "mmap and enable_dynamic() to mutate"
+            )
+        if self._dynamic is None:
+            raise ValueError(
+                f"{op} requires dynamic mode: call enable_dynamic() "
+                "(serve --dynamic) after load()"
+            )
+
+    def enable_dynamic(
+        self,
+        eps: Optional[float] = None,
+        journal_path: Optional[str] = None,
+        rebuild_threshold: float = 0.35,
+    ):
+        """Switch the service to mutable (insert/delete/compact) mode.
+
+        Builds a :class:`~repro.dynamic.cover.DynamicRobustCover` for
+        the current point set — restored from the checkpoint's
+        ``dynamic`` meta block when the file was written by
+        :meth:`compact`, fresh otherwise — opens the write-ahead journal
+        beside the checkpoint, and replays every journaled mutation past
+        the structure's ``applied_seq``.  The replayed structure is
+        audited before it serves, so a crash anywhere between journal
+        append and patch apply converges to the same audited state on
+        restart.
+
+        ``eps`` defaults to the checkpoint's builder metadata; only the
+        robust family is mutable (dynamic patching is a Theorem 4.1
+        construction).  Idempotent: a second call returns the existing
+        dynamic cover.
+        """
+        if self._mapped:
+            raise ValueError(
+                "enable_dynamic is unavailable in mapped mode: mapped "
+                "service is read-only by design; load() without mmap "
+                "to mutate"
+            )
+        from ..dynamic import DynamicRobustCover, UpdateJournal, journal_path_for
+
+        with self._mutate_lock:
+            if self._dynamic is not None:
+                return self._dynamic
+            with self._state_lock:
+                pending = bool(self._pending)
+            if pending:
+                raise ValueError(
+                    "recover() the checkpoint before enable_dynamic(): "
+                    "trees are still pending rebuild"
+                )
+            spec = self._meta.get("builder") or {}
+            family = spec.get("family", "robust")
+            if family != "robust":
+                raise ValueError(
+                    "dynamic mutation supports the robust cover family "
+                    f"only; this checkpoint was built with {family!r}"
+                )
+            if eps is None:
+                eps = float(spec.get("eps", 0.45))
+            if journal_path is None:
+                if self._path is None:
+                    raise ValueError(
+                        "enable_dynamic needs journal_path= when no "
+                        "checkpoint has been loaded"
+                    )
+                journal_path = journal_path_for(self._path)
+            if getattr(self.metric, "points", None) is None:
+                raise ValueError(
+                    "dynamic mode requires a coordinate-backed "
+                    "(Euclidean) metric"
+                )
+
+            dyn_meta = self._meta.get("dynamic")
+            if isinstance(dyn_meta, dict):
+                dyn = DynamicRobustCover.restore(
+                    self._base_metric, dyn_meta, workers=self.workers
+                )
+                dyn.rebuild_threshold = float(rebuild_threshold)
+            else:
+                dyn = DynamicRobustCover.from_metric(
+                    self.metric,
+                    eps=eps,
+                    workers=self.workers,
+                    rebuild_threshold=rebuild_threshold,
+                )
+            journal = UpdateJournal(journal_path, base_seq=dyn.applied_seq)
+            replay = journal.records_after(dyn.applied_seq)
+            with trace(
+                "journal.replay", records=len(replay), from_seq=dyn.applied_seq
+            ):
+                for record in replay:
+                    dyn.apply([_op_from_record(record)])
+                    dyn.applied_seq = record.seq
+            # The replayed structure must audit before it serves: this
+            # is the "reload converges to the same audited structure"
+            # half of the crash-safety contract.
+            audit_cover(
+                dyn.cover, contract=None, pairs=dyn.active_pairs(120),
+                workers=self.workers,
+            )
+            self._dynamic = dyn
+            self._journal = journal
+            self._promote_dynamic(None, None)
+            return dyn
+
+    def _promote_dynamic(self, prev_cover, prev_navigator) -> None:
+        """Install the dynamic cover's current generation atomically.
+
+        Per-tree navigators are rebuilt only for trees the patch
+        replayed or repaired; kept-verbatim trees (shared object
+        identity with ``prev_cover``) reuse the previous generation's
+        navigators via ``MetricNavigator(_reuse=...)``.
+        """
+        dyn = self._dynamic
+        reuse = None
+        if (
+            prev_navigator is not None
+            and prev_cover is not None
+            and getattr(prev_navigator, "cover", None) is prev_cover
+        ):
+            slots = dyn.navigator_reuse_slots(prev_cover.trees)
+            reuse = [
+                prev_navigator.navigators[slot] if slot is not None else None
+                for slot in slots
+            ]
+        navigator = MetricNavigator(
+            dyn.metric, dyn.cover, self.k, workers=self.workers, _reuse=reuse
+        )
+        self.metric = dyn.metric
+        self._swap(navigator, [], salvaged=list(dyn.trees))
+
+    def insert(self, point: Sequence[float]) -> Dict[str, Any]:
+        """Insert a point: journal (fsync) first, then patch, then swap.
+
+        Write-ahead ordering makes the mutation crash-safe: once the
+        append is acknowledged it survives any crash (a restart replays
+        it from the journal); if the process dies before the append
+        returns, the mutation never happened.  In-flight query batches
+        keep answering on the pre-mutation snapshot until the swap.
+        Returns the new point id, the journal seq, and the patch report.
+        """
+        self._require_mutable("insert")
+        point = [float(x) for x in point]
+        with self._mutate_lock:
+            dyn = self._dynamic
+            # Validate before journaling so the journal only ever holds
+            # ops that replay cleanly.
+            dyn._validate_batch([("insert", point)])
+            record = self._journal.append("insert", point=point)
+            prev_cover, prev_navigator = dyn.cover, self._navigator
+            report = dyn.apply([("insert", point)])
+            dyn.applied_seq = record.seq
+            self._promote_dynamic(prev_cover, prev_navigator)
+            return {
+                "op": "insert",
+                "point_id": dyn.n - 1,
+                "seq": record.seq,
+                "active": len(dyn.active),
+                "patch": report.to_dict(),
+            }
+
+    def delete(self, point_id: int) -> Dict[str, Any]:
+        """Tombstone an active point (write-ahead; see :meth:`insert`)."""
+        self._require_mutable("delete")
+        point_id = int(point_id)
+        with self._mutate_lock:
+            dyn = self._dynamic
+            dyn._validate_batch([("delete", point_id)])
+            record = self._journal.append("delete", point_id=point_id)
+            prev_cover, prev_navigator = dyn.cover, self._navigator
+            report = dyn.apply([("delete", point_id)])
+            dyn.applied_seq = record.seq
+            self._promote_dynamic(prev_cover, prev_navigator)
+            return {
+                "op": "delete",
+                "point_id": point_id,
+                "seq": record.seq,
+                "active": len(dyn.active),
+                "patch": report.to_dict(),
+            }
+
+    def compact(self) -> Dict[str, Any]:
+        """Fold the journal into a fresh checkpoint and truncate it.
+
+        Atomically rewrites the checkpoint with the current generation
+        (plus its ``dynamic`` meta block), then resets the journal to
+        ``base_seq = applied_seq`` — a restart restores from the
+        compacted checkpoint and replays nothing.
+        """
+        self._require_mutable("compact")
+        with self._mutate_lock:
+            if self._path is None:
+                raise ValueError(
+                    "compact needs a checkpoint path: load() one first"
+                )
+            dyn = self._dynamic
+            builder = self._meta.get("builder") or {
+                "family": "robust", "eps": dyn.eps,
+            }
+            save_cover_checkpoint(
+                dyn.cover,
+                self._path,
+                contract=None,
+                builder=builder,
+                extra_meta={"dynamic": dyn.state_meta()},
+            )
+            self._meta["builder"] = builder
+            self._meta["dynamic"] = dyn.state_meta()
+            self._journal.reset(dyn.applied_seq)
+            return {
+                "op": "compact",
+                "path": self._path,
+                "applied_seq": dyn.applied_seq,
+                "journal_records": len(self._journal),
+                "active": len(dyn.active),
+            }
+
+    def close(self) -> None:
+        """Release the journal file handle (dynamic mode)."""
+        if self._journal is not None:
+            self._journal.close()
+
     # -- recovery --------------------------------------------------------
 
     def recover(self, resave: bool = False) -> RecoveryReport:
@@ -715,15 +1038,21 @@ class CheckpointService:
         Delegates to :func:`recover_cover` (per-tree repair first, full
         rebuild as fallback); afterwards :attr:`recovery_pending` is
         False and :meth:`query` answers with the full contract again.
+        In dynamic mode the checkpoint on disk may lag the journal, so
+        recovery is instead a full masked rebuild of the *current*
+        generation — the same deterministic structure a journal replay
+        converges to.
         """
-        if self._path is None:
-            raise ValueError("load() a checkpoint before recover()")
         if self._mapped:
             raise ValueError(
                 "recover() is unavailable in mapped mode: mapped loads "
                 "are fail-fast (CRC-verified at attach) and have no "
                 "degraded per-tree state to promote"
             )
+        if self._dynamic is not None:
+            return self._recover_dynamic(resave)
+        if self._path is None:
+            raise ValueError("load() a checkpoint before recover()")
         with self._mutate_lock:
             with self._state_lock:
                 self._recovering = True
@@ -747,4 +1076,31 @@ class CheckpointService:
             finally:
                 with self._state_lock:
                     self._recovering = False
+        return report
+
+    def _recover_dynamic(self, resave: bool) -> RecoveryReport:
+        with self._mutate_lock:
+            with self._state_lock:
+                self._recovering = True
+            try:
+                # Queries keep flowing off the previous navigator while
+                # the rebuild runs; the swap below promotes atomically.
+                dyn = self._dynamic.rebuild()
+                audit_cover(
+                    dyn.cover, contract=None, pairs=dyn.active_pairs(120),
+                    workers=self.workers,
+                )
+                report = _record_report(RecoveryReport(
+                    "full-rebuild", dyn.cover,
+                    reason="dynamic mode: full masked rebuild of the "
+                           "current generation",
+                ))
+                self.report = report
+                self._dynamic = dyn
+                self._promote_dynamic(None, None)
+            finally:
+                with self._state_lock:
+                    self._recovering = False
+        if resave and self._path is not None:
+            self.compact()
         return report

@@ -115,11 +115,17 @@ def save_cover_checkpoint(
     path: str,
     contract: Optional[CoverContract] = None,
     builder: Optional[Dict[str, Any]] = None,
+    extra_meta: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Persist a cover as a v2 envelope; returns the envelope written."""
+    """Persist a cover as a v2 envelope; returns the envelope written.
+
+    ``extra_meta`` entries ride in the envelope's meta block alongside
+    ``contract``/``builder`` — the dynamic-mutation layer stores its
+    ``dynamic`` state descriptor there when compacting a journal.
+    """
     envelope = make_envelope(
         "cover",
-        _meta(cover.metric.n, contract, builder),
+        _meta(cover.metric.n, contract, builder, **(extra_meta or {})),
         cover_sections(cover),
     )
     write_checkpoint_file(envelope, path)

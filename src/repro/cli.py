@@ -381,6 +381,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"state={service.state}"
         + (" (memory-mapped)" if args.mmap else "")
     )
+    if args.dynamic:
+        if args.mmap:
+            print("error: --dynamic is incompatible with --mmap (mapped "
+                  "service is read-only)", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        service.enable_dynamic(journal_path=args.journal or None)
+        status = service.status()
+        print(
+            f"dynamic mode on in {time.perf_counter() - start:.2f}s: "
+            f"{status['active_points']} active points, "
+            f"journal at seq {status['applied_seq']} with "
+            f"{status['journal_records']} pending records replayed"
+        )
     if not args.no_obs:
         # The daemon's /metrics endpoint serves the observability
         # registry, so instrumentation is on by default while serving.
@@ -414,6 +428,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        bench_dynamic,
         bench_navigation,
         bench_serving,
         bench_tree_covers,
@@ -425,12 +440,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         nav_n = args.nav_n or 200
         serve_n = args.serve_n or 150
         serve_queries = 120
+        dyn_n = 120
+        dyn_rounds = 2
         robust_repeats = 1
     else:
         n = args.n or 2000
         nav_n = args.nav_n or 600
         serve_n = args.serve_n or 300
         serve_queries = 240
+        dyn_n = 200
+        dyn_rounds = 3
         robust_repeats = args.robust_repeats
     print(f"tree-cover construction benchmarks (n={n}, "
           f"baseline={'on' if not args.no_baseline else 'off'}) ...")
@@ -476,8 +495,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 if key in ("p50_us", "p99_us", "per_query_us", "zeta")
             )
             print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({extra})")
+    dynamic_payload = None
+    if not args.no_dynamic:
+        print(f"dynamic-update benchmarks (n={dyn_n}, batch sizes 1/8/32) ...")
+        dynamic_payload = bench_dynamic(
+            n=dyn_n, seed=args.seed, rounds=dyn_rounds, workers=args.workers,
+        )
+        for entry in dynamic_payload["results"]:
+            detail = entry["detail"]
+            extra = ", ".join(
+                f"{key}={value}" for key, value in detail.items()
+                if key in ("updates_per_s", "touched_fraction",
+                           "p50_us", "p99_us", "crossover_batch", "zeta")
+            )
+            print(f"  {entry['name']:>16}: {entry['seconds']:.3f}s  ({extra})")
     paths = write_bench_files(
-        args.out_dir, tree_payload, nav_payload, serving_payload
+        args.out_dir, tree_payload, nav_payload, serving_payload,
+        dynamic_payload,
     )
     for path in paths:
         print(f"wrote {path}")
@@ -674,7 +708,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "memory-mapping instead of rebuilding "
                             "(written by 'repro checkpoint --what "
                             "navigator --packed'); read-only service, "
-                            "route/chaos ops unavailable")
+                            "route/chaos/mutation ops unavailable")
+    serve.add_argument("--dynamic", action="store_true",
+                       help="enable live insert/delete/compact with the "
+                            "crash-safe update journal (robust family "
+                            "only; incompatible with --mmap)")
+    serve.add_argument("--journal", type=str, default="",
+                       help="update-journal path for --dynamic (default: "
+                            "<checkpoint>.journal)")
     serve.add_argument("--no-obs", action="store_true",
                        help="disable the observability registry "
                             "(/metrics will be empty)")
@@ -693,6 +734,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="points for serving benches (default 300)")
     bench.add_argument("--no-serving", action="store_true",
                        help="skip the serving-daemon benchmarks")
+    bench.add_argument("--no-dynamic", action="store_true",
+                       help="skip the dynamic-update (churn) benchmarks")
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing repeats (best-of) for cheap constructions")

@@ -74,17 +74,34 @@ class MetricNavigator:
         cover: TreeCover,
         k: int,
         workers: Optional[int] = None,
+        _reuse: Optional[Sequence[Optional[TreeNavigator]]] = None,
     ):
         self.metric = metric
         self.cover = cover
         self.k = k
-        with trace("navigator.build", n=metric.n, k=k, trees=len(cover.trees)):
-            self.navigators: List[TreeNavigator] = map_per_tree(
+        # The dynamic patch path passes ``_reuse`` — per-tree navigators
+        # from the previous generation whose cover tree object survived
+        # the mutation untouched; only the ``None`` slots are rebuilt.
+        if _reuse is not None and len(_reuse) != len(cover.trees):
+            _reuse = None
+        pending = (
+            [t for t, nav in enumerate(_reuse) if nav is None]
+            if _reuse is not None
+            else list(range(len(cover.trees)))
+        )
+        navigators: List[Optional[TreeNavigator]] = (
+            list(_reuse) if _reuse is not None else [None] * len(cover.trees)
+        )
+        with trace("navigator.build", n=metric.n, k=k, trees=len(pending)):
+            built = map_per_tree(
                 _build_tree_navigator,
-                range(len(cover.trees)),
+                pending,
                 workers=workers,
                 payload=(cover.trees, k),
             )
+        for slot, navigator in zip(pending, built):
+            navigators[slot] = navigator
+        self.navigators: List[TreeNavigator] = navigators  # type: ignore[assignment]
 
     # ------------------------------------------------------------------
     # Queries

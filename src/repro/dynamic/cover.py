@@ -1,0 +1,534 @@
+"""The dynamic robust cover: insert/delete without full rebuilds.
+
+:class:`DynamicRobustCover` wraps the Theorem 4.1 construction in a
+mutable shell.  The point-index space is append-only — inserts take
+the next index, deletes tombstone one — so client-visible ids stay
+stable across any mutation history, and every structure is rebuilt
+*masked* over the active subset (see :mod:`repro.dynamic.builder`).
+
+Patch-vs-rebuild policy (measured honestly in ``BENCH_dynamic.json``):
+
+* **Inserts** replay every tree.  The new point joins the bottom net
+  level and therefore enters connectivity groups across a band at
+  least ``phases`` levels wide — one level per phase — so every
+  ``(phase, set)`` merge script changes.  The savings on the insert
+  path come from the net/sweep side: prefix-stable O(1)-per-level net
+  updates, per-level pairing/gather reuse, KD-tree carry-over, and
+  batch amortization via :meth:`DynamicRobustCover.apply`.
+* **Deletes** genuinely patch: only trees whose merge-script slice
+  mentioned the dead point replay; the rest are kept verbatim (their
+  per-tree navigators are reused too), with an O(degree) root-anchor
+  repair when the deleted point was a tree's representative anchor.
+* When the touched fraction reaches ``rebuild_threshold`` (or the
+  level range must be re-pinned because a mutation broke out of it),
+  the layer falls back to a full masked rebuild — same deterministic
+  output, no diff bookkeeping.
+
+Every mutation path lands on a state *identical* (tree for tree,
+float for float) to :meth:`DynamicRobustCover.rebuild` on the same
+``(coords, active, pinned range)`` — the differential oracle that
+tier-1 enforces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import check
+from ..metrics.doubling import scale_levels
+from ..metrics.euclidean import EuclideanMetric
+from ..observability import OBS, trace
+from ..treecover.base import CoverTree, TreeCover
+from .builder import (
+    SweepState,
+    build_nets,
+    build_trees,
+    compute_sweep,
+    nets_after_insert,
+    repair_root_anchor,
+    touched_task_indexes,
+)
+
+__all__ = ["DynamicRobustCover", "PatchReport", "pinned_levels"]
+
+_C_INSERTS = OBS.registry.counter("dynamic.inserts")
+_C_DELETES = OBS.registry.counter("dynamic.deletes")
+_C_PATCHED = OBS.registry.counter("dynamic.trees_patched")
+_C_REBUILDS = OBS.registry.counter("dynamic.full_rebuilds")
+_G_ACTIVE = OBS.registry.gauge("dynamic.active_points")
+
+
+def pinned_levels(metric: EuclideanMetric, eps: float) -> Tuple[int, int]:
+    """The level range :func:`robust_tree_cover` would use for ``metric``.
+
+    Pinning the range is what makes mutation histories deterministic:
+    the masked construction on ``(coords, active, i_min, i_max, eps)``
+    is a pure function, so a journal replay converges to the identical
+    structure.
+    """
+    lo, hi = scale_levels(metric)
+    lo -= math.ceil(math.log2(1.0 / eps)) + 2
+    return lo, hi
+
+
+class PatchReport:
+    """What one applied mutation batch did (for benches and /metrics)."""
+
+    def __init__(
+        self,
+        ops: int,
+        trees_total: int,
+        trees_replayed: int,
+        trees_repaired: int,
+        levels_reswept: int,
+        levels_reused: int,
+        rebuilt: bool,
+        repinned: bool,
+    ):
+        self.ops = ops
+        self.trees_total = trees_total
+        self.trees_replayed = trees_replayed
+        self.trees_repaired = trees_repaired
+        self.levels_reswept = levels_reswept
+        self.levels_reused = levels_reused
+        self.rebuilt = rebuilt
+        self.repinned = repinned
+
+    @property
+    def touched_fraction(self) -> float:
+        return self.trees_replayed / self.trees_total if self.trees_total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ops": self.ops,
+            "trees_total": self.trees_total,
+            "trees_replayed": self.trees_replayed,
+            "trees_repaired": self.trees_repaired,
+            "touched_fraction": round(self.touched_fraction, 4),
+            "levels_reswept": self.levels_reswept,
+            "levels_reused": self.levels_reused,
+            "rebuilt": self.rebuilt,
+            "repinned": self.repinned,
+        }
+
+
+class DynamicRobustCover:
+    """A robust tree cover that absorbs inserts and deletes.
+
+    Construct with :meth:`from_metric` (fresh) or :meth:`restore`
+    (from compacted checkpoint metadata).  Mutate with :meth:`insert`,
+    :meth:`delete`, or batched :meth:`apply`; read the current
+    generation through :attr:`metric`, :attr:`cover`, and
+    :attr:`active`.  Not thread-safe — callers (the serving stack)
+    serialize mutations through ``CheckpointService``'s mutate lock.
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        active: Sequence[int],
+        eps: float,
+        i_min: int,
+        i_max: int,
+        base_n: int,
+        workers: Optional[int] = None,
+        rebuild_threshold: float = 0.35,
+        applied_seq: int = 0,
+    ):
+        check(0 < eps < 1, "eps must lie in (0, 1)", ValueError)
+        self.coords = np.asarray(coords, dtype=float)
+        self.active: List[int] = sorted(int(a) for a in active)
+        check(len(self.active) >= 2, "a dynamic cover needs >= 2 active points", ValueError)
+        self.eps = eps
+        self.i_min = int(i_min)
+        self.i_max = int(i_max)
+        self.base_n = int(base_n)
+        self.workers = workers
+        self.rebuild_threshold = float(rebuild_threshold)
+        #: Journal sequence number folded into this structure (managed
+        #: by the journal-aware caller; rides into compact metadata).
+        self.applied_seq = int(applied_seq)
+        self.metric = EuclideanMetric(self.coords)
+        self.last_report: Optional[PatchReport] = None
+        self._rebuild_state()
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_metric(
+        cls,
+        metric: EuclideanMetric,
+        eps: float = 0.5,
+        workers: Optional[int] = None,
+        rebuild_threshold: float = 0.35,
+    ) -> "DynamicRobustCover":
+        """Start a dynamic cover from a static metric (all points active).
+
+        The initial generation is tree-for-tree identical to
+        ``robust_tree_cover(metric, eps)``.
+        """
+        lo, hi = pinned_levels(metric, eps)
+        return cls(
+            metric.points,
+            range(metric.n),
+            eps,
+            lo,
+            hi,
+            base_n=metric.n,
+            workers=workers,
+            rebuild_threshold=rebuild_threshold,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        base_metric: EuclideanMetric,
+        meta: Dict[str, object],
+        workers: Optional[int] = None,
+    ) -> "DynamicRobustCover":
+        """Rebuild from the ``dynamic`` metadata of a compacted checkpoint."""
+        check(
+            int(meta["base_n"]) == base_metric.n,
+            f"dynamic checkpoint was compacted at base_n={meta['base_n']} "
+            f"but the supplied metric has n={base_metric.n}",
+            ValueError,
+        )
+        extra = meta.get("extra_points") or []
+        coords = base_metric.points
+        if extra:
+            coords = np.vstack([coords, np.asarray(extra, dtype=float)])
+        return cls(
+            coords,
+            meta["active"],
+            float(meta["eps"]),
+            int(meta["i_min"]),
+            int(meta["i_max"]),
+            base_n=base_metric.n,
+            workers=workers,
+            applied_seq=int(meta.get("applied_seq", 0)),
+        )
+
+    def state_meta(self) -> Dict[str, object]:
+        """The metadata a ``compact`` folds into the checkpoint."""
+        extra = self.coords[self.base_n :]
+        return {
+            "format": "repro.dynamic-meta/1",
+            "base_n": self.base_n,
+            "extra_points": [list(map(float, row)) for row in extra],
+            "active": list(self.active),
+            "applied_seq": self.applied_seq,
+            "eps": self.eps,
+            "i_min": self.i_min,
+            "i_max": self.i_max,
+        }
+
+    # -- current generation --------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Size of the index space (tombstones included)."""
+        return int(self.coords.shape[0])
+
+    @property
+    def active_mask(self) -> List[bool]:
+        return self._mask_list()
+
+    def is_active(self, point_id: int) -> bool:
+        return 0 <= point_id < self.n and bool(self._mask[point_id])
+
+    def _install(self, sweep: SweepState, trees: List[CoverTree]) -> None:
+        old = getattr(self, "cover", None)
+        self.sweep = sweep
+        self.trees = trees
+        self.cover = TreeCover(self.metric, list(trees))
+        self._mask = self._mask_list()
+        if old is not None:
+            old.retire("a mutation superseded this generation")
+        if OBS.enabled:
+            _G_ACTIVE.set(len(self.active))
+
+    def _rebuild_state(self) -> None:
+        """Full masked build of nets, sweep, and all trees."""
+        with trace("dynamic.rebuild", n=self.n, active=len(self.active)):
+            nets = build_nets(self.metric, self.active, self.i_min, self.i_max)
+            sweep = compute_sweep(
+                self.metric, self.active, self.eps, self.i_min, self.i_max, nets
+            )
+            trees = build_trees(
+                self.metric, sweep, self._mask_list(), workers=self.workers
+            )
+        self._install(sweep, trees)
+
+    def _mask_list(self) -> List[bool]:
+        mask = [False] * self.n
+        for a in self.active:
+            mask[a] = True
+        return mask
+
+    def rebuild(self) -> "DynamicRobustCover":
+        """A from-scratch cover on this exact ``(coords, active, range)``.
+
+        The differential oracle: any patched state must equal this,
+        tree for tree.
+        """
+        return DynamicRobustCover(
+            self.coords,
+            self.active,
+            self.eps,
+            self.i_min,
+            self.i_max,
+            base_n=self.base_n,
+            workers=self.workers,
+            rebuild_threshold=self.rebuild_threshold,
+            applied_seq=self.applied_seq,
+        )
+
+    # -- mutation ------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> PatchReport:
+        """Insert one point; returns what the patch did."""
+        return self.apply([("insert", point)])
+
+    def delete(self, point_id: int) -> PatchReport:
+        """Tombstone one active point."""
+        return self.apply([("delete", point_id)])
+
+    def apply(self, ops: Sequence[Tuple[str, object]]) -> PatchReport:
+        """Apply a batch of ``("insert", coords) | ("delete", id)`` ops.
+
+        Net maintenance runs op by op (each step is cheap and exact);
+        the sweep and the tree replays run once for the whole batch —
+        the amortization lever the dynamic bench measures.  Raises
+        ``ValueError`` on invalid ops (duplicate of an active point,
+        deleting an unknown/dead id, draining below 2 active points)
+        *before* any state changes, so a failed batch is a no-op.
+        """
+        ops = list(ops)
+        check(bool(ops), "empty mutation batch", ValueError)
+        new_coords, new_active = self._validate_batch(ops)
+
+        prev_nets = self.sweep.nets
+        prev_sweep = self.sweep
+        prev_trees = self.trees
+        old_n = self.n
+        deleted: List[int] = [op[1] for op in ops if op[0] == "delete"]  # type: ignore[misc]
+        inserted = old_n < len(new_coords)
+
+        self.coords = np.asarray(new_coords, dtype=float)
+        self.active = new_active
+        self.metric = EuclideanMetric(self.coords)
+
+        repinned = not self._range_still_valid()
+        if repinned:
+            self.i_min, self.i_max = pinned_levels(
+                EuclideanMetric(self.coords[self.active]), self.eps
+            )
+
+        with trace("dynamic.apply", ops=len(ops)):
+            if repinned:
+                self._rebuild_state()
+                report = self._report(ops, len(self.trees), 0, rebuilt=True, repinned=True)
+            else:
+                nets = self._advance_nets(prev_nets, ops, old_n)
+                sweep = compute_sweep(
+                    self.metric,
+                    self.active,
+                    self.eps,
+                    self.i_min,
+                    self.i_max,
+                    nets,
+                    prev=prev_sweep,
+                )
+                report = self._patch_trees(
+                    ops, sweep, prev_sweep, prev_trees, deleted, inserted, old_n
+                )
+
+        if OBS.enabled:
+            _C_INSERTS.inc(sum(1 for op in ops if op[0] == "insert"))
+            _C_DELETES.inc(len(deleted))
+            _C_PATCHED.inc(report.trees_replayed + report.trees_repaired)
+            if report.rebuilt:
+                _C_REBUILDS.inc()
+        self.last_report = report
+        return report
+
+    def _validate_batch(
+        self, ops: Sequence[Tuple[str, object]]
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Validate all ops against a simulated state; returns the new
+        (coords, active) without mutating self."""
+        coords = self.coords
+        active = set(self.active)
+        appended: List[List[float]] = []
+        dim = int(coords.shape[1])
+        for kind, arg in ops:
+            if kind == "insert":
+                row = [float(x) for x in arg]  # type: ignore[union-attr]
+                check(len(row) == dim, f"insert expects {dim} coordinates", ValueError)
+                check(
+                    all(math.isfinite(x) for x in row),
+                    "insert coordinates must be finite",
+                    ValueError,
+                )
+                live = sorted(active)
+                pts = np.vstack([coords, np.asarray(appended + [row], dtype=float)])
+                d = np.linalg.norm(pts[live] - np.asarray(row, dtype=float), axis=1)
+                check(
+                    float(d.min()) > 0.0,
+                    "insert duplicates an active point (distance 0)",
+                    ValueError,
+                )
+                active.add(len(coords) + len(appended))
+                appended.append(row)
+            elif kind == "delete":
+                pid = int(arg)  # type: ignore[arg-type]
+                check(
+                    pid in active,
+                    f"delete of unknown or already-deleted point {pid}",
+                    ValueError,
+                )
+                check(
+                    len(active) > 2,
+                    "refusing to delete below 2 active points",
+                    ValueError,
+                )
+                active.discard(pid)
+            else:
+                raise ValueError(f"unknown mutation op {kind!r}")
+        new_coords = (
+            np.vstack([coords, np.asarray(appended, dtype=float)])
+            if appended
+            else coords
+        )
+        return new_coords, sorted(active)
+
+    def _range_still_valid(self) -> bool:
+        """Would the pinned range still be chosen wide enough?
+
+        The bottom level must sit below the smallest active pairwise
+        distance (so ``N_{i_min}`` = all active points is a valid net)
+        and the top at or above the active diameter.
+        """
+        live = EuclideanMetric(self.coords[self.active])
+        lo, hi = pinned_levels(live, self.eps)
+        return self.i_min <= lo and self.i_max >= hi
+
+    def _advance_nets(
+        self,
+        nets: Dict[int, List[int]],
+        ops: Sequence[Tuple[str, object]],
+        old_n: int,
+    ) -> Dict[int, List[int]]:
+        """Run the per-op incremental net updates for a batch."""
+        next_id = old_n
+        active = sorted(set(nets[self.i_min]))
+        for kind, arg in ops:
+            if kind == "insert":
+                nets = nets_after_insert(self.metric, nets, self.i_min, self.i_max, next_id)
+                active.append(next_id)
+                next_id += 1
+            else:
+                active = [a for a in active if a != int(arg)]
+                nets = build_nets(self.metric, active, self.i_min, self.i_max, prev_nets=nets)
+        return nets
+
+    def _patch_trees(
+        self,
+        ops: Sequence[Tuple[str, object]],
+        sweep: SweepState,
+        prev_sweep: SweepState,
+        prev_trees: List[CoverTree],
+        deleted: List[int],
+        inserted: bool,
+        old_n: int,
+    ) -> PatchReport:
+        mask = self._mask_list()
+        if inserted or self.n != old_n:
+            # The index space grew: every tree's leaf set changes, so
+            # every merge script replays (see the module docstring).
+            trees = build_trees(self.metric, sweep, mask, workers=self.workers)
+            self._install(sweep, trees)
+            return self._report(ops, len(trees), 0, rebuilt=True, repinned=False)
+
+        touched = touched_task_indexes(sweep, prev_sweep)
+        total = len(sweep.tasks)
+        if (
+            len(touched) >= total
+            or total != len(prev_trees)
+            or len(touched) / max(total, 1) >= self.rebuild_threshold
+        ):
+            trees = build_trees(self.metric, sweep, mask, workers=self.workers)
+            self._install(sweep, trees)
+            return self._report(ops, len(trees), 0, rebuilt=True, repinned=False)
+
+        touched_set = set(touched)
+        dead = set(deleted)
+        repaired = 0
+        reuse: List[Optional[CoverTree]] = []
+        for t in range(total):
+            if t in touched_set:
+                reuse.append(None)
+                continue
+            kept = prev_trees[t]
+            if kept.rep_point[kept.tree.root] in dead:
+                # The dead point was this tree's final-root anchor; a
+                # replay would pick the next live component root.
+                kept = repair_root_anchor(kept, self.metric, mask, self.n)
+                repaired += 1
+            reuse.append(kept)
+        trees = build_trees(self.metric, sweep, mask, workers=self.workers, reuse=reuse)
+        self._install(sweep, trees)
+        return PatchReport(
+            ops=len(ops),
+            trees_total=total,
+            trees_replayed=len(touched),
+            trees_repaired=repaired,
+            levels_reswept=sweep.levels_reswept,
+            levels_reused=sweep.levels_reused,
+            rebuilt=False,
+            repinned=False,
+        )
+
+    def _report(
+        self,
+        ops: Sequence[Tuple[str, object]],
+        replayed: int,
+        repaired: int,
+        rebuilt: bool,
+        repinned: bool,
+    ) -> PatchReport:
+        return PatchReport(
+            ops=len(ops),
+            trees_total=len(self.trees),
+            trees_replayed=replayed,
+            trees_repaired=repaired,
+            levels_reswept=self.sweep.levels_reswept,
+            levels_reused=self.sweep.levels_reused,
+            rebuilt=rebuilt,
+            repinned=repinned,
+        )
+
+    # -- verification --------------------------------------------------
+
+    def active_pairs(self, count: int = 200, seed: int = 0) -> List[Tuple[int, int]]:
+        """A deterministic sample of distinct *active* point pairs."""
+        from ..metrics.base import sample_pairs
+
+        live = self.active
+        pairs = sample_pairs(len(live), count, seed=seed)
+        return [(live[a], live[b]) for a, b in pairs]
+
+    def navigator_reuse_slots(
+        self, prev_trees: Sequence[CoverTree]
+    ) -> List[Optional[int]]:
+        """Per current tree, the previous slot whose navigator can be
+        reused (same object identity), or ``None``.
+
+        Kept-verbatim trees share object identity with the previous
+        generation; repaired or replayed trees do not.
+        """
+        by_id = {id(t): index for index, t in enumerate(prev_trees)}
+        return [by_id.get(id(t)) for t in self.trees]

@@ -1,0 +1,232 @@
+"""Crash-safe write-ahead journal for dynamic mutations.
+
+The journal is a sidecar file next to the v2 checkpoint
+(``<ckpt>.journal``) holding one CRC-guarded record per applied
+mutation.  A mutation is acknowledged only after its record is
+flushed *and* fsynced, so any acked update survives a ``kill -9``;
+conversely a torn tail (partial frame from a crash mid-append) is
+detected on open and truncated away, leaving the longest valid
+prefix.  Reloading a dynamic checkpoint replays the surviving
+records in order to converge to the same audited structure.
+
+Record framing
+--------------
+Each record is ``struct.pack("<II", len(payload), crc32(payload))``
+followed by the payload — canonical JSON (sorted keys, compact
+separators) encoded as UTF-8.  The first record is always a header::
+
+    {"kind": "header", "format": "repro.journal/1", "base_seq": N}
+
+``base_seq`` is the sequence number already folded into the base
+checkpoint; op records carry monotonically increasing ``seq`` values
+starting at ``base_seq + 1``::
+
+    {"kind": "op", "seq": S, "op": "insert", "point": [x, y, ...]}
+    {"kind": "op", "seq": S, "op": "delete", "point_id": p}
+
+Replay is idempotent: records with ``seq <= applied_seq`` are
+skipped, so replaying twice (or replaying after a partially applied
+``compact``) is a no-op.  ``reset`` atomically rewrites the journal
+to a fresh header — used by ``compact`` after the checkpoint absorbs
+the journal's effects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointCorruption, check
+from ..observability import OBS
+
+__all__ = ["JournalRecord", "UpdateJournal", "journal_path_for"]
+
+_FRAME = struct.Struct("<II")
+JOURNAL_FORMAT = "repro.journal/1"
+
+# Counters/gauges register at import so /metrics exports them even at
+# zero; journal.length tracks the op records in the open journal.
+_JOURNAL_APPENDS = OBS.registry.counter("journal.appends")
+_JOURNAL_TRUNCATED = OBS.registry.counter("journal.torn_tails_truncated")
+_JOURNAL_LENGTH = OBS.registry.gauge("journal.length")
+
+
+def journal_path_for(checkpoint_path: str) -> str:
+    """Sidecar journal path for a checkpoint file."""
+    return str(checkpoint_path) + ".journal"
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class JournalRecord(dict):
+    """A decoded journal record (plain dict with attribute sugar)."""
+
+    @property
+    def seq(self) -> int:
+        return int(self["seq"])
+
+    @property
+    def op(self) -> str:
+        return str(self["op"])
+
+
+def _parse_frames(blob: bytes) -> tuple[List[Dict[str, Any]], int]:
+    """Decode valid frames from ``blob``; return (records, valid_length).
+
+    Stops at the first torn or corrupt frame — everything before it is
+    the longest valid prefix, everything after is discarded by the
+    caller.
+    """
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    size = len(blob)
+    while offset + _FRAME.size <= size:
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > size:
+            break  # torn tail: payload shorter than the frame promised
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt frame; nothing after it can be trusted
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = end
+    return records, offset
+
+
+class UpdateJournal:
+    """Append-only mutation journal with fsync-before-ack semantics."""
+
+    def __init__(self, path: str, base_seq: int = 0):
+        self.path = str(path)
+        self.base_seq = int(base_seq)
+        self.records: List[JournalRecord] = []
+        self._fh = None
+        self._open_or_create()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _open_or_create(self) -> None:
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._load_existing()
+        else:
+            self._write_fresh(self.base_seq)
+        self._fh = open(self.path, "ab")
+        _JOURNAL_LENGTH.set(len(self.records))
+
+    def _load_existing(self) -> None:
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        parsed, valid_len = _parse_frames(blob)
+        if valid_len < len(blob):
+            _JOURNAL_TRUNCATED.inc()
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_len)
+                fh.flush()
+                os.fsync(fh.fileno())
+        check(
+            bool(parsed),
+            f"journal {self.path!r} has no valid header record",
+            CheckpointCorruption,
+        )
+        header = parsed[0]
+        check(
+            header.get("kind") == "header"
+            and header.get("format") == JOURNAL_FORMAT
+            and isinstance(header.get("base_seq"), int),
+            f"journal {self.path!r} has a malformed header: {header!r}",
+            CheckpointCorruption,
+        )
+        self.base_seq = int(header["base_seq"])
+        last_seq = self.base_seq
+        ops: List[JournalRecord] = []
+        for record in parsed[1:]:
+            check(
+                record.get("kind") == "op"
+                and isinstance(record.get("seq"), int)
+                and isinstance(record.get("op"), str),
+                f"journal {self.path!r} has a malformed op record: {record!r}",
+                CheckpointCorruption,
+            )
+            check(
+                record["seq"] == last_seq + 1,
+                f"journal {self.path!r}: seq {record['seq']} after {last_seq} "
+                "(records must be gap-free and monotone)",
+                CheckpointCorruption,
+            )
+            last_seq = record["seq"]
+            ops.append(JournalRecord(record))
+        self.records = ops
+
+    def _write_fresh(self, base_seq: int) -> None:
+        header = {"kind": "header", "format": JOURNAL_FORMAT, "base_seq": int(base_seq)}
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(_encode(header))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self.base_seq = int(base_seq)
+        self.records = []
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "UpdateJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else self.base_seq
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def records_after(self, applied_seq: int) -> List[JournalRecord]:
+        """Op records not yet folded into the structure (idempotent replay)."""
+        return [r for r in self.records if r.seq > applied_seq]
+
+    # -- mutation -----------------------------------------------------
+
+    def append(self, op: str, **fields: Any) -> JournalRecord:
+        """Durably record one mutation; returns only after fsync."""
+        check(self._fh is not None, "journal is closed")
+        record = JournalRecord({"kind": "op", "seq": self.last_seq + 1, "op": op})
+        record.update(fields)
+        self._fh.write(_encode(dict(record)))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records.append(record)
+        _JOURNAL_APPENDS.inc()
+        _JOURNAL_LENGTH.set(len(self.records))
+        return record
+
+    def reset(self, base_seq: Optional[int] = None) -> None:
+        """Atomically rewrite to a fresh header (post-``compact``)."""
+        if base_seq is None:
+            base_seq = self.last_seq
+        self.close()
+        self._write_fresh(base_seq)
+        self._fh = open(self.path, "ab")
+        _JOURNAL_LENGTH.set(0)

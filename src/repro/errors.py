@@ -30,6 +30,7 @@ __all__ = [
     "FaultBudgetExceeded",
     "InvariantViolation",
     "CheckpointCorruption",
+    "StalePackError",
     "check",
 ]
 
@@ -88,6 +89,29 @@ class CheckpointCorruption(ReproError, ValueError):
         if section is not None:
             message = f"section {section!r}: {message}"
         super().__init__(message)
+
+
+class StalePackError(ReproError, RuntimeError):
+    """A packed query arena was requested from a superseded cover.
+
+    The dynamic mutation layer (:mod:`repro.dynamic`) retires the
+    pre-mutation :class:`~repro.treecover.base.TreeCover` when it swaps
+    in a patched generation: preorder positions, Euler tours, and home
+    tables baked into a :class:`PackedCoverIndex` describe the *old*
+    tree shapes, so silently building a fresh arena from the retired
+    cover would serve stale answers.  Arenas built *before* the
+    retirement keep working (in-flight batches answer against the
+    snapshot they started with); only constructing a *new* arena is
+    refused.  ``hint`` tells the caller where the current generation
+    lives.
+    """
+
+    def __init__(self, message: str, hint: str = ""):
+        self.hint = hint or (
+            "rebuild via TreeCover.packed_index() on the current "
+            "generation's cover (CheckpointService.snapshot() returns it)"
+        )
+        super().__init__(f"{message} [{self.hint}]")
 
 
 class InvariantViolation(ReproError, AssertionError):

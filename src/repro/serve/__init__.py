@@ -15,7 +15,11 @@ line-delimited-JSON TCP front, with robustness as the design center —
   the survivors while recovery runs on a background thread
   (:mod:`repro.serve.chaos`),
 * health/readiness plus the observability registry as Prometheus text
-  on the same port (:mod:`repro.serve.server`).
+  on the same port (:mod:`repro.serve.server`),
+* live mutation under churn: ``insert``/``delete``/``compact`` verbs
+  journal (fsync) before patching the cover and swap generations
+  atomically; in-flight batches answer on the pre-mutation snapshot
+  (:mod:`repro.dynamic`, enabled with ``serve --dynamic``).
 
 See ``docs/SERVING.md`` for the protocol and semantics.
 """
@@ -27,6 +31,7 @@ from .engine import QueryEngine
 from .policy import AdmissionPolicy
 from .protocol import (
     ADMIN_OPS,
+    MUTATION_OPS,
     PROTOCOL_VERSION,
     QUERY_OPS,
     ProtocolError,
@@ -39,6 +44,7 @@ from .server import SpannerServer, ThreadedServer
 
 __all__ = [
     "ADMIN_OPS",
+    "MUTATION_OPS",
     "PROTOCOL_VERSION",
     "QUERY_OPS",
     "AdmissionPolicy",

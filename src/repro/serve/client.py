@@ -136,6 +136,20 @@ class ServeClient:
             requests.append(fields)
         return self.collect(self.send(requests))
 
+    # -- mutation convenience --------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> Dict[str, Any]:
+        """Insert a point (dynamic mode); returns the full envelope."""
+        return self.request("insert", point=[float(x) for x in point])
+
+    def delete(self, point_id: int) -> Dict[str, Any]:
+        """Tombstone an active point (dynamic mode)."""
+        return self.request("delete", point_id=int(point_id))
+
+    def compact(self) -> Dict[str, Any]:
+        """Fold the update journal into the checkpoint."""
+        return self.request("compact")
+
     # -- admin convenience -----------------------------------------------
 
     def ping(self) -> Dict[str, Any]:

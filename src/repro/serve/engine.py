@@ -18,7 +18,7 @@ tree count in the ``service`` block — never an unlabelled wrong answer.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..checkpoint.recovery import CheckpointService
 from ..observability import OBS
@@ -33,16 +33,24 @@ _C_UNDELIVERED = OBS.registry.counter("serve.undelivered_responses")
 class QueryEngine:
     """Execute query micro-batches at the current service level."""
 
+    #: Routing schemes cached beyond this many generations are evicted
+    #: (oldest first); in-flight batches on a just-superseded snapshot
+    #: still find their generation's scheme here.
+    ROUTER_CACHE = 4
+
     def __init__(self, service: CheckpointService, router_seed: int = 0):
         self.service = service
         self.router_seed = router_seed
-        # The routing scheme derives from the serving cover, so it is
-        # rebuilt lazily whenever a swap (chaos kill / recovery) bumps
-        # the service generation.  The lock covers concurrent batches
-        # on the executor's thread pool.
+        # Routing schemes derive from one generation's cover *and*
+        # metric, so they are cached per generation and invalidated
+        # atomically with generation swaps (chaos kill / recovery /
+        # dynamic mutation).  A single mutable slot would be a
+        # staleness bug: a batch answering on the pre-mutation snapshot
+        # must never route through the post-mutation scheme (or vice
+        # versa).  The lock covers concurrent batches on the executor's
+        # thread pool.
         self._router_lock = threading.Lock()
-        self._router: Optional[MetricRoutingScheme] = None
-        self._router_generation = -1
+        self._routers: Dict[int, MetricRoutingScheme] = {}
 
     # -- public entry (the batcher's executor) ---------------------------
 
@@ -61,7 +69,11 @@ class QueryEngine:
                  "service": status}
                 for _ in pairs
             ]
-        n = self.service.metric.n
+        # Use the snapshot navigator's own metric: in dynamic mode
+        # `service.metric` tracks the newest generation, which may be
+        # one mutation ahead of the snapshot this batch answers on.
+        metric = getattr(navigator, "metric", None) or self.service.metric
+        n = metric.n
         for u, v in pairs:
             if not (0 <= u < n and 0 <= v < n):
                 # The server validates ids before admission; this guards
@@ -111,10 +123,11 @@ class QueryEngine:
         ]
 
     def _paths(self, navigator, pairs) -> List[Dict[str, Any]]:
+        metric = getattr(navigator, "metric", None) or self.service.metric
         payloads: List[Dict[str, Any]] = []
         for (u, v), (path, tree) in zip(pairs, navigator.find_paths(pairs)):
             weight = navigator.path_weight(path)
-            base = self.service.metric.distance(u, v)
+            base = metric.distance(u, v)
             payloads.append({
                 "status": None,
                 "result": {
@@ -129,6 +142,7 @@ class QueryEngine:
 
     def _routes(self, navigator, generation, pairs) -> List[Dict[str, Any]]:
         scheme = self._router_for(navigator, generation)
+        metric = getattr(navigator, "metric", None) or self.service.metric
         payloads: List[Dict[str, Any]] = []
         for u, v in pairs:
             if u == v:
@@ -139,7 +153,7 @@ class QueryEngine:
                 })
                 continue
             outcome = scheme.route(u, v)
-            base = self.service.metric.distance(u, v)
+            base = metric.distance(u, v)
             delivered = (
                 bool(outcome.path)
                 and outcome.path[0] == u
@@ -161,10 +175,15 @@ class QueryEngine:
 
     def _router_for(self, navigator, generation) -> MetricRoutingScheme:
         with self._router_lock:
-            if self._router is None or self._router_generation != generation:
-                self._router = MetricRoutingScheme(
-                    self.service.metric, navigator.cover,
-                    seed=self.router_seed,
+            scheme = self._routers.get(generation)
+            if scheme is None:
+                metric = (
+                    getattr(navigator, "metric", None) or self.service.metric
                 )
-                self._router_generation = generation
-            return self._router
+                scheme = MetricRoutingScheme(
+                    metric, navigator.cover, seed=self.router_seed
+                )
+                self._routers[generation] = scheme
+                while len(self._routers) > self.ROUTER_CACHE:
+                    self._routers.pop(next(iter(self._routers)))
+            return scheme

@@ -11,10 +11,13 @@ Request shape::
     {"id": 7, "op": "path", "u": 3, "v": 41, "deadline_ms": 50}
 
 ``op`` is one of the query ops (``distance`` | ``path`` | ``route``,
-admitted through the micro-batcher) or an admin op (``ping`` |
-``health`` | ``metrics`` | ``chaos`` | ``shutdown``, answered inline).
-``deadline_ms`` is optional and relative to arrival; omitted means the
-server's default deadline.
+admitted through the micro-batcher), an admin op (``ping`` |
+``health`` | ``metrics`` | ``chaos`` | ``shutdown``, answered inline)
+or a mutation op (``insert`` | ``delete`` | ``compact``, serialized
+through the service's mutate lock; in-flight query batches answer on
+the pre-mutation snapshot).  ``insert`` carries ``point`` (a coordinate
+list), ``delete`` carries ``point_id``.  ``deadline_ms`` is optional
+and relative to arrival; omitted means the server's default deadline.
 
 Response envelope::
 
@@ -49,6 +52,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "QUERY_OPS",
     "ADMIN_OPS",
+    "MUTATION_OPS",
     "DELIVERED_STATUSES",
     "ProtocolError",
     "Request",
@@ -61,6 +65,7 @@ PROTOCOL_VERSION = "repro.serve/v1"
 
 QUERY_OPS = frozenset({"distance", "path", "route"})
 ADMIN_OPS = frozenset({"ping", "health", "metrics", "chaos", "shutdown"})
+MUTATION_OPS = frozenset({"insert", "delete", "compact"})
 DELIVERED_STATUSES = frozenset({"ok", "degraded"})
 
 
@@ -108,10 +113,13 @@ def parse_request(line: str) -> Request:
         raise ProtocolError("request must be a JSON object")
     request_id = payload.get("id")
     op = payload.get("op")
-    if not isinstance(op, str) or op not in (QUERY_OPS | ADMIN_OPS):
+    if not isinstance(op, str) or op not in (
+        QUERY_OPS | ADMIN_OPS | MUTATION_OPS
+    ):
         raise ProtocolError(
             f"unknown op {op!r} (query ops: {sorted(QUERY_OPS)}, "
-            f"admin ops: {sorted(ADMIN_OPS)})",
+            f"admin ops: {sorted(ADMIN_OPS)}, "
+            f"mutation ops: {sorted(MUTATION_OPS)})",
             request_id,
         )
     deadline_ms = payload.get("deadline_ms")
@@ -131,6 +139,23 @@ def parse_request(line: str) -> Request:
     if op in QUERY_OPS:
         request.u = _require_point(payload, "u", request_id)
         request.v = _require_point(payload, "v", request_id)
+    elif op == "insert":
+        point = payload.get("point")
+        if not (
+            isinstance(point, list)
+            and point
+            and all(
+                isinstance(x, (int, float)) and not isinstance(x, bool)
+                for x in point
+            )
+        ):
+            raise ProtocolError(
+                "insert requires 'point': a non-empty list of "
+                f"coordinates, got {point!r}",
+                request_id,
+            )
+    elif op == "delete":
+        _require_point(payload, "point_id", request_id)
     request.extra = {
         key: value
         for key, value in payload.items()

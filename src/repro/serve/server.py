@@ -37,6 +37,7 @@ from .chaos import ChaosController
 from .engine import QueryEngine
 from .policy import AdmissionPolicy
 from .protocol import (
+    MUTATION_OPS,
     PROTOCOL_VERSION,
     QUERY_OPS,
     ProtocolError,
@@ -220,6 +221,15 @@ class SpannerServer:
             return
         if request.op in QUERY_OPS:
             response = await self._handle_query(request)
+        elif request.op in MUTATION_OPS:
+            # Mutations run on the default executor: the patch is heavy
+            # CPU work serialized by the service's mutate lock, and the
+            # event loop must keep pumping in-flight query batches (which
+            # answer on the pre-mutation snapshot) meanwhile.
+            loop = asyncio.get_running_loop()
+            response = await loop.run_in_executor(
+                None, self._handle_mutation, request
+            )
         else:
             response = self._handle_admin(request)
         await self._write(writer, write_lock, response)
@@ -228,13 +238,25 @@ class SpannerServer:
 
     async def _handle_query(self, request: Request) -> Dict[str, Any]:
         n = self.service.metric.n
+        error = None
         if not (0 <= request.u < n and 0 <= request.v < n):
+            error = (
+                f"point ids must lie in [0, {n}), "
+                f"got ({request.u}, {request.v})"
+            )
+        elif not (
+            self.service.is_known_point(request.u)
+            and self.service.is_known_point(request.v)
+        ):
+            error = (
+                f"pair ({request.u}, {request.v}) references a deleted "
+                "(tombstoned) point; only live points are queryable"
+            )
+        if error is not None:
             if OBS.enabled:
                 _C_BAD_REQUESTS.inc()
             return make_response(
-                request.id, "error",
-                error=f"point ids must lie in [0, {n}), "
-                      f"got ({request.u}, {request.v})",
+                request.id, "error", error=error,
                 service=self._service_block(),
             )
         loop = asyncio.get_running_loop()
@@ -308,6 +330,38 @@ class SpannerServer:
         return make_response(
             request.id, "ok", result={"stopping": True},
             service=self._service_block(),
+        )
+
+    def _handle_mutation(self, request: Request) -> Dict[str, Any]:
+        """insert / delete / compact, serialized by the service.
+
+        Runs on an executor thread.  The service journals (fsync) before
+        patching and swaps the generation atomically; query batches in
+        flight keep answering on the pre-mutation snapshot.  Refusals
+        are typed: mapped (read-only) service answers ``undelivered``
+        with a "memory-mapped" explanation, invalid mutations (duplicate
+        insert, deleting a dead id, mutation without dynamic mode)
+        answer ``error``.
+        """
+        try:
+            if request.op == "insert":
+                result = self.service.insert(request.extra["point"])
+            elif request.op == "delete":
+                result = self.service.delete(request.extra["point_id"])
+            else:
+                result = self.service.compact()
+        except ValueError as exc:
+            if OBS.enabled:
+                _C_BAD_REQUESTS.inc()
+            refused = "unavailable in mapped mode" in str(exc)
+            return make_response(
+                request.id,
+                "undelivered" if refused else "error",
+                error=str(exc),
+                service=self._service_block(),
+            )
+        return make_response(
+            request.id, "ok", result=result, service=self._service_block(),
         )
 
     @staticmethod

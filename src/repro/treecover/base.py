@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import check
+from ..errors import StalePackError, check
 from ..graphs.tree import Tree
 from ..metrics.base import Metric, sample_pairs
 from ..metrics.tree_metric import TreeMetric
@@ -163,6 +163,9 @@ class TreeCover:
         self._pair_cache: "OrderedDict[Tuple[int, int], Tuple[int, float]]" = (
             OrderedDict()
         )
+        # Set by the dynamic layer when a mutation supersedes this
+        # cover; see :meth:`retire`.
+        self._retired_reason: Optional[str] = None
 
     @property
     def size(self) -> int:
@@ -184,15 +187,39 @@ class TreeCover:
         self.__dict__.setdefault("_packed", None)
         self.__dict__.setdefault("_packed_failed", False)
         self.__dict__.setdefault("_pair_cache", OrderedDict())
+        self.__dict__.setdefault("_retired_reason", None)
+
+    def retire(self, reason: str) -> None:
+        """Mark this cover as superseded by a mutation.
+
+        The dynamic layer calls this on the pre-mutation cover when it
+        swaps a patched generation in.  An already-built packed arena
+        keeps answering (in-flight query batches hold a snapshot of
+        *this* generation, for which its preorder positions are still
+        correct), but building a *new* arena from a retired cover is
+        refused with :class:`~repro.errors.StalePackError` — its
+        positions would describe trees that no longer serve.
+        """
+        self._retired_reason = reason
+
+    @property
+    def retired(self) -> bool:
+        return self._retired_reason is not None
 
     def packed_index(self, build: bool = True) -> Optional[PackedCoverIndex]:
         """The packed best-tree index; built on first scalar selection.
 
         Returns ``None`` when over the size budget (the legacy scan
         stays in charge) or when ``build=False`` and it does not exist
-        yet.
+        yet.  Raises :class:`~repro.errors.StalePackError` when asked
+        to *build* an arena for a cover that a mutation has retired.
         """
         if self._packed is None and build and not self._packed_failed:
+            if self._retired_reason is not None:
+                raise StalePackError(
+                    "refusing to build a packed query arena from a retired "
+                    f"cover ({self._retired_reason})"
+                )
             self._packed = PackedCoverIndex.build(self.trees)
             if self._packed is None:
                 self._packed_failed = True
