@@ -35,6 +35,30 @@ for name in ("BENCH_tree_covers.json", "BENCH_navigation.json",
     print(f"{path}: schema {payload['schema']} OK "
           f"({len(payload['results'])} results)")
 
+# The zeta attack: the robust rebuild must never emit *more* trees than
+# the frozen seed construction, and the pruning/compact rows must be
+# present and actually shrinking the cover within their re-verified
+# stretch budgets.
+with open(f"{out_dir}/BENCH_tree_covers.json", encoding="utf-8") as handle:
+    covers = json.load(handle)
+rows = {entry["name"]: entry for entry in covers["results"]}
+robust = rows["robust_cover"]["detail"]
+if robust["zeta"] > robust["zeta_seed"]:
+    raise SystemExit(
+        f"robust cover grew past the seed: zeta {robust['zeta']} > "
+        f"zeta_seed {robust['zeta_seed']}"
+    )
+pruning = rows["cover_pruning"]["detail"]
+assert pruning["zeta_after"] < pruning["zeta_before"], pruning
+assert pruning["reduction"] > 1.0, pruning
+assert pruning["stretch_max"] <= pruning["gamma"] + 1e-6, pruning
+assert pruning["nav_delta"]["retained_paths_identical"] is True, pruning
+compact = rows["compact_cover"]["detail"]
+assert compact["zeta"] < compact["zeta_robust"], compact
+print(f"zeta gates OK (robust {robust['zeta']} <= seed "
+      f"{robust['zeta_seed']}, pruned to {pruning['zeta_after']} "
+      f"[{pruning['reduction']}x], compact {compact['zeta']})")
+
 # The packed-query rewrite must keep scalar queries at least at parity
 # with the frozen seed loop, even at smoke sizes — a speedup below 1.0
 # here means the hot path regressed to (or below) the seed

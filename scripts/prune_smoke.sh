@@ -1,0 +1,113 @@
+#!/usr/bin/env sh
+# Smoke the cover-pruning + compact-backend pipeline end to end through
+# the CLI: build a pruned cover checkpoint -> audit it -> build a
+# pruned *packed* navigator checkpoint -> verify in-memory vs mmap
+# query parity -> serve it memory-mapped and verify the daemon answers
+# the identical paths -> build + audit a compact-backend checkpoint ->
+# finally prove the dynamic layer refuses a pruned checkpoint with a
+# typed error (non-zero exit), never silent corruption.  Fast enough
+# for CI; the exhaustive suite lives in tests/test_prune.py and
+# tests/test_tree_covers.py.
+#
+# Usage: scripts/prune_smoke.sh [work_dir]
+set -eu
+cd "$(dirname "$0")/.."
+WORK_DIR="${1:-$(mktemp -d)}"
+mkdir -p "$WORK_DIR"
+COVER_CKPT="$WORK_DIR/pruned_cover.ckpt"
+NAV_CKPT="$WORK_DIR/pruned_nav.ckpt"
+COMPACT_CKPT="$WORK_DIR/compact_cover.ckpt"
+LOG="$WORK_DIR/serve.log"
+N=90
+PORT=$((21000 + $$ % 20000))
+
+# Leg 1: pruned cover checkpoint survives its own audit.  The builder
+# spec in the envelope records the prune, so recovery replays it.
+PYTHONPATH=src python -m repro checkpoint --family euclidean --n "$N" \
+    --what cover --prune --out "$COVER_CKPT"
+PYTHONPATH=src python -m repro audit --checkpoint "$COVER_CKPT" \
+    --family euclidean --n "$N"
+echo "pruned cover checkpoint audited"
+
+# Leg 2: pruned packed navigator -> in-memory vs mmap bit-identity.
+PYTHONPATH=src python -m repro checkpoint --family euclidean --n "$N" \
+    --what navigator --prune --packed --out "$NAV_CKPT"
+
+PYTHONPATH=src python - "$NAV_CKPT" "$N" <<'EOF'
+import sys
+
+from repro.checkpoint import load_navigator_checkpoint
+from repro.metrics import random_points, sample_pairs
+
+path, n = sys.argv[1], int(sys.argv[2])
+metric = random_points(n, dim=2, seed=0)
+rebuilt = load_navigator_checkpoint(path, metric)
+mapped = load_navigator_checkpoint(path, metric, mmap=True)
+for u, v in sample_pairs(n, 80, seed=3):
+    assert mapped.find_path(u, v) == rebuilt.find_path(u, v), (u, v)
+print(f"mmap parity ok: 80 pairs bit-identical across {mapped.num_trees} "
+      "retained trees")
+EOF
+
+# Leg 3: serve the pruned checkpoint memory-mapped; the daemon must
+# answer the same paths the local loads produced.
+PYTHONPATH=src python -m repro serve "$NAV_CKPT" --family euclidean \
+    --n "$N" --mmap --port "$PORT" --flush-ms 1.0 >"$LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+PYTHONPATH=src python - "$NAV_CKPT" "$PORT" "$N" <<'EOF'
+import sys
+
+from repro.checkpoint import load_navigator_checkpoint
+from repro.metrics import random_points, sample_pairs
+from repro.serve import ServeClient, wait_for_server
+
+path, port, n = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+metric = random_points(n, dim=2, seed=0)
+mapped = load_navigator_checkpoint(path, metric, mmap=True)
+wait_for_server("127.0.0.1", port, timeout=120)
+with ServeClient("127.0.0.1", port) as client:
+    health = client.health()
+    assert health["ready"], health
+    assert health["service"]["mapped"] is True, health
+    for u, v in sample_pairs(n, 30, seed=4):
+        response = client.path(u, v)
+        assert response["status"] == "ok", response
+        assert response["result"]["path"] == mapped.find_path(u, v), (u, v)
+    print("served parity ok: 30 daemon answers identical to the local mmap")
+    client.shutdown()
+EOF
+
+if wait "$SERVE_PID"; then
+    trap - EXIT
+else
+    echo "ERROR: daemon exited non-zero after shutdown op" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+# Leg 4: the compact doubling-metric backend rides the same checkpoint
+# + audit machinery via its builder spec.
+PYTHONPATH=src python -m repro checkpoint --family euclidean --n "$N" \
+    --what cover --backend compact --out "$COMPACT_CKPT"
+PYTHONPATH=src python -m repro audit --checkpoint "$COMPACT_CKPT" \
+    --family euclidean --n "$N"
+echo "compact-backend checkpoint audited"
+
+# Leg 5: dynamic mutation on a pruned checkpoint must be a typed
+# refusal — non-zero exit with the reason on stderr.
+DYN_ERR="$WORK_DIR/dynamic_refusal.err"
+if PYTHONPATH=src python -m repro serve "$COVER_CKPT" --family euclidean \
+    --n "$N" --dynamic --port $((PORT + 1)) 2>"$DYN_ERR"; then
+    echo "ERROR: serve --dynamic accepted a pruned checkpoint" >&2
+    exit 1
+fi
+if ! grep -q "pruned" "$DYN_ERR"; then
+    echo "ERROR: dynamic refusal did not name the pruned cover:" >&2
+    cat "$DYN_ERR" >&2
+    exit 1
+fi
+echo "dynamic mutation refused the pruned checkpoint as expected"
+
+echo "prune smoke passed"

@@ -138,7 +138,7 @@ def _drain_spans(trace: bool) -> Optional[List[Dict]]:
     return OBS.take_roots() if trace else None
 
 
-def _timing_workers(workers: Optional[int]) -> int:
+def _timing_workers(workers: Optional[int]) -> Tuple[int, Optional[str]]:
     """Resolve ``workers`` for the *timed* build stages.
 
     A process pool wider than the machine can only add serialization
@@ -148,12 +148,24 @@ def _timing_workers(workers: Optional[int]) -> int:
     own :func:`repro.parallel.resolve_workers` semantics are unchanged,
     and the determinism tests still force real pools at any requested
     width regardless of core count.
+
+    Returns ``(workers_used, fallback_reason)``: the second element is
+    ``None`` when the stages run exactly as requested, else a sentence
+    naming what the clamp did — callers record it in row detail so a
+    serial run can never masquerade as a parallel measurement.
     """
     resolved = resolve_workers(workers)
     cores = os.cpu_count() or 1
+    if resolved <= 1:
+        return 0, None
     if cores <= 1:
-        return 0
-    return min(resolved, cores)
+        return 0, (
+            f"requested {resolved} workers but cpu_count={cores}; "
+            "timed stages ran serial"
+        )
+    if resolved > cores:
+        return cores, f"requested {resolved} workers, capped to cpu_count={cores}"
+    return resolved, None
 
 
 def _parallel_detail(
@@ -162,23 +174,171 @@ def _parallel_detail(
     seconds: float,
     serial_seconds: float,
     requested: Optional[int] = None,
+    fallback: Optional[str] = None,
 ) -> Dict:
     """Record the worker count and parallel-vs-serial speedup of a stage.
 
     ``workers`` is what the timed stage actually used after the
     core-count clamp of :func:`_timing_workers`; ``requested`` is what
-    the caller asked for (``--workers`` / ``REPRO_WORKERS``).  Both are
-    recorded so a row never silently reports an 8-wide measurement as
-    32-wide.
+    the caller asked for (``--workers`` / ``REPRO_WORKERS``) and
+    ``fallback`` is the clamp's reason when they differ.  A stage that
+    ran serial has no pool to compare against, so its
+    ``parallel_speedup`` is ``None`` — never a fabricated 1.0.
     """
     detail["workers"] = workers
     if requested is not None:
         detail["workers_requested"] = requested
+    if fallback is not None:
+        detail["workers_fallback"] = fallback
     detail["serial_seconds"] = round(serial_seconds, 6)
-    detail["parallel_speedup"] = (
-        round(serial_seconds / seconds, 3) if seconds > 0 else None
-    )
+    if workers > 1 and seconds > 0:
+        detail["parallel_speedup"] = round(serial_seconds / seconds, 3)
+    else:
+        detail["parallel_speedup"] = None
     return detail
+
+
+def _cover_pruning_row(
+    metric,
+    cover,
+    n: int,
+    seed: int,
+    prune_eps: float,
+    stretch_sample: int,
+    nav_delta_n: int,
+    eps: float,
+    workers: int,
+    trace: bool,
+) -> Dict:
+    """The ``cover_pruning`` row: zeta before/after the greedy set-cover
+    prune, the contract it was re-verified against, and the downstream
+    navigator-build/query deltas at ``min(n, nav_delta_n)`` (capped so
+    the full-size bench does not pay a second full navigator build)."""
+    from .treecover.prune import prune_cover
+
+    report = prune_cover(cover, eps=prune_eps, workers=workers)
+    pruned = report.cover
+    worst, mean = pruned.measured_stretch(
+        sample_pairs(n, stretch_sample, seed=seed)
+    )
+
+    dn = min(n, nav_delta_n)
+    if dn == n:
+        d_metric, d_cover, d_report = metric, cover, report
+    else:
+        d_metric = random_points(dn, dim=2, seed=seed)
+        d_cover = robust_tree_cover(d_metric, eps=eps, workers=workers)
+        d_report = prune_cover(d_cover, eps=prune_eps, workers=workers)
+    d_pruned = d_report.cover
+
+    k = 3
+    start = time.perf_counter()
+    nav_full = MetricNavigator(d_metric, d_cover, k, workers=workers)
+    build_full = time.perf_counter() - start
+    start = time.perf_counter()
+    nav_pruned = MetricNavigator(d_metric, d_pruned, k, workers=workers)
+    build_pruned = time.perf_counter() - start
+
+    rng = random.Random(seed)
+    pairs = [(rng.randrange(dn), rng.randrange(dn)) for _ in range(200)]
+    pairs = [(u, v) for u, v in pairs if u != v]
+
+    def _p50_us(nav) -> float:
+        lat = []
+        for u, v in pairs:
+            t0 = time.perf_counter()
+            nav.find_path(u, v)
+            lat.append((time.perf_counter() - t0) * 1e6)
+        return round(float(np.percentile(np.asarray(lat), 50)), 2)
+
+    p50_full = _p50_us(nav_full)
+    p50_pruned = _p50_us(nav_pruned)
+
+    # Retained trees are the same objects, so the per-tree navigator
+    # paths must match the full navigator's on the original tree index
+    # bit for bit; a False here means the prune changed answers it
+    # promised not to touch.
+    identical = True
+    for u, v in pairs[:50]:
+        j, _ = d_pruned.best_tree(u, v)
+        ct = d_pruned.trees[j]
+        a, b = ct.vertex_of_point[u], ct.vertex_of_point[v]
+        if nav_pruned.navigators[j].find_path(a, b) != nav_full.navigators[
+            d_report.retained[j]
+        ].find_path(a, b):
+            identical = False
+            break
+
+    detail = {
+        "zeta_before": report.zeta_before,
+        "zeta_after": report.zeta_after,
+        "reduction": round(report.reduction, 2),
+        "gamma": round(report.gamma, 4),
+        "prune_eps": prune_eps,
+        "pairs_evaluated": report.pairs_evaluated,
+        "exact_pairs": report.exact,
+        "stretch_max": round(worst, 4),
+        "stretch_mean": round(mean, 4),
+        "cover_bytes_before": cover.memory_bytes(),
+        "cover_bytes_after": pruned.memory_bytes(),
+        "nav_delta": {
+            "n": dn,
+            "k": k,
+            "build_full_s": round(build_full, 6),
+            "build_pruned_s": round(build_pruned, 6),
+            "build_speedup": (
+                round(build_full / build_pruned, 3) if build_pruned > 0 else None
+            ),
+            "query_full_p50_us": p50_full,
+            "query_pruned_p50_us": p50_pruned,
+            "retained_paths_identical": identical,
+        },
+    }
+    return _result(
+        "cover_pruning", n, report.seconds, None, detail,
+        spans=_drain_spans(trace),
+    )
+
+
+def _compact_cover_row(
+    metric,
+    cover,
+    n: int,
+    seed: int,
+    eps: float,
+    shifts: int,
+    robust_repeats: int,
+    stretch_sample: int,
+    robust_secs: float,
+    workers: int,
+    trace: bool,
+) -> Dict:
+    """The ``compact_cover`` row: the shifted-hierarchy backend at the
+    same eps as the robust cover, with its (n-independent) zeta and the
+    stretch it trades for it."""
+    from .treecover.compact import compact_tree_cover
+
+    secs, compact = _best_of(
+        lambda: compact_tree_cover(metric, eps=eps, shifts=shifts, workers=workers),
+        robust_repeats,
+    )
+    worst, mean = compact.measured_stretch(
+        sample_pairs(n, stretch_sample, seed=seed)
+    )
+    detail = {
+        "eps": eps,
+        "shifts": shifts,
+        "zeta": compact.size,
+        "zeta_robust": cover.size,
+        "reduction_vs_robust": round(cover.size / max(1, compact.size), 2),
+        "stretch_max": round(worst, 4),
+        "stretch_mean": round(mean, 4),
+        "cover_bytes": compact.memory_bytes(),
+        "robust_seconds": round(robust_secs, 6),
+    }
+    return _result(
+        "compact_cover", n, secs, None, detail, spans=_drain_spans(trace)
+    )
 
 
 def bench_tree_covers(
@@ -193,6 +353,10 @@ def bench_tree_covers(
     stretch_sample: int = 300,
     workers: Optional[int] = None,
     trace: bool = False,
+    prune: bool = True,
+    prune_eps: float = 0.05,
+    compact_shifts: int = 4,
+    nav_delta_n: int = 600,
 ) -> Dict:
     """Construction benchmarks on ``random_points(n, dim)``.
 
@@ -207,11 +371,19 @@ def bench_tree_covers(
     With ``trace=True`` observability is scoped on for the run and each
     row carries the span trees of its timed stage under ``"trace"``
     (timings then include the tracing overhead by design).
+
+    ``prune=True`` adds the ``cover_pruning`` and ``compact_cover``
+    rows: zeta before/after the greedy set-cover prune (with the
+    navigator-build and query deltas measured at
+    ``min(n, nav_delta_n)``), and the compact shifted-hierarchy backend
+    at the same eps.  Both carry ``seed_seconds=None`` — the frozen
+    seed implementation has no counterpart stage.
     """
     with _trace_context(trace):
         return _bench_tree_covers(
             n, dim, seed, eps, alpha, repeats, robust_repeats,
             include_baseline, stretch_sample, workers, trace,
+            prune, prune_eps, compact_shifts, nav_delta_n,
         )
 
 
@@ -227,10 +399,14 @@ def _bench_tree_covers(
     stretch_sample: int,
     workers: Optional[int],
     trace: bool,
+    prune: bool,
+    prune_eps: float,
+    compact_shifts: int,
+    nav_delta_n: int,
 ) -> Dict:
     metric = random_points(n, dim=dim, seed=seed)
     requested_workers = resolve_workers(workers)
-    resolved_workers = _timing_workers(workers)
+    resolved_workers, workers_fallback = _timing_workers(workers)
     seed_metric = SeedEuclideanMetric(metric.points) if include_baseline else None
     results: List[Dict] = []
 
@@ -278,8 +454,9 @@ def _bench_tree_covers(
             lambda: robust_tree_cover(metric, eps=eps, workers=0), robust_repeats
         )
     detail: Dict = _parallel_detail(
-        {"eps": eps, "zeta": cover.size}, resolved_workers, secs, serial_secs,
-        requested=requested_workers,
+        {"eps": eps, "zeta": cover.size, "cover_bytes": cover.memory_bytes()},
+        resolved_workers, secs, serial_secs,
+        requested=requested_workers, fallback=workers_fallback,
     )
     if include_baseline:
         base, seed_cover = _best_of(
@@ -297,6 +474,20 @@ def _bench_tree_covers(
         _result("robust_cover", n, secs, base, detail, spans=_drain_spans(trace))
     )
 
+    if prune:
+        results.append(
+            _cover_pruning_row(
+                metric, cover, n, seed, prune_eps, stretch_sample,
+                nav_delta_n, eps, resolved_workers, trace,
+            )
+        )
+        results.append(
+            _compact_cover_row(
+                metric, cover, n, seed, eps, compact_shifts, robust_repeats,
+                stretch_sample, secs, resolved_workers, trace,
+            )
+        )
+
     payload = {
         "schema": TREE_COVERS_SCHEMA,
         "config": {
@@ -310,6 +501,10 @@ def _bench_tree_covers(
             "include_baseline": include_baseline,
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "workers_fallback": workers_fallback,
+            "prune": prune,
+            "prune_eps": prune_eps,
+            "compact_shifts": compact_shifts,
             "trace": trace,
         },
         "results": results,
@@ -363,7 +558,7 @@ def _bench_navigation(
 ) -> Dict:
     metric = random_points(n, dim=dim, seed=seed)
     requested_workers = resolve_workers(workers)
-    resolved_workers = _timing_workers(workers)
+    resolved_workers, workers_fallback = _timing_workers(workers)
     results: List[Dict] = []
 
     start = time.perf_counter()
@@ -387,9 +582,10 @@ def _bench_navigation(
             cover_secs,
             seed_cover_secs,
             _parallel_detail(
-                {"eps": eps, "zeta": cover.size},
+                {"eps": eps, "zeta": cover.size,
+                 "cover_bytes": cover.memory_bytes()},
                 resolved_workers, cover_secs, cover_serial,
-                requested=requested_workers,
+                requested=requested_workers, fallback=workers_fallback,
             ),
             spans=_drain_spans(trace),
         )
@@ -418,7 +614,7 @@ def _bench_navigation(
             _parallel_detail(
                 {"k": k, "zeta": cover.size, "edges": navigator.num_edges},
                 resolved_workers, build, build_serial,
-                requested=requested_workers,
+                requested=requested_workers, fallback=workers_fallback,
             ),
             spans=_drain_spans(trace),
         )
@@ -490,6 +686,7 @@ def _bench_navigation(
             "include_baseline": include_baseline,
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "workers_fallback": workers_fallback,
             "trace": trace,
         },
         "results": results,
@@ -652,7 +849,7 @@ def bench_serving(
     from .serve import AdmissionPolicy, ServeClient, ThreadedServer
 
     metric = random_points(n, dim=dim, seed=seed)
-    resolved_workers = _timing_workers(workers)
+    resolved_workers, workers_fallback = _timing_workers(workers)
     requested_workers = resolve_workers(workers)
     cover = robust_tree_cover(metric, eps=eps, workers=resolved_workers)
     handle, path = tempfile.mkstemp(suffix=".ckpt")
@@ -810,6 +1007,7 @@ def bench_serving(
             "batch_sizes": list(batch_sizes),
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "workers_fallback": workers_fallback,
             "rss_workers": rss_workers,
         },
         "results": results,
@@ -857,7 +1055,7 @@ def bench_dynamic(
     from .dynamic import DynamicRobustCover, UpdateJournal
 
     metric = random_points(n, dim=dim, seed=seed)
-    resolved_workers = _timing_workers(workers)
+    resolved_workers, workers_fallback = _timing_workers(workers)
     requested_workers = resolve_workers(workers)
     dyn = DynamicRobustCover.from_metric(metric, eps=eps, workers=resolved_workers)
     results: List[Dict] = []
@@ -1000,6 +1198,7 @@ def bench_dynamic(
             "queries": queries,
             "workers": resolved_workers,
             "workers_requested": requested_workers,
+            "workers_fallback": workers_fallback,
         },
         "results": results,
         "meta": _meta(),

@@ -139,22 +139,54 @@ def builder_from_meta(meta: Dict[str, Any]) -> Optional[CoverBuilder]:
     if not isinstance(spec, dict):
         return None
     family = spec.get("family")
+    inner: Optional[CoverBuilder] = None
     if family == "robust":
         eps = float(spec.get("eps", 0.45))
         from ..treecover.dumbbell import robust_tree_cover
 
-        return lambda metric: robust_tree_cover(metric, eps=eps)
-    if family == "ramsey":
+        inner = lambda metric: robust_tree_cover(metric, eps=eps)
+    elif family == "compact":
+        eps = float(spec.get("eps", 0.5))
+        shifts = int(spec.get("shifts", 4))
+        from ..treecover.compact import compact_tree_cover
+
+        inner = lambda metric: compact_tree_cover(metric, eps=eps, shifts=shifts)
+    elif family == "ramsey":
         ell = int(spec.get("ell", 2))
         seed = int(spec.get("seed", 0))
         from ..treecover.ramsey import ramsey_tree_cover
 
-        return lambda metric: ramsey_tree_cover(metric, ell=ell, seed=seed)
-    if family == "planar":
+        inner = lambda metric: ramsey_tree_cover(metric, ell=ell, seed=seed)
+    elif family == "planar":
         from ..treecover.planar import planar_tree_cover
 
-        return lambda metric: planar_tree_cover(metric)
-    return None
+        inner = lambda metric: planar_tree_cover(metric)
+    if inner is None:
+        return None
+    pruned = spec.get("pruned")
+    if isinstance(pruned, dict):
+        # Replay the prune exactly as the CLI ran it: the greedy pass is
+        # deterministic for fixed (eps, seed, max_pairs), so the rebuilt
+        # cover's tree indexes line up with the checkpoint's — which is
+        # what lets per-tree repair pull tree i out of a pruned rebuild.
+        p_eps = float(pruned.get("eps", 0.05))
+        p_seed = int(pruned.get("seed", 0))
+        p_max = int(pruned.get("max_pairs", 0)) or None
+        from ..treecover.prune import DEFAULT_MAX_PAIRS, prune_cover
+
+        base_builder = inner
+
+        def _pruned_builder(metric):
+            report = prune_cover(
+                base_builder(metric),
+                eps=p_eps,
+                seed=p_seed,
+                max_pairs=p_max or DEFAULT_MAX_PAIRS,
+            )
+            return report.cover
+
+        return _pruned_builder
+    return inner
 
 
 def _dynamic_metric(base: Metric, dyn_meta: Dict[str, Any]) -> Metric:
@@ -864,6 +896,18 @@ class CheckpointService:
                 raise ValueError(
                     "dynamic mutation supports the robust cover family "
                     f"only; this checkpoint was built with {family!r}"
+                )
+            if spec.get("pruned"):
+                # Mirrors the mapped-mode refusal above: a typed error
+                # now instead of silent corruption later.  Patch replay
+                # indexes the full Theorem 4.1 tree set (one tree per
+                # (phase, set) slot); a pruned cover dropped most of
+                # those slots, so per-tree patches would land on the
+                # wrong trees.
+                raise ValueError(
+                    "dynamic mutation is unavailable for pruned covers: "
+                    "patch replay indexes the full Theorem 4.1 tree set; "
+                    "rebuild the checkpoint without --prune to mutate"
                 )
             if eps is None:
                 eps = float(spec.get("eps", 0.45))

@@ -49,12 +49,86 @@ def _make_metric(family: str, n: int, seed: int) -> Metric:
 
 
 def _make_cover(family: str, metric: Metric, eps: float, ell: int, seed: int,
-                workers: int = None):
+                workers: int = None, backend: str = "robust", shifts: int = 4):
     if family == "euclidean":
+        if backend == "compact":
+            from .treecover import compact_tree_cover
+
+            return compact_tree_cover(
+                metric, eps=eps, shifts=shifts, workers=workers
+            )
         return robust_tree_cover(metric, eps=eps, workers=workers)
     if family == "general":
         return ramsey_tree_cover(metric, ell=ell, seed=seed, workers=workers)
     return planar_tree_cover(metric)
+
+
+def _cover_builder(args: argparse.Namespace):
+    """Cover builder honoring --backend and --prune, for rebuild paths.
+
+    The same construction the checkpoint records in its builder spec, so
+    an explicit-builder recovery lands on the identical cover a
+    meta-driven one would.
+    """
+    backend = getattr(args, "backend", "robust")
+    shifts = getattr(args, "shifts", 4)
+    prune = getattr(args, "prune", False)
+    prune_eps = getattr(args, "prune_eps", 0.05)
+
+    def build(metric: Metric):
+        cover = _make_cover(
+            args.family, metric, args.eps, args.ell, args.seed,
+            workers=args.workers, backend=backend, shifts=shifts,
+        )
+        if prune:
+            from .treecover import prune_cover
+
+            report = prune_cover(cover, eps=prune_eps, workers=args.workers)
+            print(report.format_summary())
+            cover = report.cover
+        return cover
+
+    return build
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_cover_flags(cmd: argparse.ArgumentParser) -> None:
+    """--backend / --prune flags shared by checkpoint, audit and serve."""
+    cmd.add_argument(
+        "--backend", choices=["robust", "compact"], default="robust",
+        help="euclidean tree-cover backend: 'robust' (Thm 4.1, "
+             "fault-tolerant, ζ grows with n) or 'compact' "
+             "(net-tree + shifted hierarchies, ζ = O(1) in n)",
+    )
+    cmd.add_argument(
+        "--shifts", type=_positive_int, default=4,
+        help="radius shifts per phase for --backend compact "
+             "(ζ = phases × shifts; more shifts, less stretch)",
+    )
+    cmd.add_argument(
+        "--prune", action="store_true",
+        help="drop trees whose within-stretch pair coverage is dominated "
+             "by the retained set (greedy set cover), re-verifying the "
+             "stretch contract on the result",
+    )
+    cmd.add_argument(
+        "--prune-eps", type=_non_negative_float, default=0.05,
+        help="stretch headroom for --prune: retained trees must cover "
+             "every pair within measured-stretch × (1 + prune-eps)",
+    )
 
 
 def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
@@ -260,10 +334,26 @@ def _builder_spec(args: argparse.Namespace) -> dict:
     """The cover builder metadata recorded in checkpoints, so recovery
     can rebuild without the caller re-supplying construction params."""
     if args.family == "euclidean":
-        return {"family": "robust", "eps": args.eps}
-    if args.family == "general":
-        return {"family": "ramsey", "ell": args.ell, "seed": args.seed}
-    return {"family": "planar"}
+        if getattr(args, "backend", "robust") == "compact":
+            spec = {"family": "compact", "eps": args.eps,
+                    "shifts": getattr(args, "shifts", 4)}
+        else:
+            spec = {"family": "robust", "eps": args.eps}
+    elif args.family == "general":
+        spec = {"family": "ramsey", "ell": args.ell, "seed": args.seed}
+    else:
+        spec = {"family": "planar"}
+    if getattr(args, "prune", False):
+        from .treecover.prune import DEFAULT_MAX_PAIRS
+
+        # Everything a recovery needs to replay the (deterministic)
+        # prune and land on the same retained tree indexes.
+        spec["pruned"] = {
+            "eps": getattr(args, "prune_eps", 0.05),
+            "seed": 0,
+            "max_pairs": DEFAULT_MAX_PAIRS,
+        }
+    return spec
 
 
 def _declared_contract(args: argparse.Namespace, cover):
@@ -296,8 +386,7 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
     metric = _make_metric(args.family, args.n, args.seed)
     start = time.perf_counter()
-    cover = _make_cover(args.family, metric, args.eps, args.ell, args.seed,
-                        workers=args.workers)
+    cover = _cover_builder(args)(metric)
     contract = _declared_contract(args, cover)
     builder = _builder_spec(args)
     if args.what == "cover":
@@ -344,10 +433,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
         report = recover_cover(
             args.checkpoint,
             metric,
-            builder=lambda m: _make_cover(
-                args.family, m, args.eps, args.ell, args.seed,
-                workers=args.workers,
-            ),
+            builder=_cover_builder(args),
             resave=args.resave,
             workers=args.workers,
         )
@@ -368,9 +454,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = CheckpointService(
         metric,
         k=args.k,
-        builder=lambda m: _make_cover(
-            args.family, m, args.eps, args.ell, args.seed, workers=args.workers
-        ),
+        builder=_cover_builder(args),
         workers=args.workers,
     )
     start = time.perf_counter()
@@ -387,7 +471,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   "service is read-only)", file=sys.stderr)
             return 2
         start = time.perf_counter()
-        service.enable_dynamic(journal_path=args.journal or None)
+        try:
+            service.enable_dynamic(journal_path=args.journal or None)
+        except ValueError as exc:
+            # Typed refusals from the dynamic layer (pruned covers,
+            # non-robust families) — same exit contract as --mmap above.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         status = service.status()
         print(
             f"dynamic mode on in {time.perf_counter() - start:.2f}s: "
@@ -461,6 +551,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         include_baseline=not args.no_baseline,
         workers=args.workers,
         trace=args.trace,
+        prune=args.prune,
+        prune_eps=args.prune_eps,
     )
     for entry in tree_payload["results"]:
         speed = (
@@ -650,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="(navigator only) append the raw query-array "
                            "region so 'repro serve --mmap' can attach "
                            "zero-copy")
+    _add_cover_flags(ckpt)
     _add_workers_flag(ckpt)
     _add_trace_flags(ckpt, "TRACE_checkpoint.json")
     ckpt.set_defaults(func=cmd_checkpoint)
@@ -669,6 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on failure, run per-tree repair / full rebuild")
     audit.add_argument("--resave", action="store_true",
                        help="with --recover: write the repaired cover back")
+    _add_cover_flags(audit)
     _add_workers_flag(audit)
     _add_trace_flags(audit, "TRACE_audit.json")
     audit.set_defaults(func=cmd_audit)
@@ -719,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-obs", action="store_true",
                        help="disable the observability registry "
                             "(/metrics will be empty)")
+    _add_cover_flags(serve)
     _add_workers_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -745,6 +840,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small instances (n=400) for smoke testing")
     bench.add_argument("--no-baseline", action="store_true",
                        help="skip the frozen seed-implementation baselines")
+    bench.add_argument("--prune", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="include the cover_pruning and compact_cover "
+                            "rows (zeta before/after, prune seconds, "
+                            "navigator-build/query deltas)")
+    bench.add_argument("--prune-eps", type=float, default=0.05,
+                       help="stretch headroom for the cover_pruning row")
     bench.add_argument("--out-dir", type=str, default=".",
                        help="directory for BENCH_*.json (default: cwd)")
     bench.add_argument("--trace", action="store_true",

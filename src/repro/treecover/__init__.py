@@ -1,6 +1,8 @@
-"""Tree covers: robust/doubling (Thm 4.1), Ramsey/general, planar (Table 1)."""
+"""Tree covers: robust/doubling (Thm 4.1), Ramsey/general, planar (Table 1),
+compact doubling (arXiv:2508.11555), plus contract-preserving pruning."""
 
 from .base import CoverTree, TreeCover
+from .compact import compact_tree_cover
 from .dumbbell import (
     PairingCover,
     build_pairing_covers,
@@ -11,11 +13,15 @@ from .dumbbell import (
 )
 from .hst import PartitionHierarchy, build_hst, ckr_partition
 from .planar import planar_tree_cover
+from .prune import PruneReport, prune_cover
 from .ramsey import few_trees_cover, ramsey_tree_cover
 
 __all__ = [
     "CoverTree",
     "TreeCover",
+    "PruneReport",
+    "prune_cover",
+    "compact_tree_cover",
     "PairingCover",
     "build_pairing_covers",
     "path_replacement_bound",

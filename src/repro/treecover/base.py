@@ -39,6 +39,7 @@ __all__ = ["CoverTree", "TreeCover"]
 _C_SELECTIONS = OBS.registry.counter("cover.selections")
 _H_CONSULTED = OBS.registry.histogram("cover.trees_consulted")
 _C_CACHE_HITS = OBS.registry.counter("cover.pair_cache_hits")
+_C_CACHE_MISSES = OBS.registry.counter("cover.pair_cache_misses")
 
 # Entries kept by the per-cover (p, q) -> (tree, distance) LRU.
 _PAIR_CACHE_CAP = 4096
@@ -263,6 +264,8 @@ class TreeCover:
             if OBS.enabled:
                 _C_CACHE_HITS.inc()
             return hit
+        if OBS.enabled:
+            _C_CACHE_MISSES.inc()
         if self.home is not None:
             index = self.home[p]
             packed = self.packed_index(build=False)
@@ -332,6 +335,42 @@ class TreeCover:
                 best[better] = d[better]
                 best_index[better] = index
         return list(zip(best_index.tolist(), best.tolist()))
+
+    def pruned(self, eps: float = 0.05, **kwargs) -> "TreeCover":
+        """A contract-preserving pruned copy of this cover.
+
+        Greedy set cover over the pair-coverage matrix: trees whose
+        within-stretch coverage is dominated by the retained set are
+        dropped, and the result is re-audited against the derived
+        ``(γ, ζ)`` contract before it is returned.  Retained trees are
+        the *same objects*, so query answers on them are bit-identical.
+        See :func:`repro.treecover.prune.prune_cover` (which also
+        returns the :class:`~repro.treecover.prune.PruneReport` evidence
+        and accepts ``gamma``/``max_pairs``/``seed``/``workers``).
+        """
+        from .prune import prune_cover
+
+        return prune_cover(self, eps=eps, **kwargs).cover
+
+    def memory_bytes(self) -> int:
+        """Array-byte accounting of the cover's structural state.
+
+        Counts the per-tree parent/weight arrays plus the
+        vertex-of-point and representative tables at their serialized
+        widths (int64 parent + float64 weight per vertex, int64 per
+        point mapping) and the home table if present — deliberately not
+        ``sys.getsizeof``, which would measure python object headers
+        instead of the data.  Derived state (LCA tables, packed arena,
+        LRU) is excluded; see ``PackedCoverIndex.nbytes`` for the arena.
+        """
+        total = 0
+        for cover_tree in self.trees:
+            total += 16 * cover_tree.tree.n  # parent (i8) + weight (f8)
+            total += 8 * len(cover_tree.vertex_of_point)
+            total += 8 * len(cover_tree.rep_point)
+        if self.home is not None:
+            total += 8 * len(self.home)
+        return total
 
     def stretch(self, p: int, q: int) -> float:
         """The stretch the cover achieves for one pair."""

@@ -1,0 +1,158 @@
+"""Compact tree covers for doubling metrics: ζ independent of n.
+
+The Theorem 4.1 construction spends one tree per (phase, pairing-set)
+slot, and the number of pairing sets grows with n — 2774 trees at
+n=2000.  "Optimal Bounds for Spanners and Tree Covers in Doubling
+Metrics" (arXiv:2508.11555) shows doubling metrics admit tree covers
+whose size depends only on the doubling dimension and ε, built from
+net trees over *shifted* hierarchies: instead of pairing well-separated
+net points explicitly, run several copies of the pure-connectivity
+merge pass with the merge radius scaled by ``2^{s/shifts}`` for
+``s = 0..shifts-1``.  A pair at distance d then finds, in some shift,
+a merge level whose radius exceeds d by at most a ``2^{1/shifts}``
+factor — the shifted hierarchies play the role the pairing sets play
+in Theorem 4.1, at a constant number of trees.
+
+Concretely this backend emits ``phases × shifts`` trees
+(``phases = ⌈log 1/ε⌉ + 2`` exactly as in the robust construction, so
+subtree diameters stay geometric): tree ``(p, s)`` replays, bottom-up
+over the levels ``i ≡ p (mod phases)``, the connectivity merges of
+Section 4.3 with radius ``2 · 2^{s/shifts} · 2^i`` around every net
+point.  At the default ``eps=0.5, shifts=4`` that is **12 trees at any
+n**.  Each tree dominates the metric by the triangle inequality (leaf
+representatives are the points themselves); the stretch constant is
+measured, not assumed — the cover goes through the same
+``measured_stretch`` / :class:`~repro.checkpoint.audit.CoverContract`
+machinery as the robust backend, and the declared γ is recorded in
+checkpoint meta alongside the ``{"family": "compact"}`` builder spec.
+
+What this backend gives up relative to Theorem 4.1 is *robustness*:
+internal vertices are net points, not pairing-gathered hubs, so the
+arbitrary-leaf-replacement property that powers the Theorem 4.2
+fault-tolerant spanners is not guaranteed.  Use it where ζ is the
+bottleneck (navigator memory, packed arenas, query fan-out) and the
+robust backend where FT contracts are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.base import Metric
+from ..metrics.doubling import NetHierarchy
+from ..observability import OBS, trace
+from ..parallel import map_per_tree
+from .base import CoverTree, TreeCover
+from .dumbbell import _ForestBuilder
+
+_C_COMPACT_GROUPS = OBS.registry.counter("cover.compact.merge_groups")
+
+__all__ = ["compact_tree_cover"]
+
+
+def _build_compact_tree(ctx, task: Tuple[int, int]) -> CoverTree:
+    """Per-tree fan-out unit: replay one (phase, shift) merge script.
+
+    Mirrors ``dumbbell._build_robust_tree``: groups are precomputed once
+    in the parent, each tree replays its slice against a fresh
+    union-find, deterministically on any worker.
+    """
+    p, s = task
+    levels_by_phase, groups_by_shift, n = ctx.payload
+    builder = _ForestBuilder(n)
+    merge = builder.merge
+    groups_at = groups_by_shift[s]
+    for i in levels_by_phase[p]:
+        for group in groups_at[i]:
+            merge(group, rep=group[0])
+    return builder.finish(ctx.metric, n)
+
+
+def compact_tree_cover(
+    metric: Metric,
+    eps: float = 0.5,
+    shifts: int = 4,
+    hierarchy: Optional[NetHierarchy] = None,
+    workers: Optional[int] = None,
+) -> TreeCover:
+    """Net-tree + shifted-hierarchy tree cover: ``phases × shifts`` trees.
+
+    ``shifts`` trades stretch for ζ — each extra shift refines the
+    radius octave by another ``2^{1/shifts}`` factor at the cost of
+    ``phases`` more trees.  ``workers`` fans the per-tree replays over
+    the process pool exactly as :func:`robust_tree_cover` does; the
+    output is identical at any worker count.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must lie in (0, 1)")
+    if shifts < 1:
+        raise ValueError("shifts must be at least 1")
+    with trace("compact_cover", n=metric.n, eps=eps, shifts=shifts):
+        return _compact_tree_cover(metric, eps, shifts, hierarchy, workers)
+
+
+def _compact_tree_cover(
+    metric: Metric,
+    eps: float,
+    shifts: int,
+    hierarchy: Optional[NetHierarchy],
+    workers: Optional[int],
+) -> TreeCover:
+    phases = math.ceil(math.log2(1.0 / eps)) + 2
+    if hierarchy is None:
+        # Extend below the minimum distance as the robust construction
+        # does, so every pair — however close — has a merge level whose
+        # radius lands within one octave of its distance.
+        from ..metrics.doubling import scale_levels
+
+        lo, hi = scale_levels(metric)
+        lo -= phases
+        hierarchy = NetHierarchy(metric, i_min=lo, i_max=hi)
+    top = hierarchy.i_max + phases
+
+    # Precompute the merge groups once per shift with batched near-net
+    # sweeps; every (phase, shift) tree replays a slice of them.
+    with trace("merge_groups"):
+        groups_by_shift: List[Dict[int, List[List[int]]]] = []
+        for s in range(shifts):
+            scale = 2.0 ** (s / shifts)
+            groups_at: Dict[int, List[List[int]]] = {}
+            for i in range(hierarchy.i_min + 1, top + 1):
+                net = hierarchy.net(min(i, hierarchy.i_max))
+                near = hierarchy.net_points_within_many(
+                    i - phases, net, 2.0 * scale * 2.0**i
+                )
+                groups_at[i] = [
+                    group
+                    for z, nbrs in zip(net, near)
+                    if len(group := list(dict.fromkeys([z] + nbrs))) > 1
+                ]
+            groups_by_shift.append(groups_at)
+        if OBS.enabled:
+            _C_COMPACT_GROUPS.inc(
+                sum(
+                    len(groups)
+                    for groups_at in groups_by_shift
+                    for groups in groups_at.values()
+                )
+            )
+
+    levels_by_phase = [
+        [
+            i
+            for i in range(hierarchy.i_min + 1, top + 1)
+            if (i - (hierarchy.i_min + 1)) % phases == p
+        ]
+        for p in range(phases)
+    ]
+    tasks = [(p, s) for p in range(phases) for s in range(shifts)]
+    with trace("build_trees", trees=len(tasks)):
+        trees: List[CoverTree] = map_per_tree(
+            _build_compact_tree,
+            tasks,
+            workers=workers,
+            metric=metric,
+            payload=(levels_by_phase, groups_by_shift, metric.n),
+        )
+    return TreeCover(metric, trees)

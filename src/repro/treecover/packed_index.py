@@ -38,6 +38,7 @@ from ..observability import OBS, trace
 __all__ = ["PackedCoverIndex"]
 
 _C_BUILDS = OBS.registry.counter("cover.packed_index_builds")
+_G_ARENA_BYTES = OBS.registry.gauge("cover.packed_arena_bytes")
 
 # Sparse-table budget: a cover whose concatenated tour would exceed this
 # keeps the legacy O(ζ) scan instead of thrashing memory.  Override via
@@ -123,7 +124,10 @@ class PackedCoverIndex:
                     choose_right = tour_depth[right] < tour_depth[left]
                     table[j, :span] = np.where(choose_right, right, left)
                 table[j, max(span, 0) :] = table[j - 1, max(span, 0) :]
-        return cls(first_pt, wd_pt, tour_depth, wd_tour, table, tour_off)
+        index = cls(first_pt, wd_pt, tour_depth, wd_tour, table, tour_off)
+        if OBS.enabled:
+            _G_ARENA_BYTES.set(index.nbytes)
+        return index
 
     def arrays(self, prefix: str = "cov/") -> Dict[str, np.ndarray]:
         """The index as a name → array dict (raw-array checkpointing)."""
@@ -156,6 +160,18 @@ class PackedCoverIndex:
     @property
     def size(self) -> int:
         return len(self.first_pt)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across the arena's six arrays (mmap or in-RAM)."""
+        return (
+            self.first_pt.nbytes
+            + self.wd_pt.nbytes
+            + self.tour_depth.nbytes
+            + self.wd_tour.nbytes
+            + self.table.nbytes
+            + self.tour_off.nbytes
+        )
 
     def _lca_pos(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         """Tour position of the minimum-depth entry per window (vector)."""

@@ -1,0 +1,281 @@
+"""Contract-preserving tree-cover pruning (greedy set cover over pairs).
+
+The Theorem 4.1 construction emits one tree per (phase, pairing-set)
+slot, so ζ grows with n even though most trees end up *redundant*: the
+pairs a tree covers within the declared stretch are usually covered by
+other trees too.  Every downstream cost — navigator build, per-query
+fan-out, checkpoint size, mmap arena, daemon memory — scales with ζ,
+so dropping dominated trees compounds with every hot-path win.
+
+:func:`prune_cover` makes the redundancy explicit and removes it:
+
+1. **Pair-coverage matrix.**  For an evaluation pair set (all pairs
+   when small enough, else a deterministic sample) and a stretch
+   budget γ, tree ``t`` covers pair ``(p, q)`` iff
+   ``d_T(p, q) <= γ · δ(p, q)``.  Rows are computed with the batched
+   LCA distance kernels (:meth:`CoverTree.tree_distances_many`) and
+   fanned out per tree via :func:`repro.parallel.map_per_tree`,
+   returned bit-packed so the matrix stays a few MB even at ζ ≈ 3000.
+2. **Greedy set cover.**  Trees are retained greedily by marginal pair
+   coverage (ties to the lowest index, so the result is deterministic
+   at any worker count); everything else is a candidate drop.  Ramsey
+   home trees are mandatory — the O(1) home-tree contract survives.
+3. **Contract re-verification.**  Each candidate drop is admitted only
+   because the retained set still covers every evaluated pair within γ
+   (checked against the coverage matrix), and the pruned cover is then
+   re-audited with the existing :class:`~repro.checkpoint.audit.CoverContract`
+   machinery before it is returned — a failed audit raises instead of
+   returning a cover that silently broke Table 1.
+
+Retained trees are the *same objects* as in the input cover, so query
+answers on them are bit-identical pre/post prune (pinned by
+``tests/test_packed_query.py``); the pruned cover is a fresh
+:class:`TreeCover` with its own packed-arena/LRU state, honoring the
+``TreeCover.retire`` / :class:`~repro.errors.StalePackError` protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InvariantViolation, StalePackError, check
+from ..metrics.base import sample_pairs
+from ..observability import OBS, trace
+from ..parallel import map_per_tree
+from .base import TreeCover
+
+__all__ = ["DEFAULT_MAX_PAIRS", "PruneReport", "prune_cover"]
+
+#: Evaluation-pair budget: below this many total pairs the coverage
+#: matrix is exact (all pairs); above it a deterministic sample is used
+#: and the stretch budget carries ``eps`` slack for the unseen pairs.
+DEFAULT_MAX_PAIRS = 50_000
+
+_C_PRUNES = OBS.registry.counter("cover.prunes")
+_G_DROPPED = OBS.registry.gauge("cover.pruned_trees_dropped")
+
+# Bits-set lookup for uint8: greedy marginal gains over the bit-packed
+# coverage matrix are two gathers and a sum instead of an unpack.
+_POPCOUNT = np.array(
+    [bin(v).count("1") for v in range(256)], dtype=np.int64
+)
+
+
+@dataclass
+class PruneReport:
+    """What a prune did: the new cover plus the evidence for it."""
+
+    cover: TreeCover
+    #: Original tree indexes retained, ascending; ``cover.trees[i]`` is
+    #: the same object as the input cover's ``trees[retained[i]]``.
+    retained: List[int] = field(default_factory=list)
+    zeta_before: int = 0
+    zeta_after: int = 0
+    #: The stretch budget every evaluated pair is covered within.
+    gamma: float = 0.0
+    pairs_evaluated: int = 0
+    #: True when the coverage matrix was exact (all pairs), False when
+    #: it was a deterministic sample.
+    exact: bool = False
+    seconds: float = 0.0
+
+    @property
+    def reduction(self) -> float:
+        """ζ_before / ζ_after."""
+        return self.zeta_before / max(1, self.zeta_after)
+
+    def format_summary(self) -> str:
+        kind = "all pairs" if self.exact else "sampled pairs"
+        return (
+            f"prune: ζ {self.zeta_before} -> {self.zeta_after} "
+            f"({self.reduction:.1f}x) within γ={self.gamma:.3f} over "
+            f"{self.pairs_evaluated} {kind} in {self.seconds:.2f}s"
+        )
+
+
+def _evaluation_pairs(
+    n: int, max_pairs: int, seed: int
+) -> Tuple[List[Tuple[int, int]], bool]:
+    """(pairs, exact): all pairs when affordable, else a seeded sample."""
+    total = n * (n - 1) // 2
+    if total <= max_pairs:
+        return [(p, q) for p in range(n) for q in range(p + 1, n)], True
+    return sample_pairs(n, max_pairs, seed=seed), False
+
+
+def _coverage_row(ctx, cover_tree) -> np.ndarray:
+    """Per-tree fan-out unit: bit-packed within-γ pair coverage.
+
+    One vectorized LCA batch per tree; the bool row packs to
+    ``ceil(P/8)`` bytes so shipping ζ rows back stays cheap.
+    """
+    ps, qs, limits = ctx.payload
+    d = np.asarray(cover_tree.tree_distances_many(ps, qs), dtype=float)
+    return np.packbits(d <= limits)
+
+
+def prune_cover(
+    cover: TreeCover,
+    eps: float = 0.05,
+    gamma: Optional[float] = None,
+    max_pairs: int = DEFAULT_MAX_PAIRS,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> PruneReport:
+    """Greedily drop trees whose pair coverage is dominated; re-verify.
+
+    ``gamma`` is the stretch budget retained trees must meet for every
+    evaluated pair.  When ``None`` it is derived from the cover itself:
+    the worst stretch the *full* cover achieves over the evaluation
+    pairs, times ``1 + eps`` — so the declared Table 1 contract
+    (measured stretch plus headroom, see ``cli._declared_contract``)
+    always survives pruning.  An explicit ``gamma`` below what the
+    cover achieves raises :class:`~repro.errors.InvariantViolation`
+    rather than returning a cover that cannot honor it.
+
+    Deterministic for fixed inputs at any worker count: the pair sample
+    is seeded, rows merge in tree order, and greedy ties resolve to the
+    lowest tree index — which is what lets checkpoint recovery replay a
+    prune from the builder spec and land on the identical cover.
+    """
+    if cover.retired:
+        raise StalePackError(
+            "refusing to prune a retired cover; prune the live generation",
+            hint="the dynamic layer retired this cover after a mutation",
+        )
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if max_pairs < 1:
+        raise ValueError("max_pairs must be positive")
+    with trace("cover.prune", zeta=cover.size, eps=eps):
+        return _prune_cover(cover, eps, gamma, max_pairs, seed, workers)
+
+
+def _prune_cover(
+    cover: TreeCover,
+    eps: float,
+    gamma: Optional[float],
+    max_pairs: int,
+    seed: int,
+    workers: Optional[int],
+) -> PruneReport:
+    start = time.perf_counter()
+    metric = cover.metric
+    n = metric.n
+    zeta = cover.size
+    pairs, exact = _evaluation_pairs(n, max_pairs, seed)
+    ps = [p for p, _ in pairs]
+    qs = [q for _, q in pairs]
+    base = np.asarray(metric.pair_distances(ps, qs), dtype=float)
+
+    # The budget comes from how the cover actually answers: the O(ζ)
+    # min-scan for ordinary covers, the home tree for Ramsey covers
+    # (whose home answer is *worse* than the min — deriving γ from the
+    # min would declare a contract the home-tree path cannot meet).
+    # The scan also warms each consulted tree's LCA index, which the
+    # coverage fan-out reuses on the serial path.
+    best = np.asarray([d for _, d in cover.best_trees(pairs)], dtype=float)
+    positive = base > 0
+    worst = float((best[positive] / base[positive]).max()) if positive.any() else 1.0
+    if gamma is None:
+        gamma = worst * (1.0 + eps)
+    elif worst > gamma + 1e-6:
+        raise InvariantViolation(
+            f"cannot prune to γ={gamma}: the full cover only achieves "
+            f"stretch {worst:.4f} on the evaluation pairs"
+        )
+    # Zero-distance pairs have stretch 1.0 by convention — any tree
+    # covers them.
+    limits = np.where(positive, base * gamma + 1e-9, np.inf)
+
+    with trace("cover.prune.coverage", pairs=len(pairs)):
+        rows = map_per_tree(
+            _coverage_row,
+            cover.trees,
+            workers=workers,
+            metric=metric,
+            payload=(ps, qs, limits),
+        )
+    matrix = np.vstack(rows)  # (ζ, ceil(P/8)) uint8
+
+    # packbits pads the last byte with zero bits, so starting from the
+    # packed all-ones mask never counts phantom pairs.
+    uncovered = np.packbits(np.ones(len(pairs), dtype=bool))
+    selected: List[int] = []
+    if cover.home is not None:
+        # Home trees are mandatory: the Ramsey O(1) lookup contract
+        # names them per point, so they can never be a candidate drop.
+        selected = sorted(set(cover.home))
+        for t in selected:
+            uncovered &= ~matrix[t]
+    in_set = np.zeros(zeta, dtype=bool)
+    in_set[selected] = True
+    with trace("cover.prune.greedy"):
+        while uncovered.any():
+            gains = _POPCOUNT[matrix & uncovered].sum(axis=1)
+            gains[in_set] = -1
+            t = int(np.argmax(gains))  # first occurrence: lowest index
+            if gains[t] <= 0:
+                raise InvariantViolation(
+                    "evaluation pairs left uncoverable within "
+                    f"γ={gamma}: the coverage matrix is inconsistent"
+                )
+            selected.append(t)
+            in_set[t] = True
+            uncovered &= ~matrix[t]
+
+    retained = sorted(selected)
+    # Every non-selected tree is a candidate drop; re-verify the
+    # contract for each before committing: the retained set must cover
+    # every evaluated pair on its own (the drop's coverage must be
+    # dominated), which is exactly the Table 1 stretch contract
+    # restricted to the evaluation pairs.
+    retained_or = np.zeros_like(uncovered)
+    for t in retained:
+        retained_or |= matrix[t]
+    full = np.packbits(np.ones(len(pairs), dtype=bool))
+    check(
+        bool(((retained_or & full) == full).all()),
+        "a candidate drop would uncover evaluated pairs "
+        "(retained set does not dominate the dropped trees)",
+    )
+
+    trees = [cover.trees[t] for t in retained]
+    home = None
+    if cover.home is not None:
+        remap = {t: i for i, t in enumerate(retained)}
+        home = [remap[t] for t in cover.home]
+    pruned = TreeCover(metric, trees, home=home)
+
+    # Seal with the existing audit machinery: structure, domination and
+    # the (γ, ζ_after) contract on an independent sample plus the worst
+    # evaluated pairs.  Lazy import — checkpoint.audit imports this
+    # package.
+    from ..checkpoint.audit import CoverContract, audit_cover
+
+    order = np.argsort(-np.where(positive, best / np.maximum(base, 1e-300), 1.0))
+    audit_pairs = [pairs[i] for i in order[:200]]
+    audit_cover(
+        pruned,
+        contract=CoverContract(gamma=gamma, max_trees=len(retained)),
+        pairs=audit_pairs,
+        workers=workers,
+    )
+
+    if OBS.enabled:
+        _C_PRUNES.inc()
+        _G_DROPPED.set(zeta - len(retained))
+    return PruneReport(
+        cover=pruned,
+        retained=retained,
+        zeta_before=zeta,
+        zeta_after=len(retained),
+        gamma=float(gamma),
+        pairs_evaluated=len(pairs),
+        exact=exact,
+        seconds=time.perf_counter() - start,
+    )

@@ -25,6 +25,7 @@ from repro.metrics import (
 from repro.observability import OBS
 from repro.treecover import (
     planar_tree_cover,
+    prune_cover,
     ramsey_tree_cover,
     robust_tree_cover,
 )
@@ -122,6 +123,49 @@ class TestCoverBackends:
     def test_planar_cover(self):
         metric = grid_graph_metric(7, seed=5)
         self._check(metric, planar_tree_cover(metric), 3, seed=6)
+
+
+class TestPrunedDifferential:
+    """Pruning must not perturb a single retained path.
+
+    Retained trees are the *same* :class:`CoverTree` objects, so every
+    query answered by a retained tree must be bit-identical — same
+    packed path, same reference path — whether asked through the full
+    or the pruned cover.  This is the "bit-identical query answers on
+    retained trees" half of the pruning contract; the stretch half
+    lives in ``tests/test_tree_covers.py``.
+    """
+
+    def _paths_identical(self, metric, cover, k, seed, expect_shrink=True):
+        report = prune_cover(cover, eps=0.05, seed=3)
+        pruned = report.cover
+        if expect_shrink:
+            assert pruned.size < cover.size
+        nav_full = MetricNavigator(metric, cover, k)
+        nav_pruned = MetricNavigator(metric, pruned, k)
+        for u, v in sample_pairs(metric.n, 80, seed=seed):
+            j, _ = pruned.best_tree(u, v)
+            orig = report.retained[j]
+            ct = pruned.trees[j]
+            assert ct is cover.trees[orig]
+            a, b = ct.vertex_of_point[u], ct.vertex_of_point[v]
+            pruned_nav = nav_pruned.navigators[j]
+            full_nav = nav_full.navigators[orig]
+            path = pruned_nav.find_path(a, b)
+            assert path == full_nav.find_path(a, b)
+            assert path == pruned_nav.find_path_reference(a, b)
+
+    def test_robust_cover_paths_survive_prune(self):
+        metric = random_points(80, dim=2, seed=11)
+        cover = robust_tree_cover(metric, eps=0.4)
+        self._paths_identical(metric, cover, 3, seed=12)
+
+    def test_ramsey_cover_paths_survive_prune(self):
+        # A tiny Ramsey cover may be all home trees (nothing droppable);
+        # the identity contract must hold regardless.
+        metric = random_graph_metric(60, seed=13)
+        cover = ramsey_tree_cover(metric, ell=2, seed=14)
+        self._paths_identical(metric, cover, 2, seed=15, expect_shrink=False)
 
 
 class TestAllocationRegression:

@@ -1,0 +1,144 @@
+"""Pruned and compact covers through the persistence + serving stack.
+
+The prune/compact machinery itself is pinned in
+``tests/test_tree_covers.py`` (contract domination, determinism) and
+``tests/test_packed_query.py`` (bit-identical retained paths); this
+module pins the *integration* surface the ISSUE demands:
+
+* a pruned navigator survives the packed checkpoint + mmap round trip
+  with bit-identical answers,
+* builder specs for both new shapes (``pruned`` block, ``compact``
+  family) replay deterministically through :func:`builder_from_meta`,
+* the dynamic-mutation layer refuses pruned and compact checkpoints
+  with a typed error instead of corrupting patch replay,
+* the pair-cache hit/miss counters ride the observability registry out
+  through the Prometheus exporter (the daemon's ``/metrics``).
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointService,
+    builder_from_meta,
+    load_cover_checkpoint,
+    load_navigator_checkpoint,
+    save_cover_checkpoint,
+    save_navigator_checkpoint,
+)
+from repro.checkpoint.format import open_envelope, read_checkpoint_file
+from repro.core import MetricNavigator
+from repro.metrics import random_points, sample_pairs
+from repro.observability import OBS
+from repro.treecover import (
+    compact_tree_cover,
+    prune_cover,
+    robust_tree_cover,
+)
+
+N = 90
+PRUNE_SPEC = {"eps": 0.05, "seed": 0, "max_pairs": 50_000}
+
+
+@pytest.fixture(scope="module")
+def metric():
+    return random_points(N, dim=2, seed=31)
+
+
+@pytest.fixture(scope="module")
+def pruned(metric):
+    report = prune_cover(robust_tree_cover(metric, eps=0.4), **PRUNE_SPEC)
+    assert report.zeta_after < report.zeta_before
+    return report.cover
+
+
+class TestPrunedCheckpoints:
+    def test_packed_mmap_roundtrip_is_bit_identical(self, metric, pruned, tmp_path):
+        """build -> prune -> packed checkpoint -> mmap: same answers."""
+        navigator = MetricNavigator(metric, pruned, 3)
+        path = str(tmp_path / "pruned_nav.ckpt")
+        save_navigator_checkpoint(
+            navigator,
+            path,
+            builder={"family": "robust", "eps": 0.4, "pruned": dict(PRUNE_SPEC)},
+            packed=True,
+        )
+        rebuilt = load_navigator_checkpoint(path, metric)
+        mapped = load_navigator_checkpoint(path, metric, mmap=True)
+        assert mapped.num_trees == pruned.size
+        for u, v in sample_pairs(N, 60, seed=5):
+            expected = navigator.find_path(u, v)
+            assert rebuilt.find_path(u, v) == expected
+            assert mapped.find_path(u, v) == expected
+
+    def test_cover_spec_roundtrip_and_deterministic_replay(
+        self, metric, pruned, tmp_path
+    ):
+        """The builder spec in meta rebuilds the identical pruned cover."""
+        spec = {"family": "robust", "eps": 0.4, "pruned": dict(PRUNE_SPEC)}
+        path = str(tmp_path / "pruned_cover.ckpt")
+        save_cover_checkpoint(pruned, path, builder=spec)
+        loaded = load_cover_checkpoint(path, metric)
+        assert loaded.size == pruned.size
+        _, meta, _ = open_envelope(read_checkpoint_file(path))
+        builder = builder_from_meta(meta)
+        assert builder is not None
+        rebuilt = builder(metric)
+        assert rebuilt.size == pruned.size
+        for u, v in sample_pairs(N, 40, seed=7):
+            # Identical retained set + deterministic tie-breaks mean the
+            # rebuild answers from the same tree at the same distance —
+            # which is what per-tree repair relies on.
+            assert rebuilt.best_tree(u, v) == pruned.best_tree(u, v)
+
+    def test_compact_spec_roundtrip(self, metric, tmp_path):
+        cover = compact_tree_cover(metric, eps=0.5, shifts=2)
+        spec = {"family": "compact", "eps": 0.5, "shifts": 2}
+        path = str(tmp_path / "compact_cover.ckpt")
+        save_cover_checkpoint(cover, path, builder=spec)
+        loaded = load_cover_checkpoint(path, metric)
+        assert loaded.size == cover.size
+        _, meta, _ = open_envelope(read_checkpoint_file(path))
+        rebuilt = builder_from_meta(meta)(metric)
+        assert rebuilt.size == cover.size
+        for u, v in sample_pairs(N, 40, seed=9):
+            assert rebuilt.best_tree(u, v) == cover.best_tree(u, v)
+
+
+class TestDynamicRefusals:
+    def test_enable_dynamic_refuses_pruned_cover(self, metric, pruned, tmp_path):
+        path = str(tmp_path / "pruned.ckpt")
+        save_cover_checkpoint(
+            pruned,
+            path,
+            builder={"family": "robust", "eps": 0.4, "pruned": dict(PRUNE_SPEC)},
+        )
+        service = CheckpointService(metric, 3).load(path)
+        assert not service.recovery_pending
+        with pytest.raises(ValueError, match="pruned"):
+            service.enable_dynamic(journal_path=str(tmp_path / "j.journal"))
+
+    def test_enable_dynamic_refuses_compact_family(self, metric, tmp_path):
+        cover = compact_tree_cover(metric, eps=0.5, shifts=2)
+        path = str(tmp_path / "compact.ckpt")
+        save_cover_checkpoint(
+            cover, path, builder={"family": "compact", "eps": 0.5, "shifts": 2}
+        )
+        service = CheckpointService(metric, 3).load(path)
+        with pytest.raises(ValueError, match="robust cover family"):
+            service.enable_dynamic(journal_path=str(tmp_path / "j.journal"))
+
+
+class TestPairCacheObservability:
+    def test_hit_miss_counters_reach_prom_export(self, metric):
+        cover = robust_tree_cover(metric, eps=0.5)
+        hits = OBS.registry.counter("cover.pair_cache_hits")
+        misses = OBS.registry.counter("cover.pair_cache_misses")
+        with OBS.scoped(True):
+            h0, m0 = hits.value, misses.value
+            cover.best_tree(0, 1)  # cold: a miss
+            cover.best_tree(1, 0)  # symmetric key: a hit
+            assert misses.value == m0 + 1
+            assert hits.value == h0 + 1
+            text = OBS.registry.export_prom_text()
+        assert "repro_cover_pair_cache_hits" in text
+        assert "repro_cover_pair_cache_misses" in text

@@ -4,6 +4,8 @@ import math
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.metrics import (
     NetHierarchy,
@@ -20,9 +22,11 @@ from repro.treecover import (
     CoverTree,
     build_pairing_covers,
     ckr_partition,
+    compact_tree_cover,
     few_trees_cover,
     path_replacement_bound,
     planar_tree_cover,
+    prune_cover,
     ramsey_tree_cover,
     replaced_path_weight,
     robust_tree_cover,
@@ -235,6 +239,139 @@ class TestFewTreesCover:
         worst1, _ = few_trees_cover(m, 1, seed=7).measured_stretch(pairs)
         worst4, _ = few_trees_cover(m, 4, seed=7).measured_stretch(pairs)
         assert worst4 <= worst1 + 1e-9
+
+
+class TestPrunedCover:
+    def setup_method(self):
+        self.metric = random_points(90, dim=2, seed=21)
+        self.cover = robust_tree_cover(self.metric, eps=0.4)
+        self.report = prune_cover(self.cover, eps=0.05)
+
+    def test_prune_shrinks_within_contract(self):
+        assert self.report.zeta_after < self.report.zeta_before
+        assert self.report.zeta_before == self.cover.size
+        worst, _ = self.report.cover.measured_stretch(
+            sample_pairs(90, 400, seed=3)
+        )
+        assert worst <= self.report.gamma + 1e-6
+
+    def test_retained_trees_are_the_same_objects(self):
+        for i, orig in enumerate(self.report.retained):
+            assert self.report.cover.trees[i] is self.cover.trees[orig]
+
+    def test_deterministic_replay(self):
+        again = prune_cover(robust_tree_cover(self.metric, eps=0.4), eps=0.05)
+        assert again.retained == self.report.retained
+        assert again.gamma == self.report.gamma
+
+    def test_too_tight_gamma_raises(self):
+        from repro.errors import InvariantViolation
+
+        with pytest.raises(InvariantViolation):
+            prune_cover(self.cover, gamma=1.0)
+
+    def test_refuses_retired_cover(self):
+        from repro.errors import StalePackError
+
+        cover = robust_tree_cover(random_points(40, seed=22), eps=0.45)
+        cover.retire("superseded by test")
+        with pytest.raises(StalePackError):
+            prune_cover(cover)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            prune_cover(self.cover, eps=-0.1)
+        with pytest.raises(ValueError):
+            prune_cover(self.cover, max_pairs=0)
+
+    def test_ramsey_home_trees_survive_and_remap(self):
+        m = random_graph_metric(60, seed=23)
+        cover = ramsey_tree_cover(m, ell=2, seed=8)
+        report = prune_cover(cover, eps=0.05)
+        pruned = report.cover
+        assert pruned.home is not None
+        for p in range(60):
+            # The home tree is mandatory, so each point's home survives
+            # and still names the same tree object after the remap.
+            orig_tree = cover.trees[cover.home[p]]
+            assert pruned.trees[pruned.home[p]] is orig_tree
+
+    @given(
+        st.integers(min_value=25, max_value=55),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_property_pruned_cover_dominates_within_declared_stretch(
+        self, n, seed
+    ):
+        """For every point pair, some retained tree both dominates the
+        metric distance and preserves it within the declared γ."""
+        metric = random_points(n, dim=2, seed=seed)
+        report = prune_cover(robust_tree_cover(metric, eps=0.45), eps=0.05)
+        pruned = report.cover
+        pairs = [(p, q) for p in range(n) for q in range(p + 1, n)]
+        for (p, q), (_, d) in zip(pairs, pruned.best_trees(pairs)):
+            base = metric.distance(p, q)
+            assert d >= base - 1e-6 * max(1.0, base)
+            assert d <= report.gamma * base + 1e-6
+
+
+class TestCompactCover:
+    def test_zeta_is_independent_of_n(self):
+        small = compact_tree_cover(random_points(60, seed=24), eps=0.5)
+        large = compact_tree_cover(random_points(240, seed=24), eps=0.5)
+        # phases × shifts: ceil(log2(1/0.5)) + 2 = 3 phases, 4 shifts.
+        assert small.size == large.size == 12
+
+    def test_trees_dominate(self):
+        m = random_points(70, seed=25)
+        cover = compact_tree_cover(m, eps=0.5)
+        pairs = sample_pairs(70, 200)
+        for cover_tree in cover.trees:
+            cover_tree.check_dominating(m, pairs)
+
+    def test_stretch_bounded(self):
+        m = random_points(120, seed=26)
+        cover = compact_tree_cover(m, eps=0.5)
+        worst, mean = cover.measured_stretch(sample_pairs(120, 400))
+        # The shifted-hierarchy scheme trades stretch for its O(1) zeta;
+        # the measured constant stays far below the trivial 2^phases
+        # envelope, and the declared-contract machinery records the
+        # actual value per build.
+        assert worst <= 16.0
+        assert mean <= 4.0
+
+    def test_more_shifts_means_more_trees(self):
+        m = random_points(60, seed=27)
+        assert (
+            compact_tree_cover(m, eps=0.5, shifts=2).size
+            < compact_tree_cover(m, eps=0.5, shifts=6).size
+        )
+
+    def test_every_point_is_a_distinct_leaf(self):
+        cover = compact_tree_cover(random_points(50, seed=28), eps=0.5)
+        for cover_tree in cover.trees:
+            hosts = cover_tree.vertex_of_point
+            assert len(set(hosts)) == len(hosts)
+            for p, v in enumerate(hosts):
+                assert cover_tree.rep_point[v] == p
+
+    def test_rejects_bad_params(self):
+        m = random_points(20, seed=29)
+        with pytest.raises(ValueError):
+            compact_tree_cover(m, eps=0.0)
+        with pytest.raises(ValueError):
+            compact_tree_cover(m, eps=1.0)
+        with pytest.raises(ValueError):
+            compact_tree_cover(m, shifts=0)
+
+    def test_prunable_like_any_cover(self):
+        m = random_points(80, seed=30)
+        cover = compact_tree_cover(m, eps=0.5, shifts=6)
+        report = prune_cover(cover, eps=0.05)
+        assert report.zeta_after <= report.zeta_before
+        worst, _ = report.cover.measured_stretch(sample_pairs(80, 200))
+        assert worst <= report.gamma + 1e-6
 
 
 class TestPlanarCover:
