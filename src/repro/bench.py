@@ -60,10 +60,12 @@ __all__ = [
     "NAVIGATION_SCHEMA",
     "SERVING_SCHEMA",
     "DYNAMIC_SCHEMA",
+    "NETSIM_SCHEMA",
     "bench_tree_covers",
     "bench_navigation",
     "bench_serving",
     "bench_dynamic",
+    "bench_netsim",
     "validate_bench_json",
     "write_bench_files",
 ]
@@ -72,6 +74,7 @@ TREE_COVERS_SCHEMA = "repro.bench.tree_covers/v1"
 NAVIGATION_SCHEMA = "repro.bench.navigation/v1"
 SERVING_SCHEMA = "repro.bench.serving/v1"
 DYNAMIC_SCHEMA = "repro.bench.dynamic/v1"
+NETSIM_SCHEMA = "repro.bench.netsim/v1"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -1205,6 +1208,173 @@ def bench_dynamic(
     }
 
 
+def bench_netsim(
+    tree_n: int = 10_000,
+    tree_messages: int = 120_000,
+    metric_n: int = 400,
+    metric_messages: int = 4_000,
+    ft_n: int = 160,
+    ft_messages: int = 2_000,
+    ft_f: int = 2,
+    seed: int = 1,
+    workers: Optional[int] = None,
+    tie_break: str = "seeded",
+) -> Dict:
+    """Simulator benchmarks: routed messages across compiled networks.
+
+    Three legs, each locality-audited before traffic and contract-gated
+    after (a failed gate raises — a silently degraded row never lands
+    in the artifact):
+
+    * ``netsim_tree`` — Theorem 5.1 at scale: 10⁴ nodes, ≥10⁵ routed
+      messages, gates on 100% delivery, exact stretch, ≤2 hops and
+      headers within log²n bits;
+    * ``netsim_metric`` — Theorem 1.3 over a robust cover: delivery,
+      p99 stretch within the measured γ budget;
+    * ``netsim_ft`` — Theorem 5.2 with ``ft_f`` nodes killed
+      mid-traffic: the fault plane re-arms the decision function per
+      kill, and the gate checks every undelivered message died at a
+      killed node (drop accounting), with delivery within budget.
+    """
+    from .graphs import random_tree
+    from .netsim import (
+        NetworkSimulator,
+        SimReport,
+        audit_locality,
+        compile_ft_scheme,
+        compile_metric_scheme,
+        compile_tree_scheme,
+        kill_schedule,
+        uniform_pairs,
+    )
+    from .resilience.injectors import RandomInjector
+    from .routing import (
+        FaultTolerantRoutingScheme,
+        MetricRoutingScheme,
+        build_tree_network,
+    )
+
+    results: List[Dict] = []
+
+    def _row(name, n, build_seconds, sim_seconds, report, extra=None):
+        detail = report.to_dict()
+        detail["build_seconds"] = round(build_seconds, 6)
+        detail["messages_per_s"] = (
+            round(report.injected / sim_seconds, 1) if sim_seconds > 0 else None
+        )
+        detail["tie_break"] = tie_break
+        if extra:
+            detail.update(extra)
+        results.append(_result(name, n, sim_seconds, None, detail))
+
+    def _header_budget(n: int) -> int:
+        return max(1, math.ceil(math.log2(max(2, n)))) ** 2
+
+    # -- tree leg (Theorem 5.1) ------------------------------------------
+    start = time.perf_counter()
+    tree = random_tree(tree_n, seed=seed)
+    scheme, net = build_tree_network(tree, seed=seed + 1)
+    compiled = compile_tree_scheme(scheme, net)
+    audit_locality(compiled)
+    build_seconds = time.perf_counter() - start
+    sim = NetworkSimulator(compiled, tie_break=tie_break, seed=seed)
+    sim.send_many(uniform_pairs(tree_n, tree_messages, seed=seed + 2))
+    start = time.perf_counter()
+    sim.run()
+    sim_seconds = time.perf_counter() - start
+    report = SimReport(sim).check_contract(
+        min_delivery=1.0,
+        gamma=1.0 + 1e-9,
+        header_budget=_header_budget(tree_n),
+        hop_budget=2,
+    )
+    _row("netsim_tree", tree_n, build_seconds, sim_seconds, report)
+
+    # -- metric leg (Theorem 1.3) ----------------------------------------
+    start = time.perf_counter()
+    metric = random_points(metric_n, dim=2, seed=seed + 3)
+    cover = robust_tree_cover(metric, eps=0.45, workers=workers)
+    mscheme = MetricRoutingScheme(metric, cover, seed=seed + 4)
+    mcompiled = compile_metric_scheme(mscheme)
+    audit_locality(mcompiled)
+    build_seconds = time.perf_counter() - start
+    msim = NetworkSimulator(mcompiled, tie_break=tie_break, seed=seed)
+    msim.send_many(uniform_pairs(metric_n, metric_messages, seed=seed + 5))
+    start = time.perf_counter()
+    msim.run()
+    sim_seconds = time.perf_counter() - start
+    mreport = SimReport(msim).check_contract(
+        min_delivery=1.0,
+        header_budget=_header_budget(metric_n),
+        hop_budget=2,
+    )
+    _row("netsim_metric", metric_n, build_seconds, sim_seconds, mreport)
+
+    # -- FT leg (Theorem 5.2, kills mid-traffic) -------------------------
+    start = time.perf_counter()
+    fmetric = random_points(ft_n, dim=2, seed=seed + 6)
+    fcover = robust_tree_cover(fmetric, eps=0.45, workers=workers)
+    fscheme = FaultTolerantRoutingScheme(fmetric, f=ft_f, cover=fcover, seed=seed + 7)
+    fcompiled = compile_ft_scheme(fscheme, gamma_seed=seed)
+    audit_locality(fcompiled)
+    build_seconds = time.perf_counter() - start
+    fsim = NetworkSimulator(fcompiled, tie_break=tie_break, seed=seed)
+    pairs = uniform_pairs(ft_n, ft_messages, seed=seed + 8)
+    # Spread traffic over sim time so the kills land mid-stream.
+    fsim.send_many(pairs, spacing=0.01)
+    horizon = 0.01 * ft_messages
+    kills = kill_schedule(
+        RandomInjector(ft_n, seed=seed + 9),
+        count=ft_f,
+        start=horizon / 3.0,
+        spacing=horizon / (3.0 * max(1, ft_f)),
+    )
+    for when, victim in kills:
+        fsim.kill_at(when, victim)
+    start = time.perf_counter()
+    fsim.run()
+    sim_seconds = time.perf_counter() - start
+    freport = SimReport(fsim).check_contract(
+        min_delivery=0.9,
+        header_budget=_header_budget(ft_n),
+        hop_budget=2,
+        expected_kills=ft_f,
+    )
+    # Exact drop accounting: with kills <= f the only legitimate loss
+    # is traffic that touched a dead node; anything else is a bug.
+    unexplained = {
+        reason: count
+        for reason, count in freport.drop_counts.items()
+        if count and reason != "dead_node"
+    }
+    if unexplained:
+        raise ValueError(
+            f"netsim_ft dropped messages for non-fault reasons: {unexplained}"
+        )
+    _row(
+        "netsim_ft", ft_n, build_seconds, sim_seconds, freport,
+        extra={"killed": [v for _, v in kills]},
+    )
+
+    return {
+        "schema": NETSIM_SCHEMA,
+        "config": {
+            "tree_n": tree_n,
+            "tree_messages": tree_messages,
+            "metric_n": metric_n,
+            "metric_messages": metric_messages,
+            "ft_n": ft_n,
+            "ft_messages": ft_messages,
+            "ft_f": ft_f,
+            "seed": seed,
+            "tie_break": tie_break,
+            "workers": workers,
+        },
+        "results": results,
+        "meta": _meta(),
+    }
+
+
 def validate_bench_json(payload: Dict) -> None:
     """Raise ``ValueError`` unless ``payload`` honors the bench schema.
 
@@ -1221,6 +1391,7 @@ def validate_bench_json(payload: Dict) -> None:
         NAVIGATION_SCHEMA,
         SERVING_SCHEMA,
         DYNAMIC_SCHEMA,
+        NETSIM_SCHEMA,
     ):
         raise ValueError(f"unknown bench schema: {schema!r}")
     for key in ("config", "meta"):
@@ -1261,6 +1432,7 @@ def write_bench_files(
     nav_payload: Optional[Dict] = None,
     serving_payload: Optional[Dict] = None,
     dynamic_payload: Optional[Dict] = None,
+    netsim_payload: Optional[Dict] = None,
 ) -> List[str]:
     """Validate and write the BENCH_*.json artifacts; returns the paths."""
     import os
@@ -1272,6 +1444,7 @@ def write_bench_files(
         (nav_payload, "BENCH_navigation.json"),
         (serving_payload, "BENCH_serving.json"),
         (dynamic_payload, "BENCH_dynamic.json"),
+        (netsim_payload, "BENCH_netsim.json"),
     ):
         if payload is None:
             continue

@@ -516,10 +516,120 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return server.run(ready=ready)
 
 
+def cmd_netsim(args: argparse.Namespace) -> int:
+    """Compile a scheme and drive routed messages through the simulator."""
+    import json as json_mod
+
+    from .netsim import (
+        MetricsExporter,
+        NetworkSimulator,
+        SimReport,
+        audit_locality,
+        compile_ft_scheme,
+        compile_metric_scheme,
+        compile_tree_scheme,
+        kill_schedule,
+        uniform_pairs,
+    )
+    from .observability import OBS
+    from .resilience.injectors import RandomInjector, make_injector
+    from .routing import (
+        FaultTolerantRoutingScheme,
+        build_tree_network,
+    )
+
+    OBS.enable()
+    build_start = time.perf_counter()
+    if args.scheme == "tree":
+        tree = random_tree(args.n, seed=args.seed)
+        scheme, net = build_tree_network(tree, seed=args.seed + 1)
+        compiled = compile_tree_scheme(
+            scheme, net, service_time=args.service_time,
+            queue_cap=args.queue_cap,
+        )
+        metric = None
+    else:
+        metric = _make_metric(args.family, args.n, args.seed)
+        cover = _make_cover(
+            args.family, metric, args.eps, args.ell, args.seed,
+            workers=args.workers,
+        )
+        if args.scheme == "metric":
+            scheme = MetricRoutingScheme(metric, cover, seed=args.seed + 1)
+            compiled = compile_metric_scheme(
+                scheme, service_time=args.service_time,
+                queue_cap=args.queue_cap,
+            )
+        else:
+            scheme = FaultTolerantRoutingScheme(
+                metric, f=args.f, cover=cover, seed=args.seed + 1
+            )
+            compiled = compile_ft_scheme(
+                scheme, service_time=args.service_time,
+                queue_cap=args.queue_cap, gamma_seed=args.seed,
+            )
+    audit_locality(compiled)
+    build_seconds = time.perf_counter() - build_start
+    print(
+        f"compiled {compiled.name} scheme: n={compiled.n}, "
+        f"{compiled.num_links()} links, zeta={compiled.zeta}, "
+        f"gamma budget={compiled.gamma:.3f} ({build_seconds:.2f}s); "
+        "locality audit passed"
+    )
+
+    sim = NetworkSimulator(compiled, tie_break=args.tie_break, seed=args.seed)
+    pairs = uniform_pairs(compiled.n, args.messages, seed=args.seed + 2)
+    sim.send_many(pairs, spacing=args.spacing)
+    if args.kill > 0:
+        horizon = max(args.spacing * args.messages, 1.0)
+        if metric is None:
+            # Tree overlays have no ambient metric; regional kills
+            # need one, so the tree scheme always draws uniformly.
+            injector = RandomInjector(compiled.n, seed=args.seed + 3)
+        else:
+            injector = make_injector(
+                args.kill_scenario, metric, seed=args.seed + 3
+            )
+        for when, victim in kill_schedule(
+            injector, count=args.kill, start=horizon / 3.0,
+            spacing=horizon / (3.0 * args.kill),
+        ):
+            sim.kill_at(when, victim)
+
+    run_start = time.perf_counter()
+    sim.run()
+    run_seconds = time.perf_counter() - run_start
+    report = SimReport(sim)
+    print(report.summary())
+    print(f"simulated {report.events} events in {run_seconds:.2f}s "
+          f"({report.injected / max(run_seconds, 1e-9):.0f} msgs/s)")
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    code = 0
+    if args.verify:
+        min_delivery = 1.0 if args.kill == 0 and args.queue_cap is None else 0.9
+        try:
+            report.check_contract(min_delivery=min_delivery, hop_budget=2)
+            print("contract check passed")
+        except Exception as exc:  # InvariantViolation carries the details
+            print(f"contract check FAILED: {exc}", file=sys.stderr)
+            code = 1
+    if args.metrics_port is not None:
+        with MetricsExporter(port=args.metrics_port) as exporter:
+            print(f"serving /metrics on http://127.0.0.1:{exporter.port}/metrics "
+                  f"for {args.linger:.0f}s (ctrl-c to stop)")
+            try:
+                time.sleep(args.linger)
+            except KeyboardInterrupt:
+                pass
+    return code
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         bench_dynamic,
         bench_navigation,
+        bench_netsim,
         bench_serving,
         bench_tree_covers,
         write_bench_files,
@@ -601,9 +711,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
                            "p50_us", "p99_us", "crossover_batch", "zeta")
             )
             print(f"  {entry['name']:>16}: {entry['seconds']:.3f}s  ({extra})")
+    netsim_payload = None
+    if not args.no_netsim:
+        if args.quick:
+            netsim_sizes = dict(
+                tree_n=300, tree_messages=1500, metric_n=120,
+                metric_messages=600, ft_n=80, ft_messages=400,
+            )
+        else:
+            netsim_sizes = dict(
+                tree_n=10_000, tree_messages=120_000, metric_n=400,
+                metric_messages=4_000, ft_n=160, ft_messages=2_000,
+            )
+        print(f"netsim benchmarks (tree n={netsim_sizes['tree_n']}, "
+              f"{netsim_sizes['tree_messages']} messages) ...")
+        netsim_payload = bench_netsim(
+            seed=args.seed, workers=args.workers, **netsim_sizes,
+        )
+        for entry in netsim_payload["results"]:
+            detail = entry["detail"]
+            extra = ", ".join(
+                f"{key}={detail[key]}" for key in
+                ("delivered", "stretch_p99", "hops_max",
+                 "header_bits_max", "messages_per_s")
+                if key in detail
+            )
+            print(f"  {entry['name']:>14}: {entry['seconds']:.3f}s  ({extra})")
     paths = write_bench_files(
         args.out_dir, tree_payload, nav_payload, serving_payload,
-        dynamic_payload,
+        dynamic_payload, netsim_payload,
     )
     for path in paths:
         print(f"wrote {path}")
@@ -817,6 +953,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_flag(serve)
     serve.set_defaults(func=cmd_serve)
 
+    netsim = sub.add_parser(
+        "netsim",
+        help="event-driven message-passing simulation of a routing scheme",
+    )
+    netsim.add_argument("--scheme", choices=["tree", "metric", "ft"],
+                        default="tree",
+                        help="which theorem to simulate: 'tree' (Thm 5.1), "
+                             "'metric' (Thm 1.3), 'ft' (Thm 5.2)")
+    netsim.add_argument("--family", choices=["euclidean", "general", "planar"],
+                        default="euclidean",
+                        help="metric family for --scheme metric/ft")
+    netsim.add_argument("--n", type=_positive_int, default=1000,
+                        help="number of nodes")
+    netsim.add_argument("--messages", type=_positive_int, default=10_000,
+                        help="routed messages to inject")
+    netsim.add_argument("--eps", type=float, default=0.45)
+    netsim.add_argument("--ell", type=int, default=2)
+    netsim.add_argument("--f", type=_positive_int, default=2,
+                        help="fault budget for --scheme ft")
+    netsim.add_argument("--kill", type=int, default=0,
+                        help="nodes to kill mid-traffic (fault plane)")
+    netsim.add_argument("--kill-scenario", choices=["random", "regional"],
+                        default="random",
+                        help="which resilience injector picks the victims")
+    netsim.add_argument("--spacing", type=_non_negative_float, default=0.01,
+                        help="simulated seconds between injections")
+    netsim.add_argument("--service-time", type=_non_negative_float,
+                        default=0.0,
+                        help="per-message link serialization time "
+                             "(0 = pure latency network)")
+    netsim.add_argument("--queue-cap", type=_positive_int, default=None,
+                        help="bounded egress queue depth (tail drop)")
+    netsim.add_argument("--tie-break", choices=["fifo", "lifo", "seeded"],
+                        default="seeded",
+                        help="scheduler policy for same-time events")
+    netsim.add_argument("--seed", type=int, default=0)
+    netsim.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    netsim.add_argument("--verify", action="store_true",
+                        help="gate the run on the paper's contracts "
+                             "(delivery, stretch, 2 hops)")
+    netsim.add_argument("--metrics-port", type=int, default=None,
+                        help="serve /metrics on this port after the run "
+                             "(0 = OS-assigned)")
+    netsim.add_argument("--linger", type=_non_negative_float, default=30.0,
+                        help="seconds to keep /metrics up for scraping")
+    _add_workers_flag(netsim)
+    netsim.set_defaults(func=cmd_netsim)
+
     bench = sub.add_parser(
         "bench",
         help="benchmark-regression harness; emits BENCH_*.json artifacts",
@@ -831,6 +1016,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the serving-daemon benchmarks")
     bench.add_argument("--no-dynamic", action="store_true",
                        help="skip the dynamic-update (churn) benchmarks")
+    bench.add_argument("--no-netsim", action="store_true",
+                       help="skip the message-passing simulator benchmarks")
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--repeats", type=int, default=3,
                        help="timing repeats (best-of) for cheap constructions")

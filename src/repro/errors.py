@@ -31,6 +31,7 @@ __all__ = [
     "InvariantViolation",
     "CheckpointCorruption",
     "StalePackError",
+    "RoutingError",
     "check",
 ]
 
@@ -112,6 +113,29 @@ class StalePackError(ReproError, RuntimeError):
             "generation's cover (CheckpointService.snapshot() returns it)"
         )
         super().__init__(f"{message} [{self.hint}]")
+
+
+class RoutingError(ReproError, RuntimeError, ValueError):
+    """A packet could not be moved along the fixed-port overlay.
+
+    Raised by :class:`repro.routing.ports.Network` and the
+    :mod:`repro.netsim` simulator when a port lookup names a link that
+    was never wired, when a hop targets a node the fault plane has
+    killed, or when a packet exhausts its hop budget.  Subclasses both
+    :class:`RuntimeError` and :class:`ValueError` because the historical
+    code paths raised one or the other (bare ``KeyError`` for unwired
+    ports, ``RuntimeError`` for hop exhaustion); callers written against
+    either keep working, new callers should catch :class:`RoutingError`.
+
+    ``node`` and ``port`` locate the failing hop when known, so the
+    simulator's drop accounting can attribute the loss.
+    """
+
+    def __init__(self, message: str, node: Optional[int] = None,
+                 port: Optional[int] = None):
+        self.node = node
+        self.port = port
+        super().__init__(message)
 
 
 class InvariantViolation(ReproError, AssertionError):

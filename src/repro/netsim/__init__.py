@@ -1,0 +1,68 @@
+"""Event-driven message-passing simulation of the routing schemes.
+
+The rest of the repo *computes* routes by asking global objects
+(``MetricRoutingScheme.route`` walks the whole path in one call); this
+package *runs* them the way the paper's distributed model intends: each
+node is a :class:`~repro.netsim.node.SimNode` holding only its label,
+routing table and port numbers, messages are explicit
+:class:`~repro.netsim.envelope.Envelope` objects whose header bits are
+charged on every hop, and a deterministic seeded
+:class:`~repro.netsim.scheduler.EventScheduler` moves them across
+store-and-forward links with latency and bounded queues.
+
+Pipeline::
+
+    scheme   = MetricRoutingScheme(metric, cover, seed=0)   # global build
+    compiled = compile_metric_scheme(scheme)                # one-way door
+    audit_locality(compiled)                                # prove locality
+    sim      = NetworkSimulator(compiled, tie_break="seeded", seed=7)
+    sim.send_many(uniform_pairs(compiled.n, 10_000, seed=1))
+    sim.run()
+    SimReport(sim).check_contract(min_delivery=1.0)
+
+``python -m repro netsim`` drives the same pipeline from the command
+line; the ``bench_netsim`` stage emits ``BENCH_netsim.json``.
+"""
+
+from .audit import audit_locality, audit_payload, audit_protocol
+from .compile import (
+    CompiledNetwork,
+    compile_ft_scheme,
+    compile_metric_scheme,
+    compile_tree_scheme,
+)
+from .envelope import Envelope
+from .faults import apply_kills, kill_schedule
+from .links import Link
+from .metricsd import MetricsExporter
+from .node import NODE_ATTRS, SimNode
+from .report import SimReport, percentile
+from .scheduler import TIE_BREAK_POLICIES, EventScheduler
+from .sim import DROP_REASONS, NetworkSimulator
+from .traffic import all_pairs_sample, hotspot_pairs, uniform_pairs
+
+__all__ = [
+    "CompiledNetwork",
+    "DROP_REASONS",
+    "Envelope",
+    "EventScheduler",
+    "Link",
+    "MetricsExporter",
+    "NODE_ATTRS",
+    "NetworkSimulator",
+    "SimNode",
+    "SimReport",
+    "TIE_BREAK_POLICIES",
+    "all_pairs_sample",
+    "apply_kills",
+    "audit_locality",
+    "audit_payload",
+    "audit_protocol",
+    "compile_ft_scheme",
+    "compile_metric_scheme",
+    "compile_tree_scheme",
+    "hotspot_pairs",
+    "kill_schedule",
+    "percentile",
+    "uniform_pairs",
+]

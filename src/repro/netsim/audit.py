@@ -1,0 +1,135 @@
+"""The locality audit: prove nodes can only route locally.
+
+Two layers, mirroring the ``test_no_bare_asserts.py`` philosophy that
+architectural guarantees should be *checked*, not trusted:
+
+* a **structural check** — :class:`~repro.netsim.node.SimNode` must
+  still be a closed ``__slots__`` struct whose attribute list equals
+  the :data:`~repro.netsim.node.NODE_ATTRS` whitelist (no ``__dict__``
+  to stash globals in);
+* a **payload check** — every node's label and table must consist of
+  plain data (numbers, strings, tuples, dicts, ...), so a compiled
+  table cannot smuggle a reference to the metric, the cover, a scheme
+  or another node;
+* a **closure check** — the decision function and header-bit counter
+  must be free functions (not bound methods) whose closure cells hold
+  nothing but plain data: the paper's fault-knowledge model allows a
+  set of faulty ids, and sizes like ``n``/``ζ`` are public constants,
+  but a captured ``Metric``/``TreeCover``/``Network`` would mean the
+  "local" protocol was quietly consulting global state.
+
+All violations raise :class:`~repro.errors.InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import InvariantViolation, check
+from .node import NODE_ATTRS, SimNode
+
+__all__ = ["audit_locality", "audit_protocol", "audit_payload"]
+
+_SCALARS = (int, float, str, bytes, bool, type(None))
+_CONTAINERS = (dict, list, tuple, set, frozenset)
+
+
+def audit_payload(value: Any, where: str) -> None:
+    """Deep-check that ``value`` is plain local data, not object graph.
+
+    Iterative (explicit stack) so pathological nesting cannot blow the
+    recursion limit; cycles are impossible in plain data built from
+    literals, but an id-set guards against them anyway.
+    """
+    stack = [value]
+    seen = set()
+    while stack:
+        item = stack.pop()
+        if isinstance(item, _SCALARS):
+            continue
+        if isinstance(item, _CONTAINERS):
+            if id(item) in seen:
+                continue
+            seen.add(id(item))
+            if isinstance(item, dict):
+                stack.extend(item.keys())
+                stack.extend(item.values())
+            else:
+                stack.extend(item)
+            continue
+        raise InvariantViolation(
+            f"{where} holds a {type(item).__name__} — node state must be "
+            "plain data; object references would let a 'local' node "
+            "reach global structures"
+        )
+
+
+def audit_protocol(fn: Callable, where: str = "protocol") -> None:
+    """Check a decision function consults only its arguments.
+
+    Allowed: module-level functions, and closures whose cells carry
+    plain data (the FT faulty set, integer sizes) or further functions
+    that pass the same audit.
+    """
+    check(
+        callable(fn),
+        f"{where} is not callable: {fn!r}",
+    )
+    check(
+        getattr(fn, "__self__", None) is None,
+        f"{where} is a bound method of "
+        f"{type(getattr(fn, '__self__', None)).__name__} — a node "
+        "carrying it could reach the whole scheme object",
+    )
+    closure = getattr(fn, "__closure__", None) or ()
+    for cell in closure:
+        try:
+            content = cell.cell_contents
+        except ValueError:  # pragma: no cover - unfilled cell
+            continue
+        if callable(content):
+            audit_protocol(content, where=f"{where} closure function")
+            continue
+        audit_payload(content, f"{where} closure cell")
+
+
+def audit_locality(compiled) -> None:
+    """Audit a :class:`~repro.netsim.compile.CompiledNetwork`.
+
+    Raises :class:`~repro.errors.InvariantViolation` on the first
+    violation; returns ``None`` when every node is provably local.
+    """
+    check(
+        tuple(SimNode.__slots__) == NODE_ATTRS,
+        f"SimNode.__slots__ {tuple(SimNode.__slots__)} drifted from the "
+        f"whitelist {NODE_ATTRS}; extending node state requires updating "
+        "the audit, deliberately",
+    )
+    check(
+        not hasattr(SimNode(0, None, None, frozenset()), "__dict__"),
+        "SimNode instances grew a __dict__ — arbitrary attributes could "
+        "smuggle global state onto nodes",
+    )
+    for index, node in enumerate(compiled.nodes):
+        check(
+            isinstance(node, SimNode),
+            f"node {index} is a {type(node).__name__}, not a SimNode",
+        )
+        check(
+            node.node_id == index,
+            f"node {index} carries id {node.node_id}",
+        )
+        check(
+            isinstance(node.ports, frozenset)
+            and all(isinstance(p, int) for p in node.ports),
+            f"node {index} ports must be a frozenset of port numbers",
+        )
+        audit_payload(node.label, f"node {index} label")
+        audit_payload(node.table, f"node {index} table")
+    audit_protocol(compiled.protocol, "decision function")
+    audit_protocol(compiled.header_bits, "header-bit counter")
+    if compiled.protocol_factory is not None:
+        audit_protocol(
+            compiled.protocol_factory(frozenset({0})),
+            "fault-armed decision function",
+        )

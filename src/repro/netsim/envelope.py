@@ -1,0 +1,77 @@
+"""The message envelope: what a packet actually carries on the wire.
+
+Wire format (documented in ``docs/ROUTING.md``):
+
+* **destination label** — handed to the *source* by the name service
+  when the message is injected, exactly as in the labeled routing model
+  (Section 5.1).  The label travels with the envelope so intermediate
+  nodes can run the same decision function, but after the source's
+  decision the protocols only ever read the ``header`` field — the
+  conformance suite and the header-bit accounting rely on that.
+* **header** — the scheme's small mutable header (``("deliver",)``,
+  ``("forward", port)``, or ``(tree index, inner header)``).  Its size
+  in bits is charged on **every hop** via the compiled scheme's
+  ``header_bits`` function; ``max_header_bits`` records the worst hop.
+* **bookkeeping** — hop count, accumulated link weight and the visited
+  path, maintained by the simulator (an outside observer), never
+  consulted by a node.
+
+Envelopes are plain mutable structs with ``__slots__``; one object per
+message for the lifetime of the message.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["Envelope"]
+
+
+class Envelope:
+    """One routed message in flight."""
+
+    __slots__ = (
+        "msg_id",
+        "src",
+        "dst",
+        "dest_label",
+        "header",
+        "hops",
+        "weight",
+        "path",
+        "max_header_bits",
+        "injected_at",
+        "delivered_at",
+    )
+
+    def __init__(self, msg_id: int, src: int, dst: int, dest_label,
+                 injected_at: float):
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.dest_label = dest_label
+        self.header = None
+        self.hops = 0
+        self.weight = 0.0
+        self.path: List[int] = [src]
+        self.max_header_bits = 0
+        self.injected_at = injected_at
+        self.delivered_at: Optional[float] = None
+
+    def record_hop(self, v: int, weight: float, header_bits: int) -> None:
+        """Account one link transmission ending at ``v``."""
+        self.hops += 1
+        self.weight += weight
+        self.path.append(v)
+        if header_bits > self.max_header_bits:
+            self.max_header_bits = header_bits
+
+    def trace(self) -> Tuple[int, ...]:
+        """The visited node sequence (for differential conformance)."""
+        return tuple(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope({self.msg_id}: {self.src}->{self.dst}, "
+            f"hops={self.hops}, path={self.path})"
+        )

@@ -1,0 +1,51 @@
+"""The fault-injection plane: resilience injectors → kill schedules.
+
+Reuses the adversary models from :mod:`repro.resilience.injectors`
+(uniform, regional, adversarial) to pick *who* dies, and turns the
+choice into *when*: a list of ``(time, node_id)`` kill events the
+simulator schedules alongside traffic, so deaths land mid-run the way
+the chaos harness kills them between queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..resilience.injectors import FaultInjector
+
+__all__ = ["kill_schedule", "apply_kills"]
+
+
+def kill_schedule(
+    injector: FaultInjector,
+    count: int,
+    start: float,
+    spacing: float = 0.0,
+    protect: Sequence[int] = (),
+) -> List[Tuple[float, int]]:
+    """``count`` kills starting at ``start``, ``spacing`` apart.
+
+    The victims come from the injector's deterministic ranking, most
+    damaging first; ids in ``protect`` are skipped (benches protect the
+    traffic endpoints so delivery gates measure *routing around* faults,
+    not messages to the dead).
+    """
+    protected = set(protect)
+    victims = [v for v in injector.ranked() if v not in protected][:count]
+    return [(start + i * spacing, v) for i, v in enumerate(victims)]
+
+
+def apply_kills(sim, schedule: Sequence[Tuple[float, int]],
+                limit: Optional[int] = None) -> int:
+    """Schedule the kills onto a simulator; returns how many were armed.
+
+    ``limit`` caps the kill count (FT benches pass the scheme's ``f``
+    so the run stays inside the Theorem 5.2 resilience contract).
+    """
+    armed = 0
+    for time, node_id in schedule:
+        if limit is not None and armed >= limit:
+            break
+        sim.kill_at(time, node_id)
+        armed += 1
+    return armed

@@ -1,0 +1,65 @@
+"""Directed links: latency, serialization, and bounded egress queues.
+
+A :class:`Link` is one direction of one overlay edge, reached from its
+source node through a fixed port number.  The timing model is the
+standard store-and-forward one:
+
+* **propagation latency** — ``weight * latency_scale`` (the overlay's
+  links are metric edges, so distance is delay);
+* **serialization** — each message occupies the link for
+  ``service_time`` simulated seconds; messages sent while the link is
+  busy wait in FIFO order;
+* **bounded queue** — with ``queue_cap`` set, a message finding
+  ``queue_cap`` messages already waiting is dropped (tail drop), which
+  the simulator accounts as ``netsim.dropped_queue``.
+
+With the defaults (``service_time=0``) a link never queues and the
+simulator is a pure message-passing network — the configuration the
+differential conformance suite runs under, where delivered paths must
+be invariant to scheduler interleaving.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One directed link of the compiled overlay."""
+
+    __slots__ = ("src", "dst", "port", "weight", "latency", "service_time",
+                 "queue_cap", "free_at", "sent")
+
+    def __init__(self, src: int, dst: int, port: int, weight: float,
+                 latency_scale: float = 1.0, service_time: float = 0.0,
+                 queue_cap=None):
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.weight = weight
+        self.latency = weight * latency_scale
+        self.service_time = service_time
+        self.queue_cap = queue_cap
+        #: Simulated time at which the link finishes its current backlog.
+        self.free_at = 0.0
+        self.sent = 0
+
+    def queued_at(self, now: float) -> int:
+        """Messages waiting (not yet departed) at simulated ``now``."""
+        if self.service_time <= 0.0 or self.free_at <= now:
+            return 0
+        backlog = self.free_at - now
+        return int(backlog / self.service_time + 0.5)
+
+    def transmit(self, now: float):
+        """Try to send one message at ``now``.
+
+        Returns the arrival time at ``dst``, or ``None`` when the
+        bounded queue is full and the message is tail-dropped.
+        """
+        if self.queue_cap is not None and self.queued_at(now) >= self.queue_cap:
+            return None
+        depart = self.free_at if self.free_at > now else now
+        self.free_at = depart + self.service_time
+        self.sent += 1
+        return self.free_at + self.latency

@@ -1,0 +1,90 @@
+"""A tiny /metrics exporter for simulator runs.
+
+The serving daemon already exposes ``/metrics`` for query traffic
+(:mod:`repro.serve.server`); simulator runs are batch jobs, so this is
+the matching sidecar: a stdlib threaded HTTP server that renders the
+global registry — including the ``netsim.*`` instruments — in
+Prometheus text format.  Bind port 0 to let the OS pick (tests do);
+``python -m repro netsim --metrics-port`` keeps it up for scraping.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..observability import OBS
+
+__all__ = ["MetricsExporter"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = OBS.registry.export_prom_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+        else:
+            body = b"unknown path; try /metrics\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # noqa: D102 - silence stderr chatter
+        pass
+
+
+class MetricsExporter:
+    """Serve ``/metrics`` on a background thread.
+
+    Context-manager style::
+
+        with MetricsExporter(port=0) as exporter:
+            urllib.request.urlopen(f"http://127.0.0.1:{exporter.port}/metrics")
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1"):
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("exporter not started")
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsExporter":
+        if self._server is not None:
+            raise RuntimeError("exporter already started")
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="netsim-metricsd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

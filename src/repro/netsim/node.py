@@ -1,0 +1,51 @@
+"""The simulated node: label, table, ports — and *nothing else*.
+
+"Local routing" is enforced by construction, not assumed: a
+:class:`SimNode` is a ``__slots__`` struct whose only fields are the
+node's own id, its routing label, its routing table, the set of port
+numbers wired at the node, and a liveness bit owned by the fault plane.
+There is no attribute through which a node could reach the metric, the
+tree cover, the scheme object or any other node's state — attempting to
+attach one raises ``AttributeError`` (no ``__dict__``), and the
+locality audit (:mod:`repro.netsim.audit`) additionally deep-scans the
+label/table payloads so compiled state cannot smuggle object
+references in.
+
+This module deliberately imports nothing from :mod:`repro.metrics`,
+:mod:`repro.treecover`, :mod:`repro.core` or :mod:`repro.routing` —
+``tests/test_netsim.py`` AST-gates the import list the same way
+``tests/test_no_bare_asserts.py`` gates asserts.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["SimNode", "NODE_ATTRS"]
+
+#: The complete whitelist of attributes a compiled node may carry.
+#: The locality audit fails if ``SimNode.__slots__`` ever drifts from
+#: this tuple, so adding node state is an explicit, reviewed act.
+NODE_ATTRS = ("node_id", "label", "table", "ports", "alive")
+
+
+class SimNode:
+    """One network node holding only its local routing state.
+
+    ``ports`` is the set of port *numbers* wired at this node — the
+    links behind them belong to the simulator's topology, so a node can
+    say "forward on port 3" but cannot learn which node that reaches.
+    """
+
+    __slots__ = NODE_ATTRS
+
+    def __init__(self, node_id: int, label, table, ports: FrozenSet[int]):
+        self.node_id = node_id
+        self.label = label
+        self.table = table
+        self.ports = frozenset(ports)
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "DEAD"
+        return f"SimNode({self.node_id}, {len(self.ports)} ports, {state})"

@@ -1,0 +1,71 @@
+"""Deterministic traffic generators.
+
+Plain seeded pair streams — the simulator does not care how pairs are
+chosen, but benches and the smoke script need reproducible workloads,
+so everything here is a pure function of ``(n, count, seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = ["uniform_pairs", "hotspot_pairs", "all_pairs_sample"]
+
+
+def uniform_pairs(n: int, count: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """``count`` uniform ``(src, dst)`` pairs with ``src != dst``."""
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes for traffic, got n={n}")
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        src = rng.randrange(n)
+        dst = rng.randrange(n - 1)
+        if dst >= src:
+            dst += 1
+        pairs.append((src, dst))
+    return pairs
+
+
+def hotspot_pairs(
+    n: int,
+    count: int,
+    seed: int = 0,
+    hotspots: int = 4,
+    hot_fraction: float = 0.8,
+) -> List[Tuple[int, int]]:
+    """Skewed traffic: ``hot_fraction`` of messages target one of a few
+    hot destinations (aggregation points, storage heads, sinks)."""
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes for traffic, got n={n}")
+    rng = random.Random(seed)
+    hot = rng.sample(range(n), min(hotspots, n))
+    pairs = []
+    for _ in range(count):
+        src = rng.randrange(n)
+        if rng.random() < hot_fraction:
+            dst = hot[rng.randrange(len(hot))]
+        else:
+            dst = rng.randrange(n)
+        if dst == src:
+            dst = (dst + 1) % n
+        pairs.append((src, dst))
+    return pairs
+
+
+def all_pairs_sample(n: int, count: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """A sample of *distinct* ordered pairs (or all of them when the
+    pair space is small) — what the conformance suite iterates."""
+    total = n * (n - 1)
+    if count >= total:
+        return [(u, v) for u in range(n) for v in range(n) if u != v]
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < count:
+        src = rng.randrange(n)
+        dst = rng.randrange(n - 1)
+        if dst >= src:
+            dst += 1
+        seen.add((src, dst))
+    return sorted(seen)

@@ -25,7 +25,58 @@ from ..routing.ports import DELIVER, Network, RouteResult
 from ..treecover.base import TreeCover
 from ..treecover.dumbbell import robust_tree_cover
 
-__all__ = ["FaultTolerantRoutingScheme"]
+__all__ = ["FaultTolerantRoutingScheme", "ft_protocol_for"]
+
+
+def ft_protocol_for(faults: Set[int]):
+    """The Theorem 5.2 decision function, closed over the faulty set.
+
+    Module-level so compiled netsim nodes can carry it without a
+    reference back to the scheme: the only non-local knowledge the
+    returned closure holds is ``faults`` — which is exactly the paper's
+    model (nodes know the current faulty set).  Everything else comes
+    from the per-call ``(table, header, label)`` arguments.
+    """
+
+    def protocol(u: int, table: dict, header, label: dict):
+        if header is not None:
+            if header[0] == "deliver":
+                return DELIVER, None
+            return header[1], ("deliver",)
+        v = label["id"]
+        if v == u:
+            return DELIVER, None
+        # Tree choice by exact per-tree distances (O(ζ) scan).
+        best = float("inf")
+        index = 0
+        for i, own in enumerate(table["dist"]):
+            d = label_distance(own, label["dist"][i])
+            if d < best:
+                best = d
+                index = i
+        tree_table = table["trees"][index]
+        tree_label = label["trees"][index]
+        base = tree_table["base"]
+        if v in base:
+            return base[v], ("deliver",)
+        lam = lca_key(tree_table["phi"], tree_label["phi"])
+        out_ports = dict(tree_table["h_out"].get(lam, []))
+        in_ports = dict(tree_label["h_in"][lam])
+        for w in sorted(in_ports):
+            if w in faults:
+                continue
+            if w == u:
+                return in_ports[w], ("deliver",)
+            if w == v:
+                return out_ports[w], ("deliver",)
+            if w in out_ports:
+                return out_ports[w], ("forward", in_ports[w])
+        raise InvariantViolation(
+            f"no live replica for lambda={lam}: all {len(in_ports)} "
+            "replicas of the cut vertex are faulty"
+        )
+
+    return protocol
 
 
 class _FtTreeData:
@@ -144,47 +195,11 @@ class FaultTolerantRoutingScheme:
     # ------------------------------------------------------------------
 
     def protocol_for(self, faults: Set[int]):
-        """A decision function closed over the current faulty set."""
+        """A decision function closed over the current faulty set.
 
-        def protocol(u: int, table: dict, header, label: dict):
-            if header is not None:
-                if header[0] == "deliver":
-                    return DELIVER, None
-                return header[1], ("deliver",)
-            v = label["id"]
-            if v == u:
-                return DELIVER, None
-            # Tree choice by exact per-tree distances (O(ζ) scan).
-            best = float("inf")
-            index = 0
-            for i, own in enumerate(table["dist"]):
-                d = label_distance(own, label["dist"][i])
-                if d < best:
-                    best = d
-                    index = i
-            tree_table = table["trees"][index]
-            tree_label = label["trees"][index]
-            base = tree_table["base"]
-            if v in base:
-                return base[v], ("deliver",)
-            lam = lca_key(tree_table["phi"], tree_label["phi"])
-            out_ports = dict(tree_table["h_out"].get(lam, []))
-            in_ports = dict(tree_label["h_in"][lam])
-            for w in sorted(in_ports):
-                if w in faults:
-                    continue
-                if w == u:
-                    return in_ports[w], ("deliver",)
-                if w == v:
-                    return out_ports[w], ("deliver",)
-                if w in out_ports:
-                    return out_ports[w], ("forward", in_ports[w])
-            raise InvariantViolation(
-                f"no live replica for lambda={lam}: all {len(in_ports)} "
-                "replicas of the cut vertex are faulty"
-            )
-
-        return protocol
+        Delegates to the module-level :func:`ft_protocol_for` (kept as
+        a method for backwards compatibility)."""
+        return ft_protocol_for(faults)
 
     def route(
         self,

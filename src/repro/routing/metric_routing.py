@@ -26,7 +26,49 @@ from .labels import HeavyPathLabeling, label_bits, label_distance
 from .ports import DELIVER, Network, RouteResult
 from .tree_routing import TreeRoutingScheme, header_bits, tree_protocol
 
-__all__ = ["MetricRoutingScheme"]
+__all__ = ["MetricRoutingScheme", "metric_protocol", "metric_header_bits"]
+
+
+def metric_protocol(u: int, table: dict, header, destination_label: dict):
+    """The Theorem 1.3 decision function (fixed-port model).
+
+    Module-level and *pure*: it sees only the local table, the header
+    and the destination label, exactly the information a node owns in
+    the paper's model.  Its purity is what lets the netsim locality
+    audit prove compiled nodes consult no global state — keep it free
+    of closures over schemes, covers or metrics.
+
+    Header format: ``(tree index, inner tree header)``.
+    """
+    if header is not None:
+        index, inner = header
+        port, inner = tree_protocol(
+            u, table["trees"][index], inner, destination_label["trees"][index]
+        )
+        return port, None if port == DELIVER else (index, inner)
+    if destination_label["id"] == u:
+        return DELIVER, None
+    index = destination_label["home"]
+    if index is None:
+        # Scan the ζ trees with the two distance labels (O(ζ) time).
+        best = float("inf")
+        index = 0
+        for i, own in enumerate(table["dist"]):
+            d = label_distance(own, destination_label["dist"][i])
+            if d < best:
+                best = d
+                index = i
+    port, inner = tree_protocol(
+        u, table["trees"][index], None, destination_label["trees"][index]
+    )
+    return port, None if port == DELIVER else (index, inner)
+
+
+def metric_header_bits(header, n: int, zeta: int) -> int:
+    """On-wire header size: the inner tree header plus ⌈log ζ⌉ bits."""
+    if header is None:
+        return 0
+    return header_bits(header[1], n) + max(1, zeta.bit_length())
 
 
 class MetricRoutingScheme:
@@ -84,40 +126,25 @@ class MetricRoutingScheme:
     # ------------------------------------------------------------------
 
     def protocol(self, u: int, table: dict, header, destination_label: dict):
-        """Fixed-port decision function; header = (tree index, inner header)."""
-        if header is not None:
-            index, inner = header
-            port, inner = tree_protocol(
-                u, table["trees"][index], inner, destination_label["trees"][index]
-            )
-            return port, None if port == DELIVER else (index, inner)
-        if destination_label["id"] == u:
-            return DELIVER, None
-        index = destination_label["home"]
-        if index is None:
-            # Scan the ζ trees with the two distance labels (O(ζ) time).
-            best = float("inf")
-            index = 0
-            for i, own in enumerate(table["dist"]):
-                d = label_distance(own, destination_label["dist"][i])
-                if d < best:
-                    best = d
-                    index = i
-        port, inner = tree_protocol(
-            u, table["trees"][index], None, destination_label["trees"][index]
-        )
-        return port, None if port == DELIVER else (index, inner)
+        """Fixed-port decision function; header = (tree index, inner header).
+
+        Delegates to the module-level :func:`metric_protocol` (kept as a
+        method for backwards compatibility with callers holding a
+        scheme).
+        """
+        return metric_protocol(u, table, header, destination_label)
 
     def route(self, u: int, v: int, max_hops: int = 8) -> RouteResult:
         """Route one packet; returns the trace for verification."""
         n = self.metric.n
+        zeta = len(self.schemes)
         return self.network.route(
             u,
-            self.protocol,
+            metric_protocol,
             self.labels[v],
             self.tables,
             max_hops=max_hops,
-            header_bits=lambda h: header_bits(h[1], n) + max(1, len(self.schemes).bit_length()),
+            header_bits=lambda h: metric_header_bits(h, n, zeta),
         )
 
     # ------------------------------------------------------------------

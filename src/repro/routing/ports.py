@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List
 
+from ..errors import RoutingError
 from ..graphs.graph import Graph
 
 __all__ = ["Network", "RouteResult", "DELIVER"]
@@ -61,8 +62,21 @@ class Network:
             self.neighbor_at.append(dict(zip(ports, neighbors)))
 
     def port(self, u: int, v: int) -> int:
-        """The (adversarial) port at ``u`` for the link to ``v``."""
-        return self.port_to[u][v]
+        """The (adversarial) port at ``u`` for the link to ``v``.
+
+        Raises :class:`~repro.errors.RoutingError` when no link between
+        ``u`` and ``v`` was ever wired — a dead or never-provisioned
+        neighbor must surface as a typed routing failure, not a bare
+        ``KeyError`` (the netsim fault plane makes this path reachable
+        in ordinary operation).
+        """
+        try:
+            return self.port_to[u][v]
+        except KeyError:
+            raise RoutingError(
+                f"node {u} has no wired link to {v}: the overlay never "
+                "provisioned that edge", node=u,
+            ) from None
 
     def route(
         self,
@@ -88,10 +102,16 @@ class Network:
             if port == DELIVER:
                 return RouteResult(path, weight, worst_header)
             if port not in self.neighbor_at[u]:
-                raise ValueError(f"node {u} has no port {port}")
+                raise RoutingError(
+                    f"node {u} has no port {port}: the protocol forwarded "
+                    "onto a link that was never wired",
+                    node=u, port=port,
+                )
             if header_bits is not None and header is not None:
                 worst_header = max(worst_header, header_bits(header))
             v = self.neighbor_at[u][port]
             weight += self.graph.adj[u][v]
             path.append(v)
-        raise RuntimeError(f"packet from {source} exceeded {max_hops} hops")
+        raise RoutingError(
+            f"packet from {source} exceeded {max_hops} hops", node=path[-1]
+        )

@@ -278,3 +278,116 @@ class TestFaultTolerantRouting:
             if checked >= 25:
                 break
         assert checked >= 10
+
+
+class TestPrunedAndCompactCoverRouting:
+    """Theorem 1.3 routing over the *shrunk* covers: pruning and the
+    compact backend must preserve the stretch contract while cutting
+    the per-node label/table bits with ζ."""
+
+    def setup_method(self):
+        self.metric = random_points(60, dim=2, seed=50)
+        self.cover = robust_tree_cover(self.metric, eps=0.45)
+
+    def test_pruned_cover_keeps_the_stretch_contract(self):
+        from repro.treecover import prune_cover
+
+        report = prune_cover(self.cover, eps=0.05)
+        assert len(report.cover.trees) < len(self.cover.trees)
+        scheme = MetricRoutingScheme(self.metric, report.cover, seed=51)
+        for u, v in sample_pairs(60, 150, seed=52):
+            scheme.verify_route(u, v, report.gamma + 1e-9)
+
+    def test_pruned_cover_shrinks_label_and_table_bits(self):
+        from repro.treecover import prune_cover
+
+        report = prune_cover(self.cover, eps=0.05)
+        full = MetricRoutingScheme(self.metric, self.cover, seed=53)
+        pruned = MetricRoutingScheme(self.metric, report.cover, seed=53)
+        full_label = max(full.label_size_bits(p) for p in range(60))
+        pruned_label = max(pruned.label_size_bits(p) for p in range(60))
+        full_table = max(full.table_size_bits(p) for p in range(60))
+        pruned_table = max(pruned.table_size_bits(p) for p in range(60))
+        assert pruned_label < full_label
+        assert pruned_table < full_table
+
+    def test_compact_cover_routes_within_measured_gamma(self):
+        from repro.treecover import compact_tree_cover
+
+        cover = compact_tree_cover(self.metric, eps=0.5)
+        scheme = MetricRoutingScheme(self.metric, cover, seed=54)
+        pairs = sample_pairs(60, 120, seed=55)
+        gamma = max(cover.stretch(u, v) for u, v in pairs)
+        for u, v in pairs:
+            result = scheme.route(u, v)
+            assert result.path[0] == u and result.path[-1] == v
+            assert result.hops <= 2
+            d = self.metric.distance(u, v)
+            assert result.weight <= (gamma + 1e-9) * d + 1e-9
+
+    def test_compact_zeta_cuts_bits_versus_robust(self):
+        from repro.treecover import compact_tree_cover
+
+        compact = compact_tree_cover(self.metric, eps=0.5)
+        assert len(compact.trees) < len(self.cover.trees)
+        robust_scheme = MetricRoutingScheme(self.metric, self.cover, seed=56)
+        compact_scheme = MetricRoutingScheme(self.metric, compact, seed=56)
+        assert (
+            max(compact_scheme.label_size_bits(p) for p in range(60))
+            < max(robust_scheme.label_size_bits(p) for p in range(60))
+        )
+
+
+class TestEngineRouterCacheWithPrunedCovers:
+    """Regression: the daemon's generation-keyed router cache must build
+    its MetricRoutingScheme from the *loaded* (possibly pruned) cover
+    and reuse it across batches of the same generation."""
+
+    def test_engine_routes_pruned_checkpoint_with_parity(self, tmp_path):
+        from repro.checkpoint import CheckpointService, save_cover_checkpoint
+        from repro.serve import QueryEngine
+        from repro.treecover import prune_cover
+
+        metric = random_points(48, dim=2, seed=60)
+        cover = robust_tree_cover(metric, eps=0.5)
+        report = prune_cover(cover, eps=0.05)
+        path = str(tmp_path / "pruned.ckpt")
+        save_cover_checkpoint(
+            report.cover, path, builder={"family": "robust", "eps": 0.5}
+        )
+        service = CheckpointService(metric, k=3).load(path)
+        engine = QueryEngine(service, router_seed=7)
+        navigator, status = service.snapshot()
+        assert len(navigator.cover.trees) == len(report.cover.trees)
+
+        pairs = sample_pairs(48, 40, seed=61)
+        payloads = engine.execute("route", pairs)
+        direct = MetricRoutingScheme(metric, navigator.cover, seed=7)
+        for (u, v), payload in zip(pairs, payloads):
+            assert payload["status"] == "ok"
+            expected = direct.route(u, v)
+            assert payload["result"]["path"] == list(expected.path)
+            assert payload["result"]["hops"] == expected.hops
+
+    def test_router_cache_is_generation_keyed_and_reused(self, tmp_path):
+        from repro.checkpoint import CheckpointService, save_cover_checkpoint
+        from repro.serve import QueryEngine
+        from repro.treecover import prune_cover
+
+        metric = random_points(40, dim=2, seed=62)
+        report = prune_cover(robust_tree_cover(metric, eps=0.5), eps=0.05)
+        path = str(tmp_path / "pruned.ckpt")
+        save_cover_checkpoint(
+            report.cover, path, builder={"family": "robust", "eps": 0.5}
+        )
+        service = CheckpointService(metric, k=3).load(path)
+        engine = QueryEngine(service, router_seed=3)
+        _, status = service.snapshot()
+        generation = status["generation"]
+
+        engine.execute("route", sample_pairs(40, 10, seed=63))
+        assert set(engine._routers) == {generation}
+        cached = engine._routers[generation]
+        assert len(cached.cover.trees) == len(report.cover.trees)
+        engine.execute("route", sample_pairs(40, 10, seed=64))
+        assert engine._routers[generation] is cached
